@@ -1,0 +1,55 @@
+// Ablation (DESIGN.md): cache-line vs page granularity synchronization in
+// the CXL sharing protocol. The paper's Section 3.3 argues that flushing
+// only the dirty cache lines (not the whole 16 KB page) is a core advantage
+// over RDMA-style page shipping; this bench quantifies it on the same
+// PolarCXLMem substrate by forcing full-page sync.
+#include "bench/bench_common.h"
+#include "harness/sharing_driver.h"
+
+int main() {
+  using namespace polarcxl;
+  using namespace polarcxl::harness;
+  bench::PrintHeader(
+      "Ablation: sync granularity of the CXL coherency protocol",
+      "Section 3.3: only modified cache lines are synchronized, 'avoiding "
+      "redundant writes and reducing bandwidth usage'");
+
+  ReportTable table("Sysbench point-update, 8 nodes, PolarCXLMem",
+                    {"shared %", "cache-line sync", "full-page sync",
+                     "line-sync advantage", "sync KB/txn (line)",
+                     "sync KB/txn (page)"});
+  for (double frac : {0.2, 0.6, 1.0}) {
+    double qps[2];
+    double kb_per_txn[2];
+    int i = 0;
+    for (bool full_page : {false, true}) {
+      SharingConfig c;
+      c.mode = SharingMode::kCxl;
+      c.cxl_full_page_sync = full_page;
+      c.nodes = 8;
+      c.lanes_per_node = 6;
+      c.sysbench.tables = 1;
+      c.sysbench.rows_per_table = 5000;
+      c.sysbench.num_nodes = 8;
+      c.sysbench.shared_fraction = frac;
+      c.op = workload::SysbenchOp::kPointUpdate;
+      c.warmup = bench::Scaled(Millis(30));
+      c.measure = bench::Scaled(Millis(80));
+      SharingResult r = RunSharing(c);
+      qps[i] = r.metrics.Qps();
+      kb_per_txn[i] = r.metrics.events == 0
+                          ? 0
+                          : static_cast<double>(r.sync_lines) * 64 / 1024.0 /
+                                static_cast<double>(r.metrics.events);
+      i++;
+    }
+    table.AddRow({FmtPct(frac), FmtK(qps[0]), FmtK(qps[1]),
+                  FmtPct(qps[0] / qps[1] - 1.0), Fmt(kb_per_txn[0], 1),
+                  Fmt(kb_per_txn[1], 1)});
+  }
+  table.Print();
+  std::printf("\nShape check: cache-line sync moves ~a few KB per 10-update "
+              "transaction; page sync moves 160 KB — the bandwidth the "
+              "paper's protocol saves.\n");
+  return 0;
+}

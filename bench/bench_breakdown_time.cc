@@ -1,0 +1,72 @@
+// Where does a query's time go? Per-component virtual-time breakdown for
+// the pooling systems (point-select) and the sharing systems (point-update)
+// — the kind of analysis behind the paper's Sections 4.2/4.4 narratives
+// (read amplification, NIC saturation, lock contention, sync overhead).
+#include "bench/bench_common.h"
+#include "harness/instance_driver.h"
+#include "harness/sharing_driver.h"
+
+int main() {
+  using namespace polarcxl;
+  using namespace polarcxl::harness;
+  bench::PrintHeader(
+      "Analysis: per-component time breakdown",
+      "Section 4.2/4.4 narrative: the RDMA baseline spends its time on the "
+      "network; PolarCXLMem on memory; sharing adds lock-service time");
+
+  auto row = [](const TimeBreakdown& b) {
+    return std::vector<std::string>{
+        FmtPct(b.Pct(b.Cpu())), FmtPct(b.Pct(b.mem)), FmtPct(b.Pct(b.io)),
+        FmtPct(b.Pct(b.net)), FmtPct(b.Pct(b.lock))};
+  };
+
+  {
+    ReportTable table("Pooling, point-select, 8 instances",
+                      {"system", "cpu", "memory", "storage", "network",
+                       "locks"});
+    for (auto kind : {engine::BufferPoolKind::kTieredRdma,
+                      engine::BufferPoolKind::kCxl}) {
+      PoolingConfig c;
+      c.kind = kind;
+      c.instances = 8;
+      c.lanes_per_instance = 8;
+      c.sysbench.tables = 4;
+      c.sysbench.rows_per_table = 8000;
+      c.cpu_cache_bytes = 2ULL << 20;
+      c.warmup = bench::Scaled(Millis(40));
+      c.measure = bench::Scaled(Millis(120));
+      PoolingResult r = RunPooling(c);
+      std::vector<std::string> cells{
+          kind == engine::BufferPoolKind::kCxl ? "PolarCXLMem"
+                                               : "RDMA tiered"};
+      for (auto& cell : row(r.breakdown)) cells.push_back(cell);
+      table.AddRow(cells);
+    }
+    table.Print();
+  }
+  {
+    ReportTable table("Sharing, point-update, 8 nodes, 60% shared",
+                      {"system", "cpu", "memory", "storage", "network",
+                       "locks"});
+    for (auto mode : {SharingMode::kRdma, SharingMode::kCxl}) {
+      SharingConfig c;
+      c.mode = mode;
+      c.nodes = 8;
+      c.lanes_per_node = 6;
+      c.sysbench.tables = 1;
+      c.sysbench.rows_per_table = 5000;
+      c.sysbench.num_nodes = 8;
+      c.sysbench.shared_fraction = 0.6;
+      c.op = workload::SysbenchOp::kPointUpdate;
+      c.warmup = bench::Scaled(Millis(30));
+      c.measure = bench::Scaled(Millis(80));
+      SharingResult r = RunSharing(c);
+      std::vector<std::string> cells{
+          mode == SharingMode::kCxl ? "PolarCXLMem" : "RDMA-based"};
+      for (auto& cell : row(r.breakdown)) cells.push_back(cell);
+      table.AddRow(cells);
+    }
+    table.Print();
+  }
+  return 0;
+}

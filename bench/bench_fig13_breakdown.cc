@@ -1,0 +1,47 @@
+// Figure 13: breakdown analysis — RDMA-based PolarDB-MP with LBP sizes
+// from 10% to 100% of each node's accessed dataset vs PolarCXLMem, Sysbench
+// point-update on 8 nodes across shared-data percentages.
+#include "bench/bench_common.h"
+#include "harness/sharing_driver.h"
+
+int main() {
+  using namespace polarcxl;
+  using namespace polarcxl::harness;
+  bench::PrintHeader(
+      "Figure 13: LBP-size breakdown, point-update on 8 nodes",
+      "at 20% shared PolarCXLMem = 2.14x RDMA LBP-10%; even LBP-100% never "
+      "catches up (22.48% gap at 100% shared)");
+
+  const double lbp_sizes[] = {0.1, 0.3, 0.5, 0.7, 1.0};
+  ReportTable table("Sysbench point-update, 8 nodes (QPS)",
+                    {"shared %", "LBP-10%", "LBP-30%", "LBP-50%", "LBP-70%",
+                     "LBP-100%", "PolarCXLMem"});
+
+  for (double frac : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    std::vector<std::string> row{FmtPct(frac)};
+    auto base_config = [&](SharingMode mode) {
+      SharingConfig c;
+      c.mode = mode;
+      c.nodes = 8;
+      c.lanes_per_node = 6;
+      c.sysbench.tables = 1;
+      c.sysbench.rows_per_table = 20000;
+      c.sysbench.num_nodes = 8;
+      c.sysbench.shared_fraction = frac;
+      c.op = workload::SysbenchOp::kPointUpdate;
+      c.warmup = bench::Scaled(Millis(30));
+      c.measure = bench::Scaled(Millis(80));
+      return c;
+    };
+    for (double lbp : lbp_sizes) {
+      SharingConfig c = base_config(SharingMode::kRdma);
+      c.lbp_fraction = lbp;
+      row.push_back(FmtK(RunSharing(c).metrics.Qps()));
+    }
+    row.push_back(FmtK(RunSharing(base_config(SharingMode::kCxl))
+                           .metrics.Qps()));
+    table.AddRow(row);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 8: pooling comparison, Sysbench range-select — bandwidth-bound
+// even without point-select's read amplification.
+#include "bench/pooling_figure.h"
+
+int main() {
+  polarcxl::bench::RunPoolingFigure(
+      "Figure 8: range-select pooling, RDMA vs PolarCXLMem",
+      "RDMA saturates at 4 instances (~11 GB/s); PolarCXLMem keeps scaling "
+      "with instance count",
+      polarcxl::workload::SysbenchOp::kRangeSelect, /*lanes=*/6);
+  return 0;
+}

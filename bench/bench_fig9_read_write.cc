@@ -1,0 +1,12 @@
+// Figure 9: pooling comparison, Sysbench read-write — mixed workload with
+// write-back amplification on the RDMA baseline.
+#include "bench/pooling_figure.h"
+
+int main() {
+  polarcxl::bench::RunPoolingFigure(
+      "Figure 9: read-write pooling, RDMA vs PolarCXLMem",
+      "RDMA saturates at 8 instances; PolarCXLMem keeps scaling; ~40% more "
+      "interconnect bytes for RDMA at 1 instance",
+      polarcxl::workload::SysbenchOp::kReadWrite, /*lanes=*/8);
+  return 0;
+}

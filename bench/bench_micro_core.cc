@@ -1,0 +1,178 @@
+// Google-benchmark microbenchmarks for the core data structures (real wall
+// time of the library itself, not the simulated database): B+tree ops on
+// each buffer pool kind, buffer pool fetches, the bandwidth channel, the
+// CPU cache simulator, and histogram insertion.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/histogram.h"
+#include "engine/database.h"
+#include "sim/bandwidth_channel.h"
+#include "sim/cpu_cache.h"
+
+namespace polarcxl {
+namespace {
+
+using engine::BufferPoolKind;
+using sim::ExecContext;
+
+struct BenchWorld {
+  BenchWorld() : disk("d"), store(&disk), log(&disk) {
+    POLAR_CHECK(fabric.AddDevice(256 << 20).ok());
+    auto host = fabric.AttachHost(0);
+    POLAR_CHECK(host.ok());
+    acc = *host;
+    manager = std::make_unique<cxl::CxlMemoryManager>(fabric.capacity());
+    net.RegisterHost(0);
+    net.RegisterHost(100);
+    remote = std::make_unique<rdma::RemoteMemoryPool>(&net, 100, 1 << 15);
+  }
+
+  std::unique_ptr<engine::Database> MakeDb(BufferPoolKind kind,
+                                           uint64_t rows) {
+    engine::DatabaseEnv env;
+    env.store = &store;
+    env.log = &log;
+    env.cxl = acc;
+    env.cxl_manager = manager.get();
+    env.remote = remote.get();
+    engine::DatabaseOptions opt;
+    opt.pool_kind = kind;
+    opt.pool_pages = 8192;
+    ExecContext ctx;
+    auto db = engine::Database::Create(ctx, env, opt);
+    POLAR_CHECK(db.ok());
+    auto table = (*db)->CreateTable(ctx, "t", 128);
+    POLAR_CHECK(table.ok());
+    for (uint64_t k = 1; k <= rows; k++) {
+      POLAR_CHECK((*table)->Insert(ctx, k, std::string(128, 'x')).ok());
+    }
+    return std::move(*db);
+  }
+
+  storage::SimDisk disk;
+  storage::PageStore store;
+  storage::RedoLog log;
+  cxl::CxlFabric fabric;
+  cxl::CxlAccessor* acc = nullptr;
+  std::unique_ptr<cxl::CxlMemoryManager> manager;
+  rdma::RdmaNetwork net;
+  std::unique_ptr<rdma::RemoteMemoryPool> remote;
+};
+
+BufferPoolKind KindFromIndex(int64_t i) {
+  switch (i) {
+    case 0:
+      return BufferPoolKind::kDram;
+    case 1:
+      return BufferPoolKind::kCxl;
+    default:
+      return BufferPoolKind::kTieredRdma;
+  }
+}
+
+void BM_BTreeGet(benchmark::State& state) {
+  BenchWorld world;
+  auto db = world.MakeDb(KindFromIndex(state.range(0)), 20000);
+  engine::BTree* tree = db->table(size_t{0})->tree();
+  ExecContext ctx;
+  ctx.cache = db->cache();
+  uint64_t k = 1;
+  for (auto _ : state) {
+    auto v = tree->Get(ctx, 1 + (k * 2654435761) % 20000);
+    benchmark::DoNotOptimize(v);
+    k++;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeGet)->Arg(0)->Arg(1)->Arg(2)
+    ->ArgNames({"pool(0=dram,1=cxl,2=tiered)"});
+
+void BM_BTreeUpdate(benchmark::State& state) {
+  BenchWorld world;
+  auto db = world.MakeDb(KindFromIndex(state.range(0)), 20000);
+  engine::BTree* tree = db->table(size_t{0})->tree();
+  ExecContext ctx;
+  ctx.cache = db->cache();
+  uint64_t k = 1;
+  for (auto _ : state) {
+    const uint32_t v = static_cast<uint32_t>(k);
+    POLAR_CHECK(tree->UpdatePartial(ctx, 1 + (k * 2654435761) % 20000, 0,
+                                    Slice(reinterpret_cast<const char*>(&v),
+                                          4))
+                    .ok());
+    k++;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeUpdate)->Arg(0)->Arg(1)->Arg(2)
+    ->ArgNames({"pool(0=dram,1=cxl,2=tiered)"});
+
+void BM_BTreeInsert(benchmark::State& state) {
+  BenchWorld world;
+  auto db = world.MakeDb(BufferPoolKind::kCxl, 1000);
+  engine::BTree* tree = db->table(size_t{0})->tree();
+  ExecContext ctx;
+  ctx.cache = db->cache();
+  uint64_t k = 1 << 20;
+  for (auto _ : state) {
+    POLAR_CHECK(tree->Insert(ctx, k++, std::string(128, 'y')).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_BufferPoolFetchHit(benchmark::State& state) {
+  BenchWorld world;
+  auto db = world.MakeDb(KindFromIndex(state.range(0)), 5000);
+  ExecContext ctx;
+  ctx.cache = db->cache();
+  for (auto _ : state) {
+    auto ref = db->pool()->Fetch(ctx, 1, false);
+    POLAR_CHECK(ref.ok());
+    db->pool()->Unfix(ctx, *ref, 1, false, 0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolFetchHit)->Arg(0)->Arg(1)->Arg(2)
+    ->ArgNames({"pool(0=dram,1=cxl,2=tiered)"});
+
+void BM_BandwidthChannelTransfer(benchmark::State& state) {
+  sim::BandwidthChannel ch("bench", 12ULL * 1000 * 1000 * 1000);
+  Nanos now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ch.Transfer(now, 16384));
+    now += 2000;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BandwidthChannelTransfer);
+
+void BM_CpuCacheAccess(benchmark::State& state) {
+  sim::CpuCacheSim cache(28 << 20);
+  uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Access(addr, false, nullptr));
+    addr = (addr + 4096) % (64 << 20);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CpuCacheAccess);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  Histogram h;
+  Nanos v = 1;
+  for (auto _ : state) {
+    h.Add(v);
+    v = v * 1664525 + 1013904223;
+    v &= (1 << 30) - 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramAdd);
+
+}  // namespace
+}  // namespace polarcxl
+
+BENCHMARK_MAIN();

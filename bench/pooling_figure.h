@@ -1,0 +1,54 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// Shared driver for Figures 7-9: RDMA-based vs PolarCXLMem pooling sweeps
+// over the instance count, reporting throughput, average latency, and
+// RDMA/CXL bandwidth — the three panels of each figure.
+#pragma once
+
+#include <string>
+
+#include "bench/bench_common.h"
+#include "harness/instance_driver.h"
+
+namespace polarcxl::bench {
+
+inline void RunPoolingFigure(const char* figure, const char* paper_summary,
+                             workload::SysbenchOp op, uint32_t lanes) {
+  PrintHeader(figure, paper_summary);
+
+  const uint32_t kInstancePoints[] = {1, 2, 3, 4, 6, 8, 10, 12};
+  harness::ReportTable table(
+      std::string("Sysbench ") + workload::SysbenchOpName(op) +
+          " — RDMA-based (LBP 30%) vs PolarCXLMem",
+      {"instances", "RDMA QPS", "CXL QPS", "RDMA lat", "CXL lat",
+       "RDMA BW", "CXL BW"});
+
+  for (uint32_t n : kInstancePoints) {
+    harness::PoolingResult results[2];
+    int i = 0;
+    for (auto kind : {engine::BufferPoolKind::kTieredRdma,
+                      engine::BufferPoolKind::kCxl}) {
+      harness::PoolingConfig c;
+      c.kind = kind;
+      c.lbp_fraction = 0.3;
+      c.instances = n;
+      c.lanes_per_instance = lanes;
+      c.sysbench.tables = 4;
+      c.sysbench.rows_per_table = 8000;
+      c.op = op;
+      c.cpu_cache_bytes = 2ULL << 20;  // dataset >> LLC, as at paper scale
+      c.warmup = Scaled(Millis(40));
+      c.measure = Scaled(Millis(120));
+      results[i++] = harness::RunPooling(c);
+    }
+    table.AddRow({std::to_string(n),
+                  harness::FmtK(results[0].metrics.Qps()),
+                  harness::FmtK(results[1].metrics.Qps()),
+                  harness::FmtUs(results[0].metrics.latency.Mean()),
+                  harness::FmtUs(results[1].metrics.latency.Mean()),
+                  harness::FmtGbps(results[0].nic_gbps),
+                  harness::FmtGbps(results[1].cxl_gbps)});
+  }
+  table.Print();
+}
+
+}  // namespace polarcxl::bench

@@ -1,0 +1,99 @@
+// Multi-primary data sharing demo: three database nodes operate on one
+// dataset through the buffer fusion server and the CXL 2.0 cache-coherency
+// protocol of Section 3.3 — writes by any node become visible to all,
+// synchronizing only the dirty cache lines.
+//
+//   $ ./example_multi_primary_sharing
+#include <cstdio>
+
+#include "engine/database.h"
+#include "sharing/buffer_fusion.h"
+#include "sharing/mp_node.h"
+
+using namespace polarcxl;
+
+int main() {
+  constexpr int kNodes = 3;
+
+  cxl::CxlFabric fabric;
+  POLAR_CHECK(fabric.AddDevice(512 << 20).ok());
+  cxl::CxlMemoryManager manager(fabric.capacity());
+  storage::SimDisk disk("shared-disk");
+  storage::PageStore store(&disk);
+  storage::RedoLog log(&disk);
+
+  // The lock service and the buffer fusion server (DBP metadata owner).
+  sharing::DistLockManager locks(
+      std::make_unique<sharing::CxlLockTransport>(2600));
+  sim::ExecContext sctx;
+  sharing::BufferFusionServer::Options so;
+  so.dbp_pages = 8192;
+  so.max_nodes = 8;
+  auto fusion = std::move(*sharing::BufferFusionServer::Create(
+      sctx, so, *fabric.AttachHost(90), &manager, &store, &locks));
+
+  // Three primaries, each with its own CXL port and CPU cache, sharing the
+  // DBP. Node 0 creates the schema; the others open the same catalog.
+  std::unique_ptr<engine::Database> nodes[kNodes];
+  sharing::CxlSharedBufferPool* pools[kNodes];
+  sim::ExecContext ctxs[kNodes];
+  for (NodeId n = 0; n < kNodes; n++) {
+    sharing::CxlSharedBufferPool::Options po;
+    po.node = n;
+    auto pool = std::make_unique<sharing::CxlSharedBufferPool>(
+        po, *fabric.AttachHost(n), fusion.get(), &locks, &store);
+    pools[n] = pool.get();
+    engine::DatabaseEnv env;
+    env.store = &store;
+    env.log = &log;
+    engine::DatabaseOptions opt;
+    opt.node = n;
+    sim::ExecContext setup;
+    nodes[n] = std::move(*(n == 0 ? engine::Database::CreateWithPool(
+                                        setup, env, opt, std::move(pool))
+                                  : engine::Database::OpenWithPool(
+                                        setup, env, opt, std::move(pool))));
+    if (n == 0) {
+      auto t = *nodes[0]->CreateTable(setup, "accounts", 64);
+      for (uint64_t id = 1; id <= 1000; id++) {
+        POLAR_CHECK(t->Insert(setup, id, std::string(64, '0')).ok());
+      }
+      nodes[0]->CommitTransaction(setup);
+    }
+    ctxs[n].cache = nodes[n]->cache();
+    ctxs[n].now = Millis(1);
+  }
+
+  // Node 1 updates an account; nodes 0 and 2 read the new value.
+  std::printf("node 1 writes account 42...\n");
+  POLAR_CHECK(nodes[1]
+                  ->table(size_t{0})
+                  ->Update(ctxs[1], 42, std::string(64, 'X'))
+                  .ok());
+  nodes[1]->CommitTransaction(ctxs[1]);
+
+  for (NodeId n : {NodeId{0}, NodeId{2}}) {
+    ctxs[n].now = ctxs[1].now + Millis(1);
+    auto got = nodes[n]->table(size_t{0})->Get(ctxs[n], 42);
+    std::printf("node %u reads account 42 -> '%c...' (%s)\n", n,
+                (*got)[0], *got == std::string(64, 'X') ? "latest" : "STALE");
+  }
+
+  // Coherency mechanics, visible through the counters.
+  std::printf("\ncoherency: node1 flushed %llu dirty cache lines on unlock "
+              "(not a 16 KB page); node0/node2 observed %llu/%llu "
+              "invalidations\n",
+              static_cast<unsigned long long>(pools[1]->dirty_lines_flushed()),
+              static_cast<unsigned long long>(pools[0]->invalidations_observed()),
+              static_cast<unsigned long long>(pools[2]->invalidations_observed()));
+  std::printf("buffer fusion: %llu RPCs served, %u/%u DBP slots in use, "
+              "node-local DRAM per node: %llu bytes (metadata only)\n",
+              static_cast<unsigned long long>(fusion->rpc_count()),
+              fusion->used_slots(), fusion->used_slots() + fusion->free_slots(),
+              static_cast<unsigned long long>(pools[0]->local_dram_bytes()));
+  std::printf("distributed locks: %llu acquisitions, %llu contended\n",
+              static_cast<unsigned long long>(locks.table().acquisitions()),
+              static_cast<unsigned long long>(
+                  locks.table().contended_acquisitions()));
+  return 0;
+}

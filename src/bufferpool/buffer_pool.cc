@@ -1,0 +1,25 @@
+#include "bufferpool/buffer_pool.h"
+
+#include <vector>
+
+namespace polarcxl::bufferpool {
+
+void LruList::PushFront(uint32_t b) {
+  prev_[b] = kInvalidBlock;
+  next_[b] = head_;
+  if (head_ != kInvalidBlock) prev_[head_] = b;
+  head_ = b;
+  if (tail_ == kInvalidBlock) tail_ = b;
+}
+
+void LruList::Remove(uint32_t b) {
+  const uint32_t p = prev_[b];
+  const uint32_t n = next_[b];
+  if (p != kInvalidBlock) next_[p] = n;
+  else if (head_ == b) head_ = n;
+  if (n != kInvalidBlock) prev_[n] = p;
+  else if (tail_ == b) tail_ = p;
+  prev_[b] = next_[b] = kInvalidBlock;
+}
+
+}  // namespace polarcxl::bufferpool

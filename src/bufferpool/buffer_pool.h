@@ -1,0 +1,137 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// Buffer pool abstraction the transaction engine runs on. The engine asks
+// for a page, operates on the returned frame through TouchRange-charged
+// accesses, and releases it — without knowing whether the frame lives in
+// local DRAM, CXL memory, or a tiered local/remote hierarchy (Section 2.2:
+// "the buffer pool operates transparently").
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/exec_context.h"
+#include "storage/redo_log.h"
+
+namespace polarcxl::bufferpool {
+
+constexpr uint32_t kInvalidBlock = UINT32_MAX;
+
+/// A fixed (pinned + latched) page frame.
+struct PageRef {
+  uint32_t block = kInvalidBlock;
+  uint8_t* data = nullptr;  // 16 KB frame
+
+  bool valid() const { return block != kInvalidBlock; }
+};
+
+struct BufferPoolStats {
+  uint64_t fetches = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+
+  double HitRate() const {
+    return fetches == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(fetches);
+  }
+};
+
+class BufferPool {
+ public:
+  virtual ~BufferPool() = default;
+
+  /// Fixes the frame for `page_id`, loading it from the backing tier(s) on
+  /// a miss. `for_write` marks the page write-locked for the duration of
+  /// the fix (recorded durably by pools that support instant recovery).
+  virtual Result<PageRef> Fetch(sim::ExecContext& ctx, PageId page_id,
+                                bool for_write) = 0;
+
+  /// Releases a fix. `dirty` reports that the frame bytes were modified up
+  /// to `new_lsn` (ignored when !dirty).
+  virtual void Unfix(sim::ExecContext& ctx, const PageRef& ref,
+                     PageId page_id, bool dirty, Lsn new_lsn) = 0;
+
+  /// Charges the cost of accessing [off, off+len) of the fixed frame.
+  /// Callers read/write the bytes through ref.data directly.
+  virtual void TouchRange(sim::ExecContext& ctx, const PageRef& ref,
+                          uint32_t off, uint32_t len, bool write) = 0;
+
+  /// Upgrades an existing fix from read to write mode (re-latching). Pools
+  /// that track durable lock state or distributed locks override this.
+  virtual void UpgradeToWrite(sim::ExecContext& ctx, const PageRef& ref,
+                              PageId page_id) {
+    (void)ctx;
+    (void)ref;
+    (void)page_id;
+  }
+
+  /// Writes every dirty page back to the page store (checkpoint path).
+  virtual void FlushDirtyPages(sim::ExecContext& ctx) = 0;
+
+  /// Whether the pool currently holds the page (uncharged introspection).
+  virtual bool Cached(PageId page_id) const = 0;
+
+  virtual uint64_t capacity_pages() const = 0;
+  virtual const BufferPoolStats& stats() const = 0;
+  virtual void ResetStats() = 0;
+
+  /// Local DRAM consumed by page frames (0 for PolarCXLMem — the paper's
+  /// cost argument).
+  virtual uint64_t local_dram_bytes() const = 0;
+
+  /// Wires the write-ahead log so page write-backs can honor the WAL rule
+  /// (flush redo up to the page's LSN before externalizing the page).
+  void SetWal(storage::RedoLog* wal) { wal_ = wal; }
+
+ protected:
+  /// Page-LSN convention: bytes [8,16) of every frame hold the page LSN.
+  static Lsn PeekPageLsn(const uint8_t* frame) {
+    Lsn lsn;
+    std::memcpy(&lsn, frame + 8, sizeof(lsn));
+    return lsn;
+  }
+
+  /// WAL rule enforcement before a page image leaves the pool.
+  void EnsureWalDurable(sim::ExecContext& ctx, const uint8_t* frame) {
+    if (wal_ != nullptr && PeekPageLsn(frame) > wal_->flushed_lsn()) {
+      wal_->Flush(ctx);
+    }
+  }
+
+  storage::RedoLog* wal_ = nullptr;
+};
+
+/// Intrusive doubly-linked LRU over block indices, array-backed. Used by
+/// the DRAM-resident pools; the CXL pool keeps its links in CXL memory
+/// instead so they survive crashes.
+class LruList {
+ public:
+  explicit LruList(uint32_t capacity)
+      : prev_(capacity, kInvalidBlock), next_(capacity, kInvalidBlock) {}
+
+  void PushFront(uint32_t b);
+  void Remove(uint32_t b);
+  void MoveToFront(uint32_t b) {
+    Remove(b);
+    PushFront(b);
+  }
+  uint32_t head() const { return head_; }
+  uint32_t tail() const { return tail_; }
+  bool empty() const { return head_ == kInvalidBlock; }
+  uint32_t next(uint32_t b) const { return next_[b]; }
+  uint32_t prev(uint32_t b) const { return prev_[b]; }
+
+ private:
+  std::vector<uint32_t> prev_;
+  std::vector<uint32_t> next_;
+  uint32_t head_ = kInvalidBlock;
+  uint32_t tail_ = kInvalidBlock;
+};
+
+}  // namespace polarcxl::bufferpool

@@ -1,0 +1,349 @@
+#include "bufferpool/cxl_buffer_pool.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace polarcxl::bufferpool {
+
+namespace {
+uint64_t AlignUp(uint64_t v, uint64_t a) { return (v + a - 1) / a * a; }
+}  // namespace
+
+uint64_t CxlBufferPool::RegionBytes(uint64_t capacity_pages) {
+  const uint64_t meta_area = 64 + capacity_pages * 64;
+  return AlignUp(meta_area, kPageSize) + capacity_pages * kPageSize;
+}
+
+CxlBufferPool::CxlBufferPool(Options options, MemOffset region,
+                             cxl::CxlAccessor* accessor,
+                             storage::PageStore* store)
+    : opt_(options),
+      region_(region),
+      frames_off_(region + AlignUp(64 + options.capacity_pages * 64,
+                                   kPageSize)),
+      acc_(accessor),
+      store_(store),
+      fix_count_(options.capacity_pages, 0),
+      dirty_(options.capacity_pages, 0) {}
+
+Result<std::unique_ptr<CxlBufferPool>> CxlBufferPool::Create(
+    sim::ExecContext& ctx, Options options, cxl::CxlAccessor* accessor,
+    cxl::CxlMemoryManager* manager, storage::PageStore* store) {
+  auto region = manager->Allocate(ctx, options.tenant,
+                                  RegionBytes(options.capacity_pages));
+  if (!region.ok()) return region.status();
+  std::unique_ptr<CxlBufferPool> pool(
+      new CxlBufferPool(options, *region, accessor, store));
+  pool->FormatFresh(ctx);
+  return pool;
+}
+
+Result<std::unique_ptr<CxlBufferPool>> CxlBufferPool::Attach(
+    sim::ExecContext& ctx, Options options, MemOffset region,
+    cxl::CxlAccessor* accessor, storage::PageStore* store) {
+  std::unique_ptr<CxlBufferPool> pool(
+      new CxlBufferPool(options, region, accessor, store));
+  const CxlPoolHeader h = pool->LoadHeader(ctx);
+  if (h.magic != kMagic || h.initialized != 1) {
+    return Status::Corruption("CXL region holds no initialized pool");
+  }
+  if (h.num_blocks != pool->num_blocks()) {
+    return Status::InvalidArgument("capacity mismatch on attach");
+  }
+  return pool;
+}
+
+void CxlBufferPool::FormatFresh(sim::ExecContext& ctx) {
+  // Chain every block into the free list via `next`.
+  for (uint32_t b = 0; b < num_blocks(); b++) {
+    CxlBlockMeta m;
+    m.next = b + 1 < num_blocks() ? b + 1 : kInvalidBlock;
+    StoreMeta(ctx, b, m);
+  }
+  CxlPoolHeader h;
+  h.magic = kMagic;
+  h.num_blocks = num_blocks();
+  h.free_head = 0;
+  h.initialized = 1;
+  StoreHeader(ctx, h);
+}
+
+// ---- charged metadata accessors ----
+
+CxlPoolHeader CxlBufferPool::LoadHeader(sim::ExecContext& ctx) {
+  return acc_->LoadPod<CxlPoolHeader>(ctx, HeaderOff());
+}
+void CxlBufferPool::StoreHeader(sim::ExecContext& ctx,
+                                const CxlPoolHeader& h) {
+  acc_->StorePod(ctx, HeaderOff(), h);
+}
+CxlBlockMeta CxlBufferPool::LoadMeta(sim::ExecContext& ctx, uint32_t block) {
+  POLAR_CHECK(block < num_blocks());
+  return acc_->LoadPod<CxlBlockMeta>(ctx, MetaOff(block));
+}
+void CxlBufferPool::StoreMeta(sim::ExecContext& ctx, uint32_t block,
+                              const CxlBlockMeta& m) {
+  POLAR_CHECK(block < num_blocks());
+  acc_->StorePod(ctx, MetaOff(block), m);
+}
+uint8_t* CxlBufferPool::FrameRaw(uint32_t block) {
+  return acc_->Raw(FrameOff(block));
+}
+void CxlBufferPool::ChargeFrameStream(sim::ExecContext& ctx, uint32_t block,
+                                      bool write) {
+  acc_->StreamTouch(ctx, FrameOff(block), kPageSize, write);
+}
+void CxlBufferPool::ChargeFrameTouch(sim::ExecContext& ctx, uint32_t block,
+                                     uint32_t off, uint32_t len, bool write) {
+  acc_->Touch(ctx, FrameOff(block) + off, len, write);
+}
+
+// ---- list helpers ----
+
+void CxlBufferPool::SetLruMutex(sim::ExecContext& ctx, uint32_t v) {
+  CxlPoolHeader h = LoadHeader(ctx);
+  h.lru_mutex = v;
+  StoreHeader(ctx, h);
+}
+
+uint32_t CxlBufferPool::PopFree(sim::ExecContext& ctx) {
+  CxlPoolHeader h = LoadHeader(ctx);
+  const uint32_t b = h.free_head;
+  if (b == kInvalidBlock) return b;
+  const CxlBlockMeta m = LoadMeta(ctx, b);
+  h.free_head = m.next;
+  StoreHeader(ctx, h);
+  return b;
+}
+
+void CxlBufferPool::PushFree(sim::ExecContext& ctx, uint32_t block) {
+  CxlPoolHeader h = LoadHeader(ctx);
+  CxlBlockMeta m;
+  m.next = h.free_head;
+  StoreMeta(ctx, block, m);
+  h.free_head = block;
+  StoreHeader(ctx, h);
+}
+
+void CxlBufferPool::InUseUnlink(sim::ExecContext& ctx,
+                                const CxlBlockMeta& m) {
+  CxlPoolHeader h = LoadHeader(ctx);
+  if (m.prev != kInvalidBlock) {
+    CxlBlockMeta p = LoadMeta(ctx, m.prev);
+    p.next = m.next;
+    StoreMeta(ctx, m.prev, p);
+  } else {
+    h.inuse_head = m.next;
+  }
+  if (m.next != kInvalidBlock) {
+    CxlBlockMeta n = LoadMeta(ctx, m.next);
+    n.prev = m.prev;
+    StoreMeta(ctx, m.next, n);
+  } else {
+    h.inuse_tail = m.prev;
+  }
+  StoreHeader(ctx, h);
+}
+
+void CxlBufferPool::InUsePushFront(sim::ExecContext& ctx, uint32_t block,
+                                   CxlBlockMeta* m) {
+  CxlPoolHeader h = LoadHeader(ctx);
+  m->prev = kInvalidBlock;
+  m->next = h.inuse_head;
+  if (h.inuse_head != kInvalidBlock) {
+    CxlBlockMeta old = LoadMeta(ctx, h.inuse_head);
+    old.prev = block;
+    StoreMeta(ctx, h.inuse_head, old);
+  }
+  h.inuse_head = block;
+  if (h.inuse_tail == kInvalidBlock) h.inuse_tail = block;
+  StoreHeader(ctx, h);
+  StoreMeta(ctx, block, *m);
+}
+
+uint32_t CxlBufferPool::EvictTail(sim::ExecContext& ctx) {
+  CxlPoolHeader h = LoadHeader(ctx);
+  uint32_t b = h.inuse_tail;
+  while (b != kInvalidBlock) {
+    CxlBlockMeta m = LoadMeta(ctx, b);
+    if (fix_count_[b] == 0) {
+      if (dirty_[b] != 0) {
+        ChargeFrameStream(ctx, b, /*write=*/false);
+        EnsureWalDurable(ctx, FrameRaw(b));
+        store_->WritePage(ctx, m.id, FrameRaw(b));
+        stats_.dirty_writebacks++;
+        dirty_[b] = 0;
+      }
+      InUseUnlink(ctx, m);
+      page_table_.erase(m.id);
+      stats_.evictions++;
+      return b;
+    }
+    b = m.prev;
+  }
+  return kInvalidBlock;
+}
+
+// ---- BufferPool interface ----
+
+Result<PageRef> CxlBufferPool::Fetch(sim::ExecContext& ctx, PageId page_id,
+                                     bool for_write) {
+  stats_.fetches++;
+  const auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    stats_.hits++;
+    const uint32_t b = it->second;
+    CxlBlockMeta m = LoadMeta(ctx, b);
+    if (for_write) m.lock_state = 1;
+    // Move to front of the in-use list (LRU), guarded by the CXL-mirrored
+    // mutex so recovery can detect a torn update.
+    SetLruMutex(ctx, 1);
+    InUseUnlink(ctx, m);
+    InUsePushFront(ctx, b, &m);
+    SetLruMutex(ctx, 0);
+    fix_count_[b]++;
+    return PageRef{b, FrameRaw(b)};
+  }
+
+  stats_.misses++;
+  SetLruMutex(ctx, 1);
+  uint32_t b = PopFree(ctx);
+  if (b == kInvalidBlock) b = EvictTail(ctx);
+  if (b == kInvalidBlock) {
+    SetLruMutex(ctx, 0);
+    return Status::Busy("all CXL blocks fixed");
+  }
+  store_->ReadPage(ctx, page_id, FrameRaw(b));
+  ChargeFrameStream(ctx, b, /*write=*/true);
+
+  CxlBlockMeta m;
+  m.id = page_id;
+  m.in_use = 1;
+  m.lock_state = for_write ? 1 : 0;
+  // The frame was just installed from storage; adopt the page's own LSN
+  // (bytes [8,16) of the header — see engine/page.h layout contract).
+  Lsn page_lsn = 0;
+  std::memcpy(&page_lsn, FrameRaw(b) + 8, sizeof(page_lsn));
+  m.lsn = page_lsn;
+  InUsePushFront(ctx, b, &m);
+  SetLruMutex(ctx, 0);
+
+  page_table_[page_id] = b;
+  fix_count_[b] = 1;
+  dirty_[b] = 0;
+  return PageRef{b, FrameRaw(b)};
+}
+
+void CxlBufferPool::Unfix(sim::ExecContext& ctx, const PageRef& ref,
+                          PageId page_id, bool dirty, Lsn new_lsn) {
+  (void)page_id;
+  const uint32_t b = ref.block;
+  POLAR_CHECK(fix_count_[b] > 0);
+  fix_count_[b]--;
+  CxlBlockMeta m = LoadMeta(ctx, b);
+  if (dirty) {
+    dirty_[b] = 1;
+    if (new_lsn > m.lsn) m.lsn = new_lsn;
+  }
+  if (fix_count_[b] == 0) m.lock_state = 0;
+  StoreMeta(ctx, b, m);
+}
+
+void CxlBufferPool::UpgradeToWrite(sim::ExecContext& ctx, const PageRef& ref,
+                                   PageId page_id) {
+  (void)page_id;
+  CxlBlockMeta m = LoadMeta(ctx, ref.block);
+  m.lock_state = 1;
+  StoreMeta(ctx, ref.block, m);
+}
+
+void CxlBufferPool::TouchRange(sim::ExecContext& ctx, const PageRef& ref,
+                               uint32_t off, uint32_t len, bool write) {
+  acc_->Touch(ctx, FrameOff(ref.block) + off, len, write);
+}
+
+void CxlBufferPool::FlushDirtyPages(sim::ExecContext& ctx) {
+  for (uint32_t b = 0; b < num_blocks(); b++) {
+    if (dirty_[b] == 0) continue;
+    const CxlBlockMeta m = LoadMeta(ctx, b);
+    if (m.in_use == 0) continue;
+    ChargeFrameStream(ctx, b, /*write=*/false);
+    EnsureWalDurable(ctx, FrameRaw(b));
+    store_->WritePage(ctx, m.id, FrameRaw(b));
+    dirty_[b] = 0;
+  }
+}
+
+bool CxlBufferPool::Cached(PageId page_id) const {
+  return page_table_.count(page_id) > 0;
+}
+
+void CxlBufferPool::FinishRecovery(sim::ExecContext& ctx,
+                                   bool rebuild_lists) {
+  std::vector<std::pair<uint32_t, CxlBlockMeta>> metas;
+  metas.reserve(num_blocks());
+  for (uint32_t b = 0; b < num_blocks(); b++) {
+    metas.emplace_back(b, LoadMeta(ctx, b));
+  }
+  FinishRecoveryScanned(ctx, metas, rebuild_lists);
+}
+
+void CxlBufferPool::FinishRecoveryScanned(
+    sim::ExecContext& ctx,
+    const std::vector<std::pair<uint32_t, CxlBlockMeta>>& metas,
+    bool rebuild_lists) {
+  page_table_.clear();
+  std::fill(fix_count_.begin(), fix_count_.end(), 0);
+
+  std::vector<uint32_t> in_use;
+  for (const auto& [b, m] : metas) {
+    if (m.in_use != 0) {
+      POLAR_CHECK_MSG(page_table_.count(m.id) == 0,
+                      "duplicate page in recovered pool");
+      page_table_[m.id] = b;
+      in_use.push_back(b);
+      // Conservatively dirty: the crash lost the dirty bitmap.
+      dirty_[b] = 1;
+    } else {
+      dirty_[b] = 0;
+    }
+  }
+
+  if (!rebuild_lists) return;
+
+  // Rewrite both lists from the scanned metadata (recency order is lost);
+  // every pointer fix is one CXL line store.
+  CxlPoolHeader h = LoadHeader(ctx);
+  h.free_head = kInvalidBlock;
+  h.inuse_head = kInvalidBlock;
+  h.inuse_tail = kInvalidBlock;
+  for (const auto& [b, scanned] : metas) {
+    if (scanned.in_use != 0) continue;
+    CxlBlockMeta m;
+    m.next = h.free_head;
+    StoreMeta(ctx, b, m);
+    h.free_head = b;
+  }
+  uint32_t prev = kInvalidBlock;
+  CxlBlockMeta prev_meta;
+  for (uint32_t b : in_use) {
+    CxlBlockMeta m = metas[b].second;
+    POLAR_CHECK(metas[b].first == b);
+    m.prev = prev;
+    m.next = kInvalidBlock;
+    if (prev != kInvalidBlock) {
+      prev_meta.next = b;
+      StoreMeta(ctx, prev, prev_meta);
+    } else {
+      h.inuse_head = b;
+    }
+    h.inuse_tail = b;
+    prev = b;
+    prev_meta = m;
+  }
+  if (prev != kInvalidBlock) StoreMeta(ctx, prev, prev_meta);
+  h.lru_mutex = 0;
+  StoreHeader(ctx, h);
+}
+
+}  // namespace polarcxl::bufferpool

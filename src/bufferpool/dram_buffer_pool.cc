@@ -1,0 +1,109 @@
+#include "bufferpool/dram_buffer_pool.h"
+
+namespace polarcxl::bufferpool {
+
+DramBufferPool::DramBufferPool(Options options, sim::MemorySpace* dram,
+                               storage::PageStore* store)
+    : opt_(options),
+      dram_(dram),
+      store_(store),
+      frames_(opt_.capacity_pages * kPageSize),
+      meta_(opt_.capacity_pages),
+      lru_(static_cast<uint32_t>(opt_.capacity_pages)) {
+  free_list_.reserve(opt_.capacity_pages);
+  // Populate in reverse so block 0 is handed out first.
+  for (uint32_t b = static_cast<uint32_t>(opt_.capacity_pages); b > 0; b--) {
+    free_list_.push_back(b - 1);
+  }
+}
+
+uint32_t DramBufferPool::AllocBlock(sim::ExecContext& ctx) {
+  if (!free_list_.empty()) {
+    const uint32_t b = free_list_.back();
+    free_list_.pop_back();
+    return b;
+  }
+  // Evict from the LRU tail, skipping fixed frames.
+  for (uint32_t b = lru_.tail(); b != kInvalidBlock; b = lru_.prev(b)) {
+    BlockMeta& m = meta_[b];
+    if (m.fix_count > 0) continue;
+    if (m.dirty) {
+      // Write back through the store; the frame bytes stream out of DRAM.
+      dram_->Stream(ctx, FrameAddr(b), kPageSize, /*write=*/false);
+      EnsureWalDurable(ctx, FrameData(b));
+      store_->WritePage(ctx, m.page_id, FrameData(b));
+      stats_.dirty_writebacks++;
+    }
+    lru_.Remove(b);
+    page_table_.erase(m.page_id);
+    m = BlockMeta{};
+    stats_.evictions++;
+    return b;
+  }
+  return kInvalidBlock;
+}
+
+Result<PageRef> DramBufferPool::Fetch(sim::ExecContext& ctx, PageId page_id,
+                                      bool for_write) {
+  (void)for_write;  // DRAM pools keep no durable lock state
+  stats_.fetches++;
+  const auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    stats_.hits++;
+    const uint32_t b = it->second;
+    meta_[b].fix_count++;
+    lru_.MoveToFront(b);
+    return PageRef{b, FrameData(b)};
+  }
+
+  stats_.misses++;
+  const uint32_t b = AllocBlock(ctx);
+  if (b == kInvalidBlock) return Status::Busy("all frames fixed");
+  store_->ReadPage(ctx, page_id, FrameData(b));
+  // Installing the image streams it into local DRAM.
+  dram_->Stream(ctx, FrameAddr(b), kPageSize, /*write=*/true);
+  BlockMeta& m = meta_[b];
+  m.page_id = page_id;
+  m.in_use = true;
+  m.dirty = false;
+  m.fix_count = 1;
+  page_table_[page_id] = b;
+  lru_.PushFront(b);
+  return PageRef{b, FrameData(b)};
+}
+
+void DramBufferPool::Unfix(sim::ExecContext& ctx, const PageRef& ref,
+                           PageId page_id, bool dirty, Lsn new_lsn) {
+  (void)ctx;
+  (void)page_id;
+  BlockMeta& m = meta_[ref.block];
+  POLAR_CHECK(m.fix_count > 0);
+  m.fix_count--;
+  if (dirty) {
+    m.dirty = true;
+    if (new_lsn > m.lsn) m.lsn = new_lsn;
+  }
+}
+
+void DramBufferPool::TouchRange(sim::ExecContext& ctx, const PageRef& ref,
+                                uint32_t off, uint32_t len, bool write) {
+  dram_->Touch(ctx, FrameAddr(ref.block) + off, len, write);
+}
+
+void DramBufferPool::FlushDirtyPages(sim::ExecContext& ctx) {
+  for (uint32_t b = 0; b < meta_.size(); b++) {
+    BlockMeta& m = meta_[b];
+    if (m.in_use && m.dirty) {
+      dram_->Stream(ctx, FrameAddr(b), kPageSize, /*write=*/false);
+      EnsureWalDurable(ctx, FrameData(b));
+      store_->WritePage(ctx, m.page_id, FrameData(b));
+      m.dirty = false;
+    }
+  }
+}
+
+bool DramBufferPool::Cached(PageId page_id) const {
+  return page_table_.count(page_id) > 0;
+}
+
+}  // namespace polarcxl::bufferpool

@@ -1,0 +1,133 @@
+#include "bufferpool/tiered_rdma_buffer_pool.h"
+
+namespace polarcxl::bufferpool {
+
+TieredRdmaBufferPool::TieredRdmaBufferPool(Options options,
+                                           sim::MemorySpace* dram,
+                                           rdma::RemoteMemoryPool* remote,
+                                           storage::PageStore* store)
+    : opt_(options),
+      dram_(dram),
+      remote_(remote),
+      store_(store),
+      frames_(opt_.lbp_capacity_pages * kPageSize),
+      meta_(opt_.lbp_capacity_pages),
+      lru_(static_cast<uint32_t>(opt_.lbp_capacity_pages)) {
+  free_list_.reserve(opt_.lbp_capacity_pages);
+  for (uint32_t b = static_cast<uint32_t>(opt_.lbp_capacity_pages); b > 0;
+       b--) {
+    free_list_.push_back(b - 1);
+  }
+}
+
+uint32_t TieredRdmaBufferPool::AllocBlock(sim::ExecContext& ctx) {
+  if (!free_list_.empty()) {
+    const uint32_t b = free_list_.back();
+    free_list_.pop_back();
+    return b;
+  }
+  for (uint32_t b = lru_.tail(); b != kInvalidBlock; b = lru_.prev(b)) {
+    BlockMeta& m = meta_[b];
+    if (m.fix_count > 0) continue;
+    if (m.dirty) {
+      // Write-back is a full-page RDMA WRITE even if one row changed:
+      // the write amplification of tiered designs.
+      dram_->Stream(ctx, FrameAddr(b), kPageSize, /*write=*/false);
+      EnsureWalDurable(ctx, FrameData(b));
+      const Status s = remote_->WritePage(ctx, opt_.node, opt_.tenant,
+                                          m.page_id, FrameData(b));
+      if (!s.ok()) {
+        // Remote pool full: fall back to storage.
+        store_->WritePage(ctx, m.page_id, FrameData(b));
+      }
+      stats_.dirty_writebacks++;
+    }
+    lru_.Remove(b);
+    page_table_.erase(m.page_id);
+    m = BlockMeta{};
+    stats_.evictions++;
+    return b;
+  }
+  return kInvalidBlock;
+}
+
+Result<PageRef> TieredRdmaBufferPool::Fetch(sim::ExecContext& ctx,
+                                            PageId page_id, bool for_write) {
+  (void)for_write;
+  stats_.fetches++;
+  const auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    stats_.hits++;
+    const uint32_t b = it->second;
+    meta_[b].fix_count++;
+    lru_.MoveToFront(b);
+    return PageRef{b, FrameData(b)};
+  }
+
+  stats_.misses++;
+  const uint32_t b = AllocBlock(ctx);
+  if (b == kInvalidBlock) return Status::Busy("all LBP frames fixed");
+
+  // Miss path: remote memory first (full 16 KB RDMA READ), then storage.
+  Status s = remote_->ReadPage(ctx, opt_.node, opt_.tenant, page_id,
+                               FrameData(b));
+  if (s.ok()) {
+    remote_hits_++;
+  } else {
+    store_->ReadPage(ctx, page_id, FrameData(b));
+    // Populate the remote tier so the next crash/miss finds it there.
+    remote_->WritePage(ctx, opt_.node, opt_.tenant, page_id, FrameData(b))
+        .ok();
+  }
+  dram_->Stream(ctx, FrameAddr(b), kPageSize, /*write=*/true);
+
+  BlockMeta& m = meta_[b];
+  m.page_id = page_id;
+  m.in_use = true;
+  m.dirty = false;
+  m.fix_count = 1;
+  page_table_[page_id] = b;
+  lru_.PushFront(b);
+  return PageRef{b, FrameData(b)};
+}
+
+void TieredRdmaBufferPool::Unfix(sim::ExecContext& ctx, const PageRef& ref,
+                                 PageId page_id, bool dirty, Lsn new_lsn) {
+  (void)ctx;
+  (void)page_id;
+  BlockMeta& m = meta_[ref.block];
+  POLAR_CHECK(m.fix_count > 0);
+  m.fix_count--;
+  if (dirty) {
+    m.dirty = true;
+    if (new_lsn > m.lsn) m.lsn = new_lsn;
+  }
+}
+
+void TieredRdmaBufferPool::TouchRange(sim::ExecContext& ctx,
+                                      const PageRef& ref, uint32_t off,
+                                      uint32_t len, bool write) {
+  dram_->Touch(ctx, FrameAddr(ref.block) + off, len, write);
+}
+
+void TieredRdmaBufferPool::FlushDirtyPages(sim::ExecContext& ctx) {
+  for (uint32_t b = 0; b < meta_.size(); b++) {
+    BlockMeta& m = meta_[b];
+    if (m.in_use && m.dirty) {
+      dram_->Stream(ctx, FrameAddr(b), kPageSize, /*write=*/false);
+      EnsureWalDurable(ctx, FrameData(b));
+      store_->WritePage(ctx, m.page_id, FrameData(b));
+      // Keep the remote tier coherent with the checkpoint.
+      remote_->WritePage(ctx, opt_.node, opt_.tenant, m.page_id,
+                         FrameData(b))
+          .ok();
+      m.dirty = false;
+    }
+  }
+}
+
+bool TieredRdmaBufferPool::Cached(PageId page_id) const {
+  return page_table_.count(page_id) > 0;
+}
+
+}  // namespace polarcxl::bufferpool

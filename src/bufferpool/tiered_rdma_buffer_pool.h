@@ -1,0 +1,86 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// The RDMA baseline (LegoBase / PolarDB Serverless style, Section 2.2): a
+// local DRAM buffer pool (LBP) tiered over an RDMA-attached remote memory
+// pool. Data moves between tiers at whole-page granularity — the source of
+// the read/write amplification the paper measures — and everything local is
+// lost on a crash, while the remote pool survives.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "bufferpool/buffer_pool.h"
+#include "rdma/remote_memory_pool.h"
+#include "sim/memory_space.h"
+#include "storage/page_store.h"
+
+namespace polarcxl::bufferpool {
+
+class TieredRdmaBufferPool final : public BufferPool {
+ public:
+  struct Options {
+    /// Local buffer pool capacity (the paper sweeps 10%..100% of the
+    /// disaggregated memory size).
+    uint64_t lbp_capacity_pages = 512;
+    NodeId node = 0;    // this host's NIC identity
+    NodeId tenant = 0;  // tenant key in the remote pool
+    uint64_t phys_base = 1ULL << 45;
+  };
+
+  TieredRdmaBufferPool(Options options, sim::MemorySpace* dram,
+                       rdma::RemoteMemoryPool* remote,
+                       storage::PageStore* store);
+  POLAR_DISALLOW_COPY(TieredRdmaBufferPool);
+
+  Result<PageRef> Fetch(sim::ExecContext& ctx, PageId page_id,
+                        bool for_write) override;
+  void Unfix(sim::ExecContext& ctx, const PageRef& ref, PageId page_id,
+             bool dirty, Lsn new_lsn) override;
+  void TouchRange(sim::ExecContext& ctx, const PageRef& ref, uint32_t off,
+                  uint32_t len, bool write) override;
+  void FlushDirtyPages(sim::ExecContext& ctx) override;
+  bool Cached(PageId page_id) const override;
+  uint64_t capacity_pages() const override { return opt_.lbp_capacity_pages; }
+  const BufferPoolStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = {}; }
+  uint64_t local_dram_bytes() const override {
+    return opt_.lbp_capacity_pages * kPageSize;
+  }
+
+  /// Remote-tier hit statistics (misses that avoided storage I/O).
+  uint64_t remote_hits() const { return remote_hits_; }
+  rdma::RemoteMemoryPool* remote() { return remote_; }
+
+ private:
+  struct BlockMeta {
+    PageId page_id = kInvalidPageId;
+    bool in_use = false;
+    bool dirty = false;
+    uint32_t fix_count = 0;
+    Lsn lsn = 0;
+  };
+
+  uint8_t* FrameData(uint32_t block) {
+    return frames_.data() + static_cast<size_t>(block) * kPageSize;
+  }
+  uint64_t FrameAddr(uint32_t block) const {
+    return opt_.phys_base + static_cast<uint64_t>(block) * kPageSize;
+  }
+  uint32_t AllocBlock(sim::ExecContext& ctx);
+
+  Options opt_;
+  sim::MemorySpace* dram_;
+  rdma::RemoteMemoryPool* remote_;
+  storage::PageStore* store_;
+  std::vector<uint8_t> frames_;
+  std::vector<BlockMeta> meta_;
+  std::vector<uint32_t> free_list_;
+  LruList lru_;
+  std::unordered_map<PageId, uint32_t> page_table_;
+  BufferPoolStats stats_;
+  uint64_t remote_hits_ = 0;
+};
+
+}  // namespace polarcxl::bufferpool

@@ -1,0 +1,95 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace polarcxl {
+
+Histogram::Histogram() : buckets_(kBuckets, 0) {}
+
+int Histogram::BucketFor(Nanos v) {
+  if (v < kSubBuckets) return static_cast<int>(v < 0 ? 0 : v);
+  // Decompose v = (1.mantissa) * 2^e; bucket = e * kSubBuckets + top mantissa
+  // bits. 63 - clz gives e.
+  const uint64_t uv = static_cast<uint64_t>(v);
+  const int e = 63 - __builtin_clzll(uv);
+  const int mant_shift = e - 6;  // kSubBuckets == 2^6
+  const int sub = static_cast<int>((uv >> mant_shift) & (kSubBuckets - 1));
+  int b = (e - 5) * kSubBuckets + sub;
+  return b >= kBuckets ? kBuckets - 1 : b;
+}
+
+Nanos Histogram::BucketLow(int b) {
+  if (b < kSubBuckets) return b;
+  const int e = b / kSubBuckets + 5;
+  const int sub = b % kSubBuckets;
+  return (1LL << e) + (static_cast<Nanos>(sub) << (e - 6));
+}
+
+void Histogram::Add(Nanos value) {
+  if (value < 0) value = 0;
+  buckets_[BucketFor(value)]++;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  sum_ += static_cast<double>(value);
+  count_++;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; i++) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+Nanos Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  POLAR_CHECK(p > 0 && p <= 100.0);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  double cum = 0;
+  for (int i = 0; i < kBuckets; i++) {
+    if (buckets_[i] == 0) continue;
+    const double next = cum + static_cast<double>(buckets_[i]);
+    if (next >= target) {
+      const Nanos lo = BucketLow(i);
+      const Nanos hi = i + 1 < kBuckets ? BucketLow(i + 1) : max_;
+      const double frac = (target - cum) / static_cast<double>(buckets_[i]);
+      Nanos v = lo + static_cast<Nanos>(frac * static_cast<double>(hi - lo));
+      return std::min(v, max_);
+    }
+    cum = next;
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1fus p50=%.1fus p95=%.1fus p99=%.1fus "
+                "max=%.1fus",
+                static_cast<unsigned long long>(count_), Mean() / 1000.0,
+                static_cast<double>(Percentile(50)) / 1000.0,
+                static_cast<double>(Percentile(95)) / 1000.0,
+                static_cast<double>(Percentile(99)) / 1000.0,
+                static_cast<double>(max_) / 1000.0);
+  return buf;
+}
+
+}  // namespace polarcxl

@@ -1,0 +1,74 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// Latency histogram and time-bucketed throughput series for the harness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace polarcxl {
+
+/// Log-bucketed histogram of nanosecond latencies. Supports percentile
+/// queries with sub-bucket linear interpolation; O(1) insertion.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(Nanos value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  Nanos min() const { return count_ == 0 ? 0 : min_; }
+  Nanos max() const { return max_; }
+  double Mean() const;
+  /// p in (0, 100].
+  Nanos Percentile(double p) const;
+
+  std::string ToString() const;
+
+ private:
+  // 64 buckets per power-of-two decade keeps relative error < 2%.
+  static constexpr int kSubBuckets = 64;
+  static constexpr int kBuckets = 64 * kSubBuckets;
+
+  static int BucketFor(Nanos v);
+  static Nanos BucketLow(int b);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  Nanos min_ = 0;
+  Nanos max_ = 0;
+};
+
+/// Counts completions into fixed-width virtual-time buckets; used to plot
+/// throughput-over-time curves (Figure 10 recovery timelines).
+class TimeSeries {
+ public:
+  explicit TimeSeries(Nanos bucket_width) : width_(bucket_width) {}
+
+  void Add(Nanos at, uint64_t n = 1) {
+    const size_t b = static_cast<size_t>(at / width_);
+    if (b >= buckets_.size()) buckets_.resize(b + 1, 0);
+    buckets_[b] += n;
+  }
+
+  Nanos bucket_width() const { return width_; }
+  size_t num_buckets() const { return buckets_.size(); }
+  uint64_t bucket(size_t i) const { return i < buckets_.size() ? buckets_[i] : 0; }
+
+  /// Throughput of bucket i in operations per second.
+  double RatePerSec(size_t i) const {
+    return static_cast<double>(bucket(i)) * kNanosPerSec /
+           static_cast<double>(width_);
+  }
+
+ private:
+  Nanos width_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace polarcxl

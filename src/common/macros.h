@@ -1,0 +1,30 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// Assertion and utility macros shared across the codebase.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+// Fatal invariant check. Unlike assert(), active in all build types: a
+// database that keeps running past a broken invariant corrupts data.
+#define POLAR_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "POLAR_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define POLAR_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "POLAR_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define POLAR_DISALLOW_COPY(TypeName)       \
+  TypeName(const TypeName&) = delete;       \
+  TypeName& operator=(const TypeName&) = delete

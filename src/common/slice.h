@@ -1,0 +1,46 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// Non-owning byte view, in the spirit of rocksdb::Slice.
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace polarcxl {
+
+/// A pointer + length pair referencing externally owned bytes.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* d, size_t n) : data_(d), size_(n) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const char* s) : data_(s), size_(std::strlen(s)) {}          // NOLINT
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t n) const { return data_[n]; }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  int compare(const Slice& b) const {
+    const size_t min_len = size_ < b.size_ ? size_ : b.size_;
+    int r = std::memcmp(data_, b.data_, min_len);
+    if (r == 0) {
+      if (size_ < b.size_) r = -1;
+      else if (size_ > b.size_) r = 1;
+    }
+    return r;
+  }
+
+  bool operator==(const Slice& b) const { return compare(b) == 0; }
+  bool operator!=(const Slice& b) const { return compare(b) != 0; }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+}  // namespace polarcxl

@@ -1,0 +1,38 @@
+#include "common/status.h"
+
+namespace polarcxl {
+
+namespace {
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kOutOfMemory:
+      return "OutOfMemory";
+    case Status::Code::kBusy:
+      return "Busy";
+    case Status::Code::kIOError:
+      return "IOError";
+    case Status::Code::kNotSupported:
+      return "NotSupported";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  std::string out = CodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace polarcxl

@@ -1,0 +1,107 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// RocksDB-style Status/Result error handling. The library does not throw.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace polarcxl {
+
+/// Outcome of an operation that can fail. Cheap to copy when OK.
+class Status {
+ public:
+  enum class Code : uint8_t {
+    kOk = 0,
+    kNotFound,
+    kCorruption,
+    kInvalidArgument,
+    kOutOfMemory,
+    kBusy,
+    kIOError,
+    kNotSupported,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg = "") {
+    return Status(Code::kOutOfMemory, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsOutOfMemory() const { return code_ == Code::kOutOfMemory; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable "<code>: <message>" string.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// A value or an error. Minimal StatusOr.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {                 // NOLINT
+    POLAR_CHECK_MSG(!status_.ok(), "Result from OK status needs a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    POLAR_CHECK(status_.ok());
+    return value_;
+  }
+  const T& value() const {
+    POLAR_CHECK(status_.ok());
+    return value_;
+  }
+  T& operator*() { return value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+#define POLAR_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::polarcxl::Status _s = (expr);            \
+    if (!_s.ok()) return _s;                   \
+  } while (0)
+
+}  // namespace polarcxl

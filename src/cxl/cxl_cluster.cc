@@ -1,0 +1,60 @@
+#include "cxl/cxl_cluster.h"
+
+namespace polarcxl::cxl {
+
+CxlCluster::CxlCluster(Options options) {
+  POLAR_CHECK(options.num_pools > 0);
+  for (uint32_t p = 0; p < options.num_pools; p++) {
+    Pool pool;
+    CxlFabric::Options fo;
+    fo.switch_options = options.switch_options;
+    fo.latency = options.latency;
+    pool.fabric = std::make_unique<CxlFabric>(fo);
+    POLAR_CHECK(pool.fabric->AddDevice(options.device_bytes_per_pool).ok());
+    pool.manager =
+        std::make_unique<CxlMemoryManager>(pool.fabric->capacity());
+    pools_.push_back(std::move(pool));
+  }
+}
+
+Result<uint32_t> CxlCluster::AttachHost(NodeId node, bool remote_numa) {
+  Host host;
+  host.node = node;
+  for (Pool& pool : pools_) {
+    auto acc = pool.fabric->AttachHost(node, remote_numa);
+    if (!acc.ok()) return acc.status();
+    host.ports.push_back(*acc);
+  }
+  hosts_.push_back(std::move(host));
+  return static_cast<uint32_t>(hosts_.size() - 1);
+}
+
+Result<CxlCluster::Placement> CxlCluster::Allocate(sim::ExecContext& ctx,
+                                                   NodeId tenant,
+                                                   uint64_t bytes) {
+  // Least-loaded placement: the pool with the most free bytes.
+  uint32_t best = 0;
+  for (uint32_t p = 1; p < num_pools(); p++) {
+    if (pools_[p].manager->free_bytes() >
+        pools_[best].manager->free_bytes()) {
+      best = p;
+    }
+  }
+  auto offset = pools_[best].manager->Allocate(ctx, tenant, bytes);
+  if (!offset.ok()) return offset.status();
+  return Placement{best, *offset};
+}
+
+uint64_t CxlCluster::capacity() const {
+  uint64_t total = 0;
+  for (const Pool& pool : pools_) total += pool.manager->capacity();
+  return total;
+}
+
+uint64_t CxlCluster::free_bytes() const {
+  uint64_t total = 0;
+  for (const Pool& pool : pools_) total += pool.manager->free_bytes();
+  return total;
+}
+
+}  // namespace polarcxl::cxl

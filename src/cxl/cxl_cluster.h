@@ -1,0 +1,74 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// Multi-pool deployment (paper Figures 2 and 5): a rack hosts several CXL
+// switches, each fronting its own memory box; every switch+box pair is an
+// independent memory pool. Hosts attach one port per pool; tenants are
+// placed on a pool by policy. This is the paper's scalability story beyond
+// a single switch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "cxl/cxl_fabric.h"
+#include "cxl/cxl_memory_manager.h"
+
+namespace polarcxl::cxl {
+
+/// A rack of `num_pools` independent CXL pools. Each pool owns a fabric
+/// (switch + devices) and a memory manager; placement assigns tenants to
+/// pools least-loaded-first.
+class CxlCluster {
+ public:
+  struct Options {
+    uint32_t num_pools = 2;
+    uint64_t device_bytes_per_pool = 512ULL << 20;
+    CxlSwitch::Options switch_options;
+    const sim::LatencyModel* latency = nullptr;
+  };
+
+  explicit CxlCluster(Options options);
+  POLAR_DISALLOW_COPY(CxlCluster);
+
+  /// Attaches a host to every pool (one switch port each); returns the
+  /// host's accessor index (use `accessor(host, pool)`).
+  Result<uint32_t> AttachHost(NodeId node, bool remote_numa = false);
+
+  /// Placement: picks the pool with the most free bytes, allocates there.
+  struct Placement {
+    uint32_t pool = 0;
+    MemOffset offset = 0;
+  };
+  Result<Placement> Allocate(sim::ExecContext& ctx, NodeId tenant,
+                             uint64_t bytes);
+
+  uint32_t num_pools() const { return static_cast<uint32_t>(pools_.size()); }
+  CxlFabric& fabric(uint32_t pool) { return *pools_[pool].fabric; }
+  CxlMemoryManager& manager(uint32_t pool) { return *pools_[pool].manager; }
+  /// Accessor of `host` (by attach index) on `pool`.
+  CxlAccessor* accessor(uint32_t host, uint32_t pool) {
+    POLAR_CHECK(host < hosts_.size() && pool < pools_.size());
+    return hosts_[host].ports[pool];
+  }
+
+  /// Total and free capacity across pools.
+  uint64_t capacity() const;
+  uint64_t free_bytes() const;
+
+ private:
+  struct Pool {
+    std::unique_ptr<CxlFabric> fabric;
+    std::unique_ptr<CxlMemoryManager> manager;
+  };
+  struct Host {
+    NodeId node;
+    std::vector<CxlAccessor*> ports;  // one per pool
+  };
+
+  std::vector<Pool> pools_;
+  std::vector<Host> hosts_;
+};
+
+}  // namespace polarcxl::cxl

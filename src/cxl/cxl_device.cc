@@ -1,0 +1,5 @@
+#include "cxl/cxl_device.h"
+
+// Header-only implementation; TU anchors the target.
+
+namespace polarcxl::cxl {}

@@ -1,0 +1,48 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// A CXL Type-3 memory device (expander): owns real bytes. Devices live in
+// the memory box with its own power supply unit, so their contents survive
+// host crashes — the property PolarRecv builds on.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/types.h"
+
+namespace polarcxl::cxl {
+
+/// One memory expander module behind the switch (e.g., a DDR5 DIMM group
+/// fronted by a CXL memory controller).
+class CxlMemoryDevice {
+ public:
+  CxlMemoryDevice(uint32_t device_id, uint64_t capacity_bytes)
+      : device_id_(device_id), bytes_(capacity_bytes, 0) {}
+  POLAR_DISALLOW_COPY(CxlMemoryDevice);
+
+  uint32_t device_id() const { return device_id_; }
+  uint64_t capacity() const { return bytes_.size(); }
+
+  uint8_t* data() { return bytes_.data(); }
+  const uint8_t* data() const { return bytes_.data(); }
+
+  void Read(MemOffset offset, void* dst, uint64_t len) const {
+    POLAR_CHECK(offset + len <= bytes_.size());
+    std::memcpy(dst, bytes_.data() + offset, len);
+  }
+  void Write(MemOffset offset, const void* src, uint64_t len) {
+    POLAR_CHECK(offset + len <= bytes_.size());
+    std::memcpy(bytes_.data() + offset, src, len);
+  }
+
+  /// Simulates replacing the device: contents zeroed. (Host crashes never
+  /// call this; only explicit device failure tests do.)
+  void ClearForTest() { std::fill(bytes_.begin(), bytes_.end(), 0); }
+
+ private:
+  uint32_t device_id_;
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace polarcxl::cxl

@@ -1,0 +1,144 @@
+#include "cxl/cxl_fabric.h"
+
+#include <algorithm>
+
+namespace polarcxl::cxl {
+
+CxlFabric::CxlFabric(Options options)
+    : lat_(options.latency != nullptr ? *options.latency
+                                      : sim::LatencyModel{}),
+      switch_("cxl-switch", options.switch_options) {}
+
+Status CxlFabric::AddDevice(uint64_t capacity) {
+  auto port = switch_.BindPort(CxlSwitch::PortKind::kDevice);
+  if (!port.ok()) return port.status();
+  devices_.push_back(std::make_unique<CxlMemoryDevice>(
+      static_cast<uint32_t>(devices_.size()), capacity));
+  device_base_.push_back(capacity_);
+  capacity_ += capacity;
+  return Status::OK();
+}
+
+Result<CxlAccessor*> CxlFabric::AttachHost(NodeId node, bool remote_numa) {
+  auto port = switch_.BindPort(CxlSwitch::PortKind::kHost);
+  if (!port.ok()) return port.status();
+
+  sim::MemorySpace::Options mo;
+  mo.name = "cxl.host" + std::to_string(node);
+  mo.line_latency =
+      remote_numa ? lat_.line.cxl_switch_remote : lat_.line.cxl_switch_local;
+  mo.stream_read = lat_.cxl_stream_read;
+  mo.stream_write = lat_.cxl_stream_write;
+  mo.link = switch_.port_channel(*port);
+  mo.pool = switch_.fabric_channel();
+  mo.cacheable = true;
+  mo.clflush_line = lat_.cxl_clflush_line;
+  mo.invalidate_line = lat_.invalidate_line;
+
+  hosts_.push_back(std::make_unique<CxlAccessor>(
+      this, node, remote_numa, std::make_unique<sim::MemorySpace>(mo)));
+  return hosts_.back().get();
+}
+
+uint8_t* CxlFabric::Translate(MemOffset off) {
+  POLAR_CHECK_MSG(off < capacity_, "fabric offset out of range");
+  // Devices are laid out back-to-back; binary search the base table.
+  const auto it =
+      std::upper_bound(device_base_.begin(), device_base_.end(), off);
+  const size_t idx = static_cast<size_t>(it - device_base_.begin()) - 1;
+  return devices_[idx]->data() + (off - device_base_[idx]);
+}
+
+uint64_t CxlFabric::ContiguousAt(MemOffset off) const {
+  POLAR_CHECK(off < capacity_);
+  const auto it =
+      std::upper_bound(device_base_.begin(), device_base_.end(), off);
+  const size_t idx = static_cast<size_t>(it - device_base_.begin()) - 1;
+  return device_base_[idx] + devices_[idx]->capacity() - off;
+}
+
+void CxlFabric::CopyOut(MemOffset off, void* dst, uint64_t len) {
+  uint8_t* out = static_cast<uint8_t*>(dst);
+  while (len > 0) {
+    const uint64_t chunk = std::min(len, ContiguousAt(off));
+    std::memcpy(out, Translate(off), chunk);
+    off += chunk;
+    out += chunk;
+    len -= chunk;
+  }
+}
+
+void CxlFabric::CopyIn(MemOffset off, const void* src, uint64_t len) {
+  const uint8_t* in = static_cast<const uint8_t*>(src);
+  while (len > 0) {
+    const uint64_t chunk = std::min(len, ContiguousAt(off));
+    std::memcpy(Translate(off), in, chunk);
+    off += chunk;
+    in += chunk;
+    len -= chunk;
+  }
+}
+
+uint64_t CxlAccessor::PhysAddr(MemOffset off) const {
+  return CxlFabric::kPhysBase + off;
+}
+
+uint8_t* CxlAccessor::Raw(MemOffset off) { return fabric_->Translate(off); }
+
+void CxlAccessor::Load(sim::ExecContext& ctx, MemOffset off, void* dst,
+                       uint32_t len) {
+  space_->Touch(ctx, PhysAddr(off), len, /*write=*/false);
+  fabric_->CopyOut(off, dst, len);
+}
+
+void CxlAccessor::Store(sim::ExecContext& ctx, MemOffset off, const void* src,
+                        uint32_t len) {
+  space_->Touch(ctx, PhysAddr(off), len, /*write=*/true);
+  fabric_->CopyIn(off, src, len);
+}
+
+void CxlAccessor::StreamRead(sim::ExecContext& ctx, MemOffset off, void* dst,
+                             uint32_t len) {
+  space_->Stream(ctx, PhysAddr(off), len, /*write=*/false);
+  fabric_->CopyOut(off, dst, len);
+}
+
+void CxlAccessor::StreamWrite(sim::ExecContext& ctx, MemOffset off,
+                              const void* src, uint32_t len) {
+  space_->Stream(ctx, PhysAddr(off), len, /*write=*/true);
+  fabric_->CopyIn(off, src, len);
+}
+
+void CxlAccessor::LoadUncached(sim::ExecContext& ctx, MemOffset off,
+                               void* dst, uint32_t len) {
+  space_->TouchUncached(ctx, PhysAddr(off), len, /*write=*/false);
+  fabric_->CopyOut(off, dst, len);
+}
+
+void CxlAccessor::StoreUncached(sim::ExecContext& ctx, MemOffset off,
+                                const void* src, uint32_t len) {
+  space_->TouchUncached(ctx, PhysAddr(off), len, /*write=*/true);
+  fabric_->CopyIn(off, src, len);
+}
+
+uint32_t CxlAccessor::Flush(sim::ExecContext& ctx, MemOffset off,
+                            uint32_t len) {
+  return space_->Flush(ctx, PhysAddr(off), len);
+}
+
+void CxlAccessor::InvalidateCache(sim::ExecContext& ctx, MemOffset off,
+                                  uint32_t len) {
+  space_->Invalidate(ctx, PhysAddr(off), len);
+}
+
+void CxlAccessor::Touch(sim::ExecContext& ctx, MemOffset off, uint32_t len,
+                        bool write) {
+  space_->Touch(ctx, PhysAddr(off), len, write);
+}
+
+void CxlAccessor::StreamTouch(sim::ExecContext& ctx, MemOffset off,
+                              uint32_t len, bool write) {
+  space_->Stream(ctx, PhysAddr(off), len, write);
+}
+
+}  // namespace polarcxl::cxl

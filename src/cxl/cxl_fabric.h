@@ -1,0 +1,176 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// The assembled CXL-enabled cluster: a switch, the memory devices behind it,
+// and one access port per host. Hosts see a flat fabric address space
+// (devices interleaved back-to-back) and access it through a CxlAccessor,
+// which performs the real byte movement *and* charges virtual time.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "cxl/cxl_device.h"
+#include "cxl/cxl_switch.h"
+#include "sim/exec_context.h"
+#include "sim/latency_model.h"
+#include "sim/memory_space.h"
+
+namespace polarcxl::cxl {
+
+class CxlFabric;
+
+/// A host's window onto the fabric (the mmap'ed devdax region). Load/Store
+/// move real bytes and advance the lane clock through the host's
+/// MemorySpace; Raw() exposes the backing bytes for in-place structures
+/// (callers must still Touch() what they dereference).
+class CxlAccessor {
+ public:
+  CxlAccessor(CxlFabric* fabric, NodeId node, bool remote_numa,
+              std::unique_ptr<sim::MemorySpace> space)
+      : fabric_(fabric),
+        node_(node),
+        remote_numa_(remote_numa),
+        space_(std::move(space)) {}
+  POLAR_DISALLOW_COPY(CxlAccessor);
+
+  /// Cached load of `len` bytes at fabric offset `off` into `dst`.
+  void Load(sim::ExecContext& ctx, MemOffset off, void* dst, uint32_t len);
+  /// Cached store of `len` bytes from `src` to fabric offset `off`.
+  void Store(sim::ExecContext& ctx, MemOffset off, const void* src,
+             uint32_t len);
+
+  /// Typed helpers for fixed-layout metadata kept in CXL memory.
+  template <typename T>
+  T LoadPod(sim::ExecContext& ctx, MemOffset off) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    Load(ctx, off, &v, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void StorePod(sim::ExecContext& ctx, MemOffset off, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Store(ctx, off, &v, sizeof(T));
+  }
+
+  /// Streaming (uncached) bulk copy, e.g., loading a page image from disk
+  /// into CXL memory.
+  void StreamRead(sim::ExecContext& ctx, MemOffset off, void* dst,
+                  uint32_t len);
+  void StreamWrite(sim::ExecContext& ctx, MemOffset off, const void* src,
+                   uint32_t len);
+
+  /// clflush of [off, off+len): dirty lines are written back to the device,
+  /// all lines dropped from this host's CPU cache. Returns dirty count.
+  uint32_t Flush(sim::ExecContext& ctx, MemOffset off, uint32_t len);
+
+  /// Drops [off, off+len) from this host's CPU cache so the next access
+  /// fetches the latest bytes from the device.
+  void InvalidateCache(sim::ExecContext& ctx, MemOffset off, uint32_t len);
+
+  /// Charge the cost of touching the range without moving bytes (for
+  /// in-place access through Raw()).
+  void Touch(sim::ExecContext& ctx, MemOffset off, uint32_t len, bool write);
+
+  /// Charge a streaming transfer without moving bytes (callers that already
+  /// copied data in place, e.g., a page image loaded from storage).
+  void StreamTouch(sim::ExecContext& ctx, MemOffset off, uint32_t len,
+                   bool write);
+
+  /// Uncached (non-temporal) accesses: always hit the device. Coherency
+  /// flags are accessed this way because another host may rewrite them
+  /// behind this host's CPU cache.
+  void LoadUncached(sim::ExecContext& ctx, MemOffset off, void* dst,
+                    uint32_t len);
+  void StoreUncached(sim::ExecContext& ctx, MemOffset off, const void* src,
+                     uint32_t len);
+  template <typename T>
+  T LoadUncachedPod(sim::ExecContext& ctx, MemOffset off) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    LoadUncached(ctx, off, &v, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void StoreUncachedPod(sim::ExecContext& ctx, MemOffset off, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    StoreUncached(ctx, off, &v, sizeof(T));
+  }
+
+  /// Direct pointer to the device bytes backing `off`.
+  uint8_t* Raw(MemOffset off);
+
+  sim::MemorySpace* space() { return space_.get(); }
+  NodeId node() const { return node_; }
+
+  /// Simulated physical address of fabric offset `off` in this host's
+  /// address map (used as CPU-cache key; identical across hosts so that a
+  /// page has one cache footprint per host cache).
+  uint64_t PhysAddr(MemOffset off) const;
+
+ private:
+  CxlFabric* fabric_;
+  NodeId node_;
+  bool remote_numa_;
+  std::unique_ptr<sim::MemorySpace> space_;
+};
+
+/// The cluster: switch + devices + host ports. Owns the devices, whose
+/// contents survive host crashes (independent power domain).
+class CxlFabric {
+ public:
+  struct Options {
+    CxlSwitch::Options switch_options;
+    const sim::LatencyModel* latency = nullptr;  // defaults if null
+  };
+
+  CxlFabric() : CxlFabric(Options()) {}
+  explicit CxlFabric(Options options);
+  POLAR_DISALLOW_COPY(CxlFabric);
+
+  /// Adds a memory device of `capacity` bytes behind the switch.
+  Status AddDevice(uint64_t capacity);
+
+  /// Attaches a host and returns its accessor. `remote_numa` models a CPU
+  /// socket not directly wired to the switch (Table 1's "Remote" column).
+  Result<CxlAccessor*> AttachHost(NodeId node, bool remote_numa = false);
+
+  /// Total pooled capacity.
+  uint64_t capacity() const { return capacity_; }
+
+  /// Resolve a fabric offset to its backing device bytes. The returned
+  /// pointer is only valid up to the end of the backing device; use
+  /// CopyOut/CopyIn for ranges that may span devices.
+  uint8_t* Translate(MemOffset off);
+
+  /// Device-boundary-safe bulk copies.
+  void CopyOut(MemOffset off, void* dst, uint64_t len);
+  void CopyIn(MemOffset off, const void* src, uint64_t len);
+
+  /// Bytes remaining in the device backing `off`.
+  uint64_t ContiguousAt(MemOffset off) const;
+
+  CxlSwitch& cxl_switch() { return switch_; }
+  const sim::LatencyModel& latency() const { return lat_; }
+  size_t num_devices() const { return devices_.size(); }
+  size_t num_hosts() const { return hosts_.size(); }
+  CxlAccessor* host(size_t i) { return hosts_[i].get(); }
+
+  /// Simulated physical address base of the fabric window.
+  static constexpr uint64_t kPhysBase = 1ULL << 40;
+
+ private:
+  sim::LatencyModel lat_;
+  CxlSwitch switch_;
+  std::vector<std::unique_ptr<CxlMemoryDevice>> devices_;
+  std::vector<uint64_t> device_base_;  // fabric offset of each device
+  uint64_t capacity_ = 0;
+  std::vector<std::unique_ptr<CxlAccessor>> hosts_;
+};
+
+}  // namespace polarcxl::cxl

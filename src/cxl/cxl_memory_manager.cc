@@ -1,0 +1,76 @@
+#include "cxl/cxl_memory_manager.h"
+
+namespace polarcxl::cxl {
+
+namespace {
+uint64_t AlignUp(uint64_t v, uint64_t a) { return (v + a - 1) / a * a; }
+}  // namespace
+
+CxlMemoryManager::CxlMemoryManager(uint64_t capacity, Nanos rpc_round_trip)
+    : capacity_(capacity), rpc_round_trip_(rpc_round_trip) {}
+
+Result<MemOffset> CxlMemoryManager::Allocate(sim::ExecContext& ctx,
+                                             NodeId client, uint64_t size) {
+  ctx.Advance(rpc_round_trip_);
+  if (size == 0) return Status::InvalidArgument("zero-size allocation");
+  size = AlignUp(size, kPageSize);
+
+  // First fit: scan gaps between existing regions.
+  MemOffset cursor = 0;
+  for (const auto& [off, region] : regions_) {
+    if (off - cursor >= size) break;
+    cursor = off + region.size;
+  }
+  if (cursor + size > capacity_) {
+    return Status::OutOfMemory("CXL pool exhausted");
+  }
+  regions_[cursor] = Region{client, cursor, size};
+  allocated_ += size;
+  return cursor;
+}
+
+Status CxlMemoryManager::Release(sim::ExecContext& ctx, NodeId client,
+                                 MemOffset offset) {
+  ctx.Advance(rpc_round_trip_);
+  auto it = regions_.find(offset);
+  if (it == regions_.end()) return Status::NotFound("no region at offset");
+  if (it->second.client_id != client) {
+    return Status::InvalidArgument("region owned by another tenant");
+  }
+  allocated_ -= it->second.size;
+  regions_.erase(it);
+  return Status::OK();
+}
+
+void CxlMemoryManager::ReleaseAll(sim::ExecContext& ctx, NodeId client) {
+  ctx.Advance(rpc_round_trip_);
+  for (auto it = regions_.begin(); it != regions_.end();) {
+    if (it->second.client_id == client) {
+      allocated_ -= it->second.size;
+      it = regions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool CxlMemoryManager::Owns(NodeId client, MemOffset offset,
+                            uint64_t len) const {
+  auto it = regions_.upper_bound(offset);
+  if (it == regions_.begin()) return false;
+  --it;
+  const Region& r = it->second;
+  return r.client_id == client && offset >= r.offset &&
+         offset + len <= r.offset + r.size;
+}
+
+std::vector<CxlMemoryManager::Region> CxlMemoryManager::RegionsOf(
+    NodeId client) const {
+  std::vector<Region> out;
+  for (const auto& [off, region] : regions_) {
+    if (region.client_id == client) out.push_back(region);
+  }
+  return out;
+}
+
+}  // namespace polarcxl::cxl

@@ -1,0 +1,26 @@
+#include "cxl/cxl_switch.h"
+
+namespace polarcxl::cxl {
+
+CxlSwitch::CxlSwitch(std::string name, Options options)
+    : name_(std::move(name)),
+      opt_(options),
+      fabric_channel_(name_ + ".fabric", opt_.switching_capacity_bps) {
+  POLAR_CHECK(opt_.lanes_per_port > 0 &&
+              opt_.total_lanes >= opt_.lanes_per_port);
+}
+
+Result<uint32_t> CxlSwitch::BindPort(PortKind kind) {
+  if (num_ports() >= max_ports()) {
+    return Status::OutOfMemory("no free switch ports on " + name_);
+  }
+  const uint32_t idx = num_ports();
+  Port port;
+  port.kind = kind;
+  port.channel = std::make_unique<sim::BandwidthChannel>(
+      name_ + ".port" + std::to_string(idx), opt_.port_bps);
+  ports_.push_back(std::move(port));
+  return idx;
+}
+
+}  // namespace polarcxl::cxl

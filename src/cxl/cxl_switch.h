@@ -1,0 +1,70 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// CXL 2.0 switch model (XConn XC50256-style): port bookkeeping plus the
+// shared switching-capacity channel all traffic through the switch rides on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/bandwidth_channel.h"
+
+namespace polarcxl::cxl {
+
+/// Port and capacity model of one CXL switch. The XC50256 supports 256
+/// lanes; with x16 links that is 16 ports shared between hosts and memory
+/// devices, and 2 TB/s of total switching capacity.
+class CxlSwitch {
+ public:
+  struct Options {
+    uint32_t total_lanes = 256;
+    uint32_t lanes_per_port = 16;
+    /// Aggregate switching capacity (bytes/sec).
+    uint64_t switching_capacity_bps = 2ULL * 1000 * 1000 * 1000 * 1000;
+    /// Per-x16-port usable bandwidth (PCIe 5.0).
+    uint64_t port_bps = 56ULL * 1000 * 1000 * 1000;
+    /// Extra one-way latency the switch adds to a line access. Table 1:
+    /// 549 ns (switch) - 265 ns (direct) = 284 ns.
+    Nanos traversal_latency = 284;
+  };
+
+  explicit CxlSwitch(std::string name) : CxlSwitch(std::move(name), Options()) {}
+  CxlSwitch(std::string name, Options options);
+  POLAR_DISALLOW_COPY(CxlSwitch);
+
+  enum class PortKind { kHost, kDevice };
+
+  /// Binds the next free port. Returns the port index, or an error when all
+  /// lanes are in use.
+  Result<uint32_t> BindPort(PortKind kind);
+
+  /// Per-port link channel (each port has its own lanes).
+  sim::BandwidthChannel* port_channel(uint32_t port) {
+    POLAR_CHECK(port < ports_.size());
+    return ports_[port].channel.get();
+  }
+  /// The shared switching fabric channel.
+  sim::BandwidthChannel* fabric_channel() { return &fabric_channel_; }
+
+  Nanos traversal_latency() const { return opt_.traversal_latency; }
+  uint32_t num_ports() const { return static_cast<uint32_t>(ports_.size()); }
+  uint32_t max_ports() const { return opt_.total_lanes / opt_.lanes_per_port; }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Port {
+    PortKind kind;
+    std::unique_ptr<sim::BandwidthChannel> channel;
+  };
+
+  std::string name_;
+  Options opt_;
+  std::vector<Port> ports_;
+  sim::BandwidthChannel fabric_channel_;
+};
+
+}  // namespace polarcxl::cxl

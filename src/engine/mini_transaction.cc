@@ -1,0 +1,170 @@
+#include "engine/mini_transaction.h"
+
+#include <algorithm>
+
+namespace polarcxl::engine {
+
+namespace {
+// Charge for a sorted insert/erase: the entry itself plus a slot-directory
+// shuffle. Real slotted pages move a few bytes of directory, not half the
+// page, so the shift is modelled as a small constant region.
+constexpr uint32_t kShiftChargeBytes = 128;
+}  // namespace
+
+MiniTransaction::MiniTransaction(sim::ExecContext& ctx,
+                                 bufferpool::BufferPool* pool,
+                                 storage::RedoLog* log)
+    : ctx_(ctx), pool_(pool), log_(log), mtr_id_(log->NewMtrId()) {}
+
+MiniTransaction::~MiniTransaction() {
+  POLAR_CHECK_MSG(committed_, "mtr destroyed without Commit()");
+}
+
+Result<MiniTransaction::Handle*> MiniTransaction::GetPage(PageId page_id,
+                                                          bool for_write) {
+  for (Handle& h : handles_) {
+    if (h.id == page_id) {
+      if (for_write && !h.write_fixed) {
+        pool_->UpgradeToWrite(ctx_, h.ref, page_id);
+        h.write_fixed = true;
+      }
+      return &h;
+    }
+  }
+  auto ref = pool_->Fetch(ctx_, page_id, for_write);
+  if (!ref.ok()) return ref.status();
+  handles_.push_back(Handle{page_id, *ref, for_write, false, 0});
+  return &handles_.back();
+}
+
+void MiniTransaction::ChargeRead(Handle* h, uint32_t off, uint32_t len) {
+  pool_->TouchRange(ctx_, h->ref, off, len, /*write=*/false);
+}
+
+void MiniTransaction::ReleaseEarly(Handle* h) {
+  POLAR_CHECK_MSG(!h->dirty && !h->write_fixed,
+                  "early release is only for clean read fixes");
+  pool_->Unfix(ctx_, h->ref, h->id, /*dirty=*/false, 0);
+  h->id = kInvalidPageId;  // dedup and Commit() skip released handles
+  h->ref = bufferpool::PageRef{};
+}
+
+storage::RedoRecord& MiniTransaction::NewRecord(Handle* h,
+                                                storage::RedoKind kind) {
+  POLAR_CHECK_MSG(h->write_fixed, "logged write on a read-fixed page");
+  storage::RedoRecord rec;
+  rec.page_id = h->id;
+  rec.kind = kind;
+  rec.mtr_id = mtr_id_;
+  rec.txn_id = ctx_.txn_id;
+  records_.push_back(std::move(rec));
+  // Deque storage is not contiguous; locate the handle's index by identity.
+  size_t idx = handles_.size();
+  for (size_t i = 0; i < handles_.size(); i++) {
+    if (&handles_[i] == h) {
+      idx = i;
+      break;
+    }
+  }
+  POLAR_CHECK(idx < handles_.size());
+  record_handle_.push_back(idx);
+  h->dirty = true;
+  return records_.back();
+}
+
+void MiniTransaction::WriteRaw(Handle* h, uint32_t off, const void* src,
+                               uint32_t len) {
+  POLAR_CHECK(off + len <= kPageSize);
+  std::memcpy(h->ref.data + off, src, len);
+  pool_->TouchRange(ctx_, h->ref, off, len, /*write=*/true);
+  storage::RedoRecord& rec = NewRecord(h, storage::RedoKind::kRaw);
+  rec.page_off = static_cast<uint16_t>(off);
+  rec.len = static_cast<uint16_t>(len);
+  rec.data.assign(static_cast<const uint8_t*>(src),
+                  static_cast<const uint8_t*>(src) + len);
+}
+
+void MiniTransaction::FormatPage(Handle* h, uint8_t level,
+                                 uint16_t value_size) {
+  PageView page(h->ref.data);
+  page.Format(h->id, level, value_size);
+  pool_->TouchRange(ctx_, h->ref, 0, kPageHeaderSize, /*write=*/true);
+  storage::RedoRecord& rec = NewRecord(h, storage::RedoKind::kFormat);
+  rec.data.resize(3);
+  rec.data[0] = level;
+  std::memcpy(rec.data.data() + 1, &value_size, sizeof(value_size));
+  rec.len = 3;
+}
+
+void MiniTransaction::InsertEntry(Handle* h, uint64_t key,
+                                  const uint8_t* value) {
+  PageView page(h->ref.data);
+  std::vector<uint32_t> probes;
+  const uint16_t index = page.LowerBound(key, &probes);
+  for (uint32_t off : probes) ChargeRead(h, off, kKeySize);
+  page.InsertEntryRaw(index, key, value);
+  const uint32_t entry_bytes = page.entry_size();
+  pool_->TouchRange(ctx_, h->ref, page.EntryOffset(index),
+                    std::min(entry_bytes + kShiftChargeBytes,
+                             kPageSize - page.EntryOffset(index)),
+                    /*write=*/true);
+  storage::RedoRecord& rec = NewRecord(h, storage::RedoKind::kInsertEntry);
+  rec.data.resize(kKeySize + page.value_size());
+  std::memcpy(rec.data.data(), &key, kKeySize);
+  std::memcpy(rec.data.data() + kKeySize, value, page.value_size());
+  rec.len = static_cast<uint16_t>(rec.data.size());
+}
+
+bool MiniTransaction::EraseEntry(Handle* h, uint64_t key) {
+  PageView page(h->ref.data);
+  std::vector<uint32_t> probes;
+  uint16_t index;
+  const bool found = page.Find(key, &index, &probes);
+  for (uint32_t off : probes) ChargeRead(h, off, kKeySize);
+  if (!found) return false;
+  page.EraseEntryRaw(index);
+  pool_->TouchRange(ctx_, h->ref, page.EntryOffset(index),
+                    std::min(page.entry_size() + kShiftChargeBytes,
+                             kPageSize - page.EntryOffset(index)),
+                    /*write=*/true);
+  storage::RedoRecord& rec = NewRecord(h, storage::RedoKind::kEraseEntry);
+  rec.data.resize(kKeySize);
+  std::memcpy(rec.data.data(), &key, kKeySize);
+  rec.len = kKeySize;
+  return true;
+}
+
+Lsn MiniTransaction::Commit() {
+  POLAR_CHECK(!committed_);
+  committed_ = true;
+
+  Lsn end = 0;
+  if (!records_.empty()) {
+    // Compute per-record end LSNs before handing the batch to the log.
+    Lsn cursor = log_->current_lsn();
+    for (size_t i = 0; i < records_.size(); i++) {
+      cursor += records_[i].SizeBytes();
+      Handle& h = handles_[record_handle_[i]];
+      h.last_lsn = cursor;
+    }
+    end = log_->AppendMtr(std::move(records_));
+    POLAR_CHECK(end == cursor);
+  }
+
+  for (Handle& h : handles_) {
+    if (h.id == kInvalidPageId) continue;  // released early
+    if (h.dirty) {
+      // Stamp the page LSN (recovery replay reproduces this same value).
+      PageView page(h.ref.data);
+      page.set_lsn(h.last_lsn);
+      pool_->TouchRange(ctx_, h.ref, PageOffsets::kLsn, 8, /*write=*/true);
+    }
+    pool_->Unfix(ctx_, h.ref, h.id, h.dirty, h.last_lsn);
+  }
+  handles_.clear();
+  records_.clear();
+  record_handle_.clear();
+  return end;
+}
+
+}  // namespace polarcxl::engine

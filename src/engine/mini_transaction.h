@@ -1,0 +1,77 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// Mini-transactions (InnoDB-style mtr): the unit of page-level atomicity.
+// An mtr write-fixes every page it modifies (two-phase: locks held until
+// commit — which is what lets PolarRecv identify pages torn by a crash
+// mid-SMO), accumulates redo records, and on commit appends them to the log
+// atomically, stamps page LSNs, and releases the fixes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "bufferpool/buffer_pool.h"
+#include "common/status.h"
+#include "engine/page.h"
+#include "sim/exec_context.h"
+#include "storage/redo_log.h"
+
+namespace polarcxl::engine {
+
+class MiniTransaction {
+ public:
+  struct Handle {
+    PageId id = kInvalidPageId;
+    bufferpool::PageRef ref;
+    bool write_fixed = false;
+    bool dirty = false;
+    Lsn last_lsn = 0;  // end LSN of the newest record touching this page
+  };
+
+  MiniTransaction(sim::ExecContext& ctx, bufferpool::BufferPool* pool,
+                  storage::RedoLog* log);
+  ~MiniTransaction();
+  POLAR_DISALLOW_COPY(MiniTransaction);
+
+  /// Fixes a page in this mtr (idempotent per page; a later for_write
+  /// upgrades the fix mode for accounting purposes).
+  Result<Handle*> GetPage(PageId page_id, bool for_write);
+
+  PageView View(Handle* h) { return PageView(h->ref.data); }
+
+  /// Charges a read of [off, off+len) of the page.
+  void ChargeRead(Handle* h, uint32_t off, uint32_t len);
+
+  /// Latch crabbing: releases a clean read fix before commit (interior
+  /// nodes during a descent). The handle must not be used afterwards.
+  void ReleaseEarly(Handle* h);
+
+  // --- logged mutations (mutate the frame AND emit redo) ---
+  void WriteRaw(Handle* h, uint32_t off, const void* src, uint32_t len);
+  void FormatPage(Handle* h, uint8_t level, uint16_t value_size);
+  void InsertEntry(Handle* h, uint64_t key, const uint8_t* value);
+  /// Returns false if the key was absent (nothing logged).
+  bool EraseEntry(Handle* h, uint64_t key);
+
+  /// Appends the redo batch, stamps page LSNs, unfixes everything.
+  /// Returns the mtr's end LSN (0 if the mtr made no writes).
+  Lsn Commit();
+
+  sim::ExecContext& ctx() { return ctx_; }
+  size_t num_records() const { return records_.size(); }
+  bool committed() const { return committed_; }
+
+ private:
+  storage::RedoRecord& NewRecord(Handle* h, storage::RedoKind kind);
+
+  sim::ExecContext& ctx_;
+  bufferpool::BufferPool* pool_;
+  storage::RedoLog* log_;
+  uint64_t mtr_id_;
+  std::deque<Handle> handles_;  // deque: Handle* stays stable across growth
+  std::vector<storage::RedoRecord> records_;
+  std::vector<size_t> record_handle_;  // records_[i] touches handles_[record_handle_[i]]
+  bool committed_ = false;
+};
+
+}  // namespace polarcxl::engine

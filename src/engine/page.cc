@@ -1,0 +1,73 @@
+#include "engine/page.h"
+
+#include <vector>
+
+namespace polarcxl::engine {
+
+void PageView::Format(PageId id, uint8_t level, uint16_t value_size) {
+  std::memset(d_, 0, kPageHeaderSize);
+  set_magic(kPageMagic);
+  set_page_id(id);
+  set_level(level);
+  set_nkeys(0);
+  set_next_leaf(kInvalidPageId);
+  set_value_size(value_size);
+}
+
+uint16_t PageView::LowerBound(uint64_t key,
+                              std::vector<uint32_t>* probes) const {
+  uint32_t lo = 0;
+  uint32_t hi = nkeys();
+  while (lo < hi) {
+    const uint32_t mid = (lo + hi) / 2;
+    const uint32_t off = EntryOffset(mid);
+    if (probes != nullptr) probes->push_back(off);
+    if (Load64(off) < key) lo = mid + 1;
+    else hi = mid;
+  }
+  return static_cast<uint16_t>(lo);
+}
+
+bool PageView::Find(uint64_t key, uint16_t* index,
+                    std::vector<uint32_t>* probes) const {
+  const uint16_t i = LowerBound(key, probes);
+  if (i < nkeys() && KeyAt(i) == key) {
+    *index = i;
+    return true;
+  }
+  return false;
+}
+
+uint16_t PageView::ChildIndexFor(uint64_t key,
+                                 std::vector<uint32_t>* probes) const {
+  POLAR_CHECK(!is_leaf());
+  POLAR_CHECK(nkeys() > 0);
+  const uint16_t i = LowerBound(key, probes);
+  if (i < nkeys() && KeyAt(i) == key) return i;
+  // First entry acts as -infinity: keys below it route to child 0.
+  return i == 0 ? 0 : static_cast<uint16_t>(i - 1);
+}
+
+void PageView::InsertEntryRaw(uint16_t index, uint64_t key,
+                              const uint8_t* value) {
+  const uint16_t n = nkeys();
+  POLAR_CHECK(n < Capacity());
+  POLAR_CHECK(index <= n);
+  const uint32_t es = entry_size();
+  uint8_t* at = d_ + EntryOffset(index);
+  std::memmove(at + es, at, static_cast<size_t>(n - index) * es);
+  std::memcpy(at, &key, kKeySize);
+  std::memcpy(at + kKeySize, value, value_size());
+  set_nkeys(static_cast<uint16_t>(n + 1));
+}
+
+void PageView::EraseEntryRaw(uint16_t index) {
+  const uint16_t n = nkeys();
+  POLAR_CHECK(index < n);
+  const uint32_t es = entry_size();
+  uint8_t* at = d_ + EntryOffset(index);
+  std::memmove(at, at + es, static_cast<size_t>(n - index - 1) * es);
+  set_nkeys(static_cast<uint16_t>(n - 1));
+}
+
+}  // namespace polarcxl::engine

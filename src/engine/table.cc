@@ -1,0 +1,5 @@
+#include "engine/table.h"
+
+// Header-only implementation; TU anchors the target.
+
+namespace polarcxl::engine {}

@@ -1,0 +1,204 @@
+#include "harness/instance_driver.h"
+
+#include <algorithm>
+
+#include "bufferpool/tiered_rdma_buffer_pool.h"
+#include "cxl/cxl_memory_manager.h"
+#include "rdma/remote_memory_pool.h"
+#include "storage/disk.h"
+
+namespace polarcxl::harness {
+
+namespace {
+constexpr NodeId kHostNode = 0;          // all instances share this NIC
+constexpr NodeId kMemoryServerNode = 100;
+
+/// One database instance with its private durable namespace on the shared
+/// PolarFS-like volume.
+struct Instance {
+  std::unique_ptr<storage::PageStore> store;
+  std::unique_ptr<storage::RedoLog> log;
+  std::unique_ptr<engine::Database> db;
+};
+}  // namespace
+
+uint64_t SysbenchDatasetPages(const workload::SysbenchConfig& config) {
+  const uint64_t entry = 8 + config.row_size;
+  const uint64_t per_leaf = (kPageSize - 64) / entry;
+  // Leaves (with split slack) + internal nodes + catalog margin.
+  const uint64_t leaves_per_table =
+      config.rows_per_table * 2 / per_leaf + 2;  // half-full after splits
+  return config.TotalTables() * (leaves_per_table + 4) + 64;
+}
+
+PoolingResult RunPooling(const PoolingConfig& config) {
+  using engine::BufferPoolKind;
+
+  const uint64_t dataset_pages = SysbenchDatasetPages(config.sysbench);
+  const uint64_t pool_pages =
+      config.kind == BufferPoolKind::kTieredRdma
+          ? std::max<uint64_t>(
+                64, static_cast<uint64_t>(static_cast<double>(dataset_pages) *
+                                          config.lbp_fraction))
+          : dataset_pages;
+
+  // ---- shared host infrastructure ----
+  sim::BandwidthModel bw;
+  cxl::CxlFabric fabric;
+  const uint64_t fabric_bytes =
+      (bufferpool::CxlBufferPool::RegionBytes(dataset_pages) + (16 << 20)) *
+      config.instances;
+  POLAR_CHECK(fabric.AddDevice((fabric_bytes + kPageSize) / kPageSize *
+                               kPageSize)
+                  .ok());
+  auto host_acc = fabric.AttachHost(kHostNode);
+  POLAR_CHECK(host_acc.ok());
+  cxl::CxlMemoryManager manager(fabric.capacity());
+
+  rdma::RdmaNetwork net;
+  net.RegisterHost(kHostNode);
+  // Disaggregated-memory servers have aggregate bandwidth well above one
+  // client NIC (multiple memory nodes); the client-side NIC is the paper's
+  // bottleneck.
+  rdma::RdmaNic::Options server_nic;
+  server_nic.bandwidth_bps = 4 * bw.rdma_nic_bps;
+  server_nic.iops = 4 * 8ULL * 1000 * 1000;
+  net.RegisterHost(kMemoryServerNode, server_nic);
+  rdma::RemoteMemoryPool remote(&net, kMemoryServerNode,
+                                dataset_pages * config.instances + 1024);
+
+  sim::BandwidthChannel client_net("client", bw.client_net_bps);
+
+  // All instances share one PolarFS-like storage volume: per the paper's
+  // deployment, and the source of the WAL-persistency ceiling at high
+  // instance counts (Figure 3).
+  storage::SimDisk::Options disk_opt;
+  disk_opt.bandwidth_bps = 8ULL * 1000 * 1000 * 1000;
+  disk_opt.iops = 150'000;
+  storage::SimDisk shared_disk("polarfs", disk_opt);
+
+  // ---- instances ----
+  std::vector<Instance> instances(config.instances);
+  Nanos setup_end = 0;
+  sim::Executor executor;
+  std::vector<std::unique_ptr<workload::SysbenchWorkload>> lanes_wl;
+
+  for (uint32_t i = 0; i < config.instances; i++) {
+    Instance& inst = instances[i];
+    inst.store = std::make_unique<storage::PageStore>(&shared_disk);
+    inst.log = std::make_unique<storage::RedoLog>(&shared_disk);
+
+    engine::DatabaseEnv env;
+    env.store = inst.store.get();
+    env.log = inst.log.get();
+    env.cxl = *host_acc;
+    env.cxl_manager = &manager;
+    env.remote = &remote;
+
+    engine::DatabaseOptions opt;
+    opt.node = i + 1;  // tenant id (0 is the host NIC identity)
+    opt.rdma_host_node = kHostNode;
+    opt.pool_kind = config.kind;
+    opt.pool_pages = pool_pages;
+    opt.cpu_cache_bytes = config.cpu_cache_bytes;
+    opt.group_commit_window = config.group_commit_window;
+
+    sim::ExecContext setup_ctx;
+    auto db = engine::Database::Create(setup_ctx, env, opt);
+    POLAR_CHECK(db.ok());
+    inst.db = std::move(*db);
+    setup_ctx.cache = inst.db->cache();
+    POLAR_CHECK(
+        workload::LoadSysbenchTables(setup_ctx, inst.db.get(), config.sysbench)
+            .ok());
+    setup_end = std::max(setup_end, setup_ctx.now);
+  }
+
+  // ---- lanes ----
+  struct LaneState {
+    workload::SysbenchWorkload* wl;
+    RunMetrics* metrics;
+    Nanos window_start = -1;
+    Nanos window_end = -1;
+  };
+  RunMetrics metrics;
+  std::vector<std::unique_ptr<LaneState>> lane_states;
+
+  for (uint32_t i = 0; i < config.instances; i++) {
+    for (uint32_t l = 0; l < config.lanes_per_instance; l++) {
+      lanes_wl.push_back(std::make_unique<workload::SysbenchWorkload>(
+          instances[i].db.get(), config.sysbench, 0,
+          config.seed + i * 1000 + l, &client_net));
+      auto state = std::make_unique<LaneState>();
+      state->wl = lanes_wl.back().get();
+      state->metrics = &metrics;
+      LaneState* raw = state.get();
+      lane_states.push_back(std::move(state));
+      const workload::SysbenchOp op = config.op;
+      executor.AddLane(
+          [raw, op](sim::ExecContext& ctx) {
+            const Nanos start = ctx.now;
+            const uint32_t queries = raw->wl->RunEvent(ctx, op);
+            if (raw->window_start >= 0 && start >= raw->window_start &&
+                ctx.now <= raw->window_end) {
+              raw->metrics->queries += queries;
+              raw->metrics->events++;
+              raw->metrics->latency.Add(ctx.now - start);
+            }
+            return true;
+          },
+          i, instances[i].db->cache(), setup_end);
+    }
+  }
+
+  // ---- warm up, then measure ----
+  executor.RunUntil(setup_end + config.warmup);
+  const Nanos t0 = executor.MinClock(setup_end + config.warmup);
+  const Nanos t1 = t0 + config.measure;
+  for (auto& state : lane_states) {
+    state->window_start = t0;
+    state->window_end = t1;
+  }
+
+  sim::BandwidthChannel* nic_wire = &net.nic(kHostNode)->wire();
+  // Port 0 is the memory device (bound by AddDevice); port 1 is the host.
+  sim::BandwidthChannel* cxl_port = fabric.cxl_switch().port_channel(1);
+  BandwidthProbe nic_probe{nic_wire->total_bytes(), 0};
+  BandwidthProbe cxl_probe{cxl_port->total_bytes(), 0};
+
+  executor.RunUntil(t1);
+
+  nic_probe.after = nic_wire->total_bytes();
+  cxl_probe.after = cxl_port->total_bytes();
+
+  PoolingResult result;
+  metrics.window = config.measure;
+  result.metrics = metrics;
+  result.nic_gbps = nic_probe.Gbps(config.measure);
+  result.cxl_gbps = cxl_probe.Gbps(config.measure);
+  result.interconnect_gbps =
+      config.kind == engine::BufferPoolKind::kTieredRdma ? result.nic_gbps
+                                                         : result.cxl_gbps;
+  uint64_t dram_bytes = 0;
+  double hit_rate = 0;
+  for (auto& inst : instances) {
+    dram_bytes += inst.db->pool()->local_dram_bytes();
+    hit_rate += inst.db->pool()->stats().HitRate();
+  }
+  result.local_dram_bytes = dram_bytes;
+  result.lbp_hit_rate = hit_rate / config.instances;
+  for (size_t l = 0; l < executor.num_lanes(); l++) {
+    const sim::ExecContext& lane = executor.context(static_cast<uint32_t>(l));
+    result.line_hits += lane.mem_line_hits;
+    result.line_misses += lane.mem_line_misses;
+    result.pages_read_io += lane.pages_read_io;
+    result.breakdown.total += lane.now - setup_end;
+    result.breakdown.mem += lane.t_mem;
+    result.breakdown.io += lane.t_io;
+    result.breakdown.net += lane.t_net;
+    result.breakdown.lock += lane.t_lock;
+  }
+  return result;
+}
+
+}  // namespace polarcxl::harness

@@ -1,0 +1,5 @@
+#include "harness/metrics.h"
+
+// Header-only implementation; TU anchors the target.
+
+namespace polarcxl::harness {}

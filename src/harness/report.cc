@@ -1,0 +1,78 @@
+#include "harness/report.h"
+
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace polarcxl::harness {
+
+ReportTable::ReportTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void ReportTable::AddRow(std::vector<std::string> cells) {
+  POLAR_CHECK(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void ReportTable::Print() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); c++) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); c++) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::printf("\n== %s ==\n", title_.c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); c++) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(columns_);
+  std::string rule;
+  for (size_t c = 0; c < columns_.size(); c++) {
+    rule.append(widths[c], '-');
+    rule.append("  ");
+  }
+  std::printf("%s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Fmt(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string FmtK(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1fK", v / 1000.0);
+  return buf;
+}
+
+std::string FmtGbps(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2fGB/s", v);
+  return buf;
+}
+
+std::string FmtPct(double frac) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", frac * 100.0);
+  return buf;
+}
+
+std::string FmtUs(double ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1000.0);
+  return buf;
+}
+
+std::string FmtSecs(double ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  return buf;
+}
+
+}  // namespace polarcxl::harness

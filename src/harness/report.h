@@ -1,0 +1,34 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// Plain-text table/series printers for the benchmark binaries, so every
+// bench emits the same rows/series its paper figure reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace polarcxl::harness {
+
+/// Fixed-width aligned table, printed to stdout.
+class ReportTable {
+ public:
+  ReportTable(std::string title, std::vector<std::string> columns);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Number formatting helpers.
+std::string Fmt(double v, int digits = 2);
+std::string FmtK(double v);        // 1234567 -> "1234.6K"
+std::string FmtGbps(double v);     // bandwidth in GB/s
+std::string FmtPct(double frac);   // 0.62 -> "62%"
+std::string FmtUs(double ns);      // nanoseconds -> "12.3us"
+std::string FmtSecs(double ns);    // nanoseconds -> "1.25s"
+
+}  // namespace polarcxl::harness

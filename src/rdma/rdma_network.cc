@@ -1,0 +1,80 @@
+#include "rdma/rdma_network.h"
+
+#include <algorithm>
+
+namespace polarcxl::rdma {
+
+RdmaNetwork::RdmaNetwork(const sim::LatencyModel* latency)
+    : lat_(latency != nullptr ? *latency : sim::LatencyModel{}) {}
+
+RdmaNic* RdmaNetwork::RegisterHost(NodeId node, RdmaNic::Options options) {
+  auto it = nics_.find(node);
+  if (it != nics_.end()) return it->second.get();
+  auto nic =
+      std::make_unique<RdmaNic>("nic" + std::to_string(node), options);
+  RdmaNic* raw = nic.get();
+  nics_[node] = std::move(nic);
+  return raw;
+}
+
+RdmaNic* RdmaNetwork::nic(NodeId node) {
+  auto it = nics_.find(node);
+  POLAR_CHECK_MSG(it != nics_.end(), "node has no registered NIC");
+  return it->second.get();
+}
+
+Nanos RdmaNetwork::OneSided(sim::ExecContext& ctx, NodeId src, NodeId dst,
+                            uint64_t bytes, bool is_read) {
+  const Nanos entry = ctx.now;
+  RdmaNic* s = nic(src);
+  RdmaNic* d = nic(dst);
+  total_ops_++;
+  total_bytes_ += bytes;
+
+  // Doorbell: one verbs op on the initiator NIC.
+  const Nanos db_done = s->doorbell().Transfer(ctx.now, 1);
+  // Wire occupancy on both endpoints.
+  const Nanos src_done = s->wire().Transfer(ctx.now, bytes);
+  const Nanos dst_done = d->wire().Transfer(ctx.now, bytes);
+  const Nanos queued = std::max({db_done, src_done, dst_done});
+
+  const Nanos service = is_read ? lat_.RdmaRead(bytes) : lat_.RdmaWrite(bytes);
+  ctx.now = std::max(ctx.now + service, queued + service / 4);
+  ctx.t_net += ctx.now - entry;
+  return ctx.now;
+}
+
+Nanos RdmaNetwork::Read(sim::ExecContext& ctx, NodeId src, NodeId dst,
+                        uint64_t bytes) {
+  return OneSided(ctx, src, dst, bytes, /*is_read=*/true);
+}
+
+Nanos RdmaNetwork::Write(sim::ExecContext& ctx, NodeId src, NodeId dst,
+                         uint64_t bytes) {
+  return OneSided(ctx, src, dst, bytes, /*is_read=*/false);
+}
+
+Nanos RdmaNetwork::Rpc(sim::ExecContext& ctx, NodeId src, NodeId dst,
+                       uint64_t req_bytes, uint64_t resp_bytes) {
+  const Nanos entry = ctx.now;
+  RdmaNic* s = nic(src);
+  RdmaNic* d = nic(dst);
+  total_ops_ += 2;
+  total_bytes_ += req_bytes + resp_bytes;
+  const Nanos db_done = s->doorbell().Transfer(ctx.now, 1);
+  const Nanos db2_done = d->doorbell().Transfer(ctx.now, 1);
+  const Nanos src_done = s->wire().Transfer(ctx.now, req_bytes + resp_bytes);
+  const Nanos dst_done = d->wire().Transfer(ctx.now, req_bytes + resp_bytes);
+  const Nanos queued = std::max({db_done, db2_done, src_done, dst_done});
+  ctx.now = std::max(ctx.now + lat_.rdma_rpc_round_trip, queued);
+  ctx.t_net += ctx.now - entry;
+  return ctx.now;
+}
+
+void RdmaNetwork::ResetStats() {
+  total_ops_ = 0;
+  total_bytes_ = 0;
+  for (auto& [node, nic] : nics_) nic->ResetStats();
+}
+
+}  // namespace polarcxl::rdma

@@ -1,0 +1,56 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// Verbs-like RDMA network connecting hosts and memory servers. One-sided
+// READ/WRITE and two-sided RPC, with latency from the paper's Table 2 fit
+// and bandwidth/IOPS contention from the endpoint NIC models.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "rdma/rdma_nic.h"
+#include "sim/exec_context.h"
+#include "sim/latency_model.h"
+
+namespace polarcxl::rdma {
+
+class RdmaNetwork {
+ public:
+  explicit RdmaNetwork(const sim::LatencyModel* latency = nullptr);
+  POLAR_DISALLOW_COPY(RdmaNetwork);
+
+  /// Registers a host (or memory server) NIC. Idempotent per node.
+  RdmaNic* RegisterHost(NodeId node, RdmaNic::Options options = {});
+  RdmaNic* nic(NodeId node);
+
+  /// One-sided RDMA READ of `bytes` from `dst`'s memory into `src`'s local
+  /// DRAM. Advances ctx.now; returns completion time.
+  Nanos Read(sim::ExecContext& ctx, NodeId src, NodeId dst, uint64_t bytes);
+
+  /// One-sided RDMA WRITE of `bytes` from `src`'s DRAM into `dst`'s memory.
+  Nanos Write(sim::ExecContext& ctx, NodeId src, NodeId dst, uint64_t bytes);
+
+  /// Two-sided send/recv RPC round trip with small payloads.
+  Nanos Rpc(sim::ExecContext& ctx, NodeId src, NodeId dst,
+            uint64_t req_bytes = 64, uint64_t resp_bytes = 64);
+
+  const sim::LatencyModel& latency() const { return lat_; }
+
+  uint64_t total_ops() const { return total_ops_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+  void ResetStats();
+
+ private:
+  Nanos OneSided(sim::ExecContext& ctx, NodeId src, NodeId dst,
+                 uint64_t bytes, bool is_read);
+
+  sim::LatencyModel lat_;
+  std::unordered_map<NodeId, std::unique_ptr<RdmaNic>> nics_;
+  uint64_t total_ops_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace polarcxl::rdma

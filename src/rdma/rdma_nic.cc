@@ -1,0 +1,5 @@
+#include "rdma/rdma_nic.h"
+
+// Header-only implementation; TU anchors the target.
+
+namespace polarcxl::rdma {}

@@ -1,0 +1,53 @@
+#include "rdma/remote_memory_pool.h"
+
+namespace polarcxl::rdma {
+
+RemoteMemoryPool::RemoteMemoryPool(RdmaNetwork* network, NodeId server_node,
+                                   uint64_t capacity_pages)
+    : network_(network),
+      server_node_(server_node),
+      capacity_pages_(capacity_pages) {
+  network_->RegisterHost(server_node);
+}
+
+Status RemoteMemoryPool::WritePage(sim::ExecContext& ctx, NodeId client,
+                                   NodeId tenant, PageId page_id,
+                                   const void* data) {
+  const PoolPageKey key{tenant, page_id};
+  auto it = pages_.find(key);
+  if (it == pages_.end()) {
+    if (pages_.size() >= capacity_pages_) {
+      return Status::OutOfMemory("remote memory pool full");
+    }
+    it = pages_.emplace(key, std::make_unique<PageImage>()).first;
+  }
+  network_->Write(ctx, client, server_node_, kPageSize);
+  std::memcpy(it->second->data(), data, kPageSize);
+  return Status::OK();
+}
+
+Status RemoteMemoryPool::ReadPage(sim::ExecContext& ctx, NodeId client,
+                                  NodeId tenant, PageId page_id, void* dst) {
+  const auto it = pages_.find(PoolPageKey{tenant, page_id});
+  if (it == pages_.end()) return Status::NotFound("page not in pool");
+  network_->Read(ctx, client, server_node_, kPageSize);
+  std::memcpy(dst, it->second->data(), kPageSize);
+  return Status::OK();
+}
+
+void RemoteMemoryPool::Drop(NodeId tenant, PageId page_id) {
+  pages_.erase(PoolPageKey{tenant, page_id});
+}
+
+void RemoteMemoryPool::DropTenant(NodeId tenant) {
+  for (auto it = pages_.begin(); it != pages_.end();) {
+    if (it->first.tenant == tenant) it = pages_.erase(it);
+    else ++it;
+  }
+}
+
+bool RemoteMemoryPool::Contains(NodeId tenant, PageId page_id) const {
+  return pages_.count(PoolPageKey{tenant, page_id}) > 0;
+}
+
+}  // namespace polarcxl::rdma

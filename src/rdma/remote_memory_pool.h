@@ -1,0 +1,74 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// RDMA-attached remote memory pool: the page server used by the tiered
+// (LegoBase / PolarDB Serverless-style) baseline. Pages are transferred at
+// whole-page granularity — the source of the paper's read/write
+// amplification. The pool's contents survive a database host crash.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "rdma/rdma_network.h"
+
+namespace polarcxl::rdma {
+
+/// Key of a page in the pool: pages of different tenants never alias.
+struct PoolPageKey {
+  NodeId tenant;
+  PageId page_id;
+  bool operator==(const PoolPageKey& o) const {
+    return tenant == o.tenant && page_id == o.page_id;
+  }
+};
+
+struct PoolPageKeyHash {
+  size_t operator()(const PoolPageKey& k) const {
+    return (static_cast<uint64_t>(k.tenant) << 32) ^ k.page_id;
+  }
+};
+
+/// Memory-server process holding page images reachable via one-sided RDMA.
+class RemoteMemoryPool {
+ public:
+  /// `server_node` is this pool's NIC identity on `network`.
+  RemoteMemoryPool(RdmaNetwork* network, NodeId server_node,
+                   uint64_t capacity_pages);
+  POLAR_DISALLOW_COPY(RemoteMemoryPool);
+
+  /// RDMA-writes a full page image from `client`'s DRAM into the pool.
+  Status WritePage(sim::ExecContext& ctx, NodeId client, NodeId tenant,
+                   PageId page_id, const void* data);
+
+  /// RDMA-reads a full page image into `dst`. NotFound if absent.
+  Status ReadPage(sim::ExecContext& ctx, NodeId client, NodeId tenant,
+                  PageId page_id, void* dst);
+
+  /// Drops a page (tenant shrink / invalidation). No network charge.
+  void Drop(NodeId tenant, PageId page_id);
+  /// Drops all pages of a tenant.
+  void DropTenant(NodeId tenant);
+
+  bool Contains(NodeId tenant, PageId page_id) const;
+  uint64_t pages_stored() const { return pages_.size(); }
+  uint64_t capacity_pages() const { return capacity_pages_; }
+  NodeId server_node() const { return server_node_; }
+  RdmaNetwork* network() { return network_; }
+
+ private:
+  using PageImage = std::array<uint8_t, kPageSize>;
+
+  RdmaNetwork* network_;
+  NodeId server_node_;
+  uint64_t capacity_pages_;
+  std::unordered_map<PoolPageKey, std::unique_ptr<PageImage>, PoolPageKeyHash>
+      pages_;
+};
+
+}  // namespace polarcxl::rdma

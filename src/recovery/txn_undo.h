@@ -1,0 +1,26 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// ARIES undo pass: after the redo pass (or PolarRecv) restores physical
+// consistency, transactions whose writes reached the durable log without a
+// commit/abort marker — "losers" — are rolled back using the logical undo
+// records that travelled with their writes. As in the paper, this can run
+// concurrently with new application requests.
+#pragma once
+
+#include "engine/database.h"
+#include "engine/transaction.h"
+#include "storage/redo_log.h"
+
+namespace polarcxl::recovery {
+
+struct TxnUndoStats {
+  uint64_t loser_txns = 0;
+  uint64_t undo_ops_applied = 0;
+  Nanos duration = 0;
+};
+
+/// Rolls back every loser transaction found in the durable log (reverse
+/// LSN order), logging the rollbacks and abort markers.
+TxnUndoStats UndoLoserTransactions(sim::ExecContext& ctx,
+                                   engine::Database* db);
+
+}  // namespace polarcxl::recovery

@@ -1,0 +1,5 @@
+#include "sharing/coherency.h"
+
+// Header-only implementation; TU anchors the target.
+
+namespace polarcxl::sharing {}

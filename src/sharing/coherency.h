@@ -1,0 +1,93 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// Coherency flag table for the CXL 2.0 data-sharing protocol (Section 3.3).
+// CXL 2.0 has no hardware cross-host coherency, so the buffer fusion server
+// signals nodes through per-(slot, node) flag lines in CXL memory:
+//   invalid — the page was modified by another node; drop your CPU cache
+//             lines for it before the next read.
+//   removal — the server recycled the page's CXL address; re-request it.
+// Each (slot, node) pair owns a full cache line to avoid false sharing, and
+// all flag accesses are uncached (another host rewrites them at any time).
+#pragma once
+
+#include <cstdint>
+
+#include "common/macros.h"
+#include "common/types.h"
+#include "cxl/cxl_fabric.h"
+
+namespace polarcxl::sharing {
+
+/// One flag line per (slot, node). `generation` binds the line to one
+/// incarnation of the slot: the recycler bumps the slot generation, so a
+/// node holding a stale address sees a mismatched generation even if the
+/// slot was immediately rebound to a different page (the removal flag alone
+/// cannot express that once the new page's requester clears its own line).
+struct FlagLine {
+  uint32_t invalid = 0;
+  uint32_t removal = 0;
+  uint64_t generation = 0;
+  uint8_t pad[48] = {};
+};
+static_assert(sizeof(FlagLine) == kCacheLineSize);
+
+class CoherencyFlagTable {
+ public:
+  CoherencyFlagTable(MemOffset base, uint32_t slots, uint32_t max_nodes)
+      : base_(base), slots_(slots), max_nodes_(max_nodes) {}
+
+  static uint64_t RegionBytes(uint32_t slots, uint32_t max_nodes) {
+    return static_cast<uint64_t>(slots) * max_nodes * sizeof(FlagLine);
+  }
+
+  MemOffset FlagOff(uint32_t slot, NodeId node) const {
+    POLAR_CHECK(slot < slots_ && node < max_nodes_);
+    return base_ +
+           (static_cast<uint64_t>(slot) * max_nodes_ + node) *
+               sizeof(FlagLine);
+  }
+
+  /// Node-side: read own flags (uncached load, one line).
+  FlagLine Load(sim::ExecContext& ctx, cxl::CxlAccessor* acc, uint32_t slot,
+                NodeId node) const {
+    return acc->LoadUncachedPod<FlagLine>(ctx, FlagOff(slot, node));
+  }
+
+  /// Node-side: acknowledge an invalidation.
+  void ClearInvalid(sim::ExecContext& ctx, cxl::CxlAccessor* acc,
+                    uint32_t slot, NodeId node) const {
+    FlagLine line = Load(ctx, acc, slot, node);
+    line.invalid = 0;
+    acc->StoreUncachedPod(ctx, FlagOff(slot, node), line);
+  }
+
+  /// Server-side: single CXL store, "completes within a few hundred ns".
+  void SetInvalid(sim::ExecContext& ctx, cxl::CxlAccessor* acc, uint32_t slot,
+                  NodeId node) const {
+    FlagLine line = Load(ctx, acc, slot, node);
+    line.invalid = 1;
+    acc->StoreUncachedPod(ctx, FlagOff(slot, node), line);
+  }
+  void SetRemoval(sim::ExecContext& ctx, cxl::CxlAccessor* acc, uint32_t slot,
+                  NodeId node) const {
+    FlagLine line = Load(ctx, acc, slot, node);
+    line.removal = 1;
+    acc->StoreUncachedPod(ctx, FlagOff(slot, node), line);
+  }
+  /// Server-side: rebind a node's line to the slot's current incarnation.
+  void Clear(sim::ExecContext& ctx, cxl::CxlAccessor* acc, uint32_t slot,
+             NodeId node, uint64_t generation) const {
+    FlagLine line;
+    line.generation = generation;
+    acc->StoreUncachedPod(ctx, FlagOff(slot, node), line);
+  }
+
+  uint32_t slots() const { return slots_; }
+  uint32_t max_nodes() const { return max_nodes_; }
+
+ private:
+  MemOffset base_;
+  uint32_t slots_;
+  uint32_t max_nodes_;
+};
+
+}  // namespace polarcxl::sharing

@@ -1,0 +1,5 @@
+#include "sharing/dist_lock_manager.h"
+
+// Header-only implementation; TU anchors the target.
+
+namespace polarcxl::sharing {}

@@ -1,0 +1,96 @@
+#include "sim/bandwidth_channel.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace polarcxl::sim {
+
+BandwidthChannel::BandwidthChannel(std::string name, uint64_t bytes_per_sec,
+                                   Nanos window_ns)
+    : name_(std::move(name)),
+      bytes_per_sec_(bytes_per_sec),
+      window_ns_(window_ns) {
+  POLAR_CHECK(window_ns_ > 0);
+  if (bytes_per_sec_ > 0) {
+    // Keep at least ~1 KB of budget per window so very slow links get
+    // proportionally longer windows instead of degenerate 1-byte budgets.
+    const Nanos min_window = static_cast<Nanos>(
+        static_cast<__int128>(1024) * kNanosPerSec / bytes_per_sec_);
+    window_ns_ = std::max(window_ns_, std::max<Nanos>(1, min_window));
+  }
+  bytes_per_window_ = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             static_cast<__int128>(bytes_per_sec_) * window_ns_ /
+             kNanosPerSec));
+}
+
+Nanos BandwidthChannel::Place(Nanos now, uint64_t bytes, bool commit) const {
+  if (bytes_per_sec_ == 0 || bytes == 0) return now;
+  int64_t w = now / window_ns_;
+  // Capacity is tracked at window granularity: a transfer may use any
+  // remaining budget of its window regardless of sub-window timing (the
+  // completion clamp below keeps time monotonic). Clamping the budget to
+  // the elapsed sub-window position instead would re-introduce a FIFO
+  // whenever out-of-order lanes land in one window.
+  auto it = used_.find(w);
+  uint64_t offset = it == used_.end() ? 0 : it->second;
+
+  uint64_t remaining = bytes;
+  Nanos completion = now;
+  while (true) {
+    const uint64_t free =
+        bytes_per_window_ > offset ? bytes_per_window_ - offset : 0;
+    const uint64_t take = std::min(free, remaining);
+    if (take > 0) {
+      offset += take;
+      remaining -= take;
+      if (commit) used_[w] = offset;
+      completion =
+          w * window_ns_ +
+          static_cast<Nanos>(static_cast<__int128>(offset) * kNanosPerSec /
+                             bytes_per_sec_);
+    }
+    if (remaining == 0) break;
+    w++;
+    it = used_.find(w);
+    offset = it == used_.end() ? 0 : it->second;
+  }
+  return std::max(completion, now + 1);
+}
+
+Nanos BandwidthChannel::Transfer(Nanos now, uint64_t bytes) {
+  total_bytes_ += bytes;
+  total_transfers_++;
+  if (bytes_per_sec_ > 0) {
+    busy_time_ += static_cast<Nanos>(static_cast<__int128>(bytes) *
+                                     kNanosPerSec / bytes_per_sec_);
+  }
+  const Nanos completion = Place(now, bytes, /*commit=*/true);
+  last_completion_ = std::max(last_completion_, completion);
+  return completion;
+}
+
+Nanos BandwidthChannel::PeekCompletion(Nanos now, uint64_t bytes) const {
+  return Place(now, bytes, /*commit=*/false);
+}
+
+double BandwidthChannel::DeliveredRate(Nanos horizon) const {
+  if (horizon <= 0) return 0;
+  return static_cast<double>(total_bytes_) * kNanosPerSec /
+         static_cast<double>(horizon);
+}
+
+double BandwidthChannel::Utilization(Nanos horizon) const {
+  if (horizon <= 0) return 0;
+  return std::min(1.0, static_cast<double>(busy_time_) /
+                           static_cast<double>(horizon));
+}
+
+void BandwidthChannel::ResetStats() {
+  busy_time_ = 0;
+  total_bytes_ = 0;
+  total_transfers_ = 0;
+}
+
+}  // namespace polarcxl::sim

@@ -1,0 +1,69 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// Windowed fluid-flow bandwidth channel: the building block for every
+// shared, saturable resource in the simulation (RDMA NIC, CXL link, disk,
+// client network).
+//
+// Capacity is tracked per fixed time window (rate * window bytes each). A
+// transfer at time `now` consumes budget starting in now's window and
+// spills into later windows when full; its completion time is where its
+// last byte lands. Queueing under saturation emerges from window spill.
+// Unlike a single busy_until FIFO, this is robust to lanes that post
+// transfers out of virtual-time order (the executor steps one whole
+// transaction at a time): a transfer at time T never blocks one at T' < T
+// in a different window.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/types.h"
+
+namespace polarcxl::sim {
+
+class BandwidthChannel {
+ public:
+  /// `bytes_per_sec` == 0 means infinite bandwidth (never queues).
+  BandwidthChannel(std::string name, uint64_t bytes_per_sec,
+                   Nanos window_ns = 10'000);
+
+  /// Consumes `bytes` of capacity starting at `now`; returns the completion
+  /// time (>= now + 1).
+  Nanos Transfer(Nanos now, uint64_t bytes);
+
+  /// Completion time without consuming capacity (capacity probe).
+  Nanos PeekCompletion(Nanos now, uint64_t bytes) const;
+
+  const std::string& name() const { return name_; }
+  uint64_t bytes_per_sec() const { return bytes_per_sec_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+  uint64_t total_transfers() const { return total_transfers_; }
+  /// Latest completion time handed out.
+  Nanos busy_until() const { return last_completion_; }
+  /// Total link-time equivalent of all transfers (bytes / rate).
+  Nanos busy_time() const { return busy_time_; }
+
+  /// Average delivered rate over [0, horizon] in bytes/sec.
+  double DeliveredRate(Nanos horizon) const;
+
+  /// Fraction of [0, horizon] worth of capacity consumed.
+  double Utilization(Nanos horizon) const;
+
+  void ResetStats();
+
+ private:
+  Nanos Place(Nanos now, uint64_t bytes, bool commit) const;
+
+  std::string name_;
+  uint64_t bytes_per_sec_;
+  Nanos window_ns_;
+  uint64_t bytes_per_window_;
+  // window index -> budget position consumed (bytes into the window).
+  mutable std::map<int64_t, uint64_t> used_;
+  Nanos last_completion_ = 0;
+  Nanos busy_time_ = 0;
+  uint64_t total_bytes_ = 0;
+  uint64_t total_transfers_ = 0;
+};
+
+}  // namespace polarcxl::sim

@@ -1,0 +1,96 @@
+#include "sim/cpu_cache.h"
+
+namespace polarcxl::sim {
+
+CpuCacheSim::CpuCacheSim(uint64_t capacity_bytes, uint32_t ways)
+    : ways_(ways) {
+  POLAR_CHECK(ways > 0);
+  const uint64_t lines = capacity_bytes / kCacheLineSize;
+  num_sets_ = static_cast<uint32_t>(lines / ways);
+  POLAR_CHECK_MSG(num_sets_ > 0, "cache too small");
+  slots_.resize(static_cast<size_t>(num_sets_) * ways_);
+}
+
+CpuCacheSim::AccessResult CpuCacheSim::Access(uint64_t addr, bool write,
+                                              MemorySpace* home) {
+  AccessResult result;
+  const uint64_t line = addr / kCacheLineSize;
+  const uint64_t tag = line + 1;
+  Way* set = &slots_[static_cast<size_t>(SetIndex(line)) * ways_];
+  tick_++;
+
+  Way* victim = &set[0];
+  for (uint32_t w = 0; w < ways_; w++) {
+    if (set[w].tag == tag) {
+      set[w].tick = tick_;
+      set[w].dirty |= write;
+      hits_++;
+      result.hit = true;
+      return result;
+    }
+    if (set[w].tag == 0) {
+      victim = &set[w];  // free way; keep scanning for a tag match
+    } else if (victim->tag != 0 && set[w].tick < victim->tick) {
+      victim = &set[w];
+    }
+  }
+
+  misses_++;
+  if (victim->tag != 0 && victim->dirty) {
+    result.evicted_dirty = true;
+    result.evicted_addr = (victim->tag - 1) * kCacheLineSize;
+    result.evicted_home = victim->home;
+  }
+  victim->tag = tag;
+  victim->home = home;
+  victim->tick = tick_;
+  victim->dirty = write;
+  return result;
+}
+
+bool CpuCacheSim::Contains(uint64_t addr) const {
+  const uint64_t line = addr / kCacheLineSize;
+  const uint64_t tag = line + 1;
+  const Way* set =
+      &slots_[static_cast<size_t>(
+                  const_cast<CpuCacheSim*>(this)->SetIndex(line)) *
+              ways_];
+  for (uint32_t w = 0; w < ways_; w++) {
+    if (set[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void CpuCacheSim::FlushRange(uint64_t addr, uint64_t len, uint32_t* dirty_out,
+                             uint32_t* clean_out) {
+  uint32_t dirty = 0;
+  uint32_t clean = 0;
+  const uint64_t first = addr / kCacheLineSize;
+  const uint64_t last = (addr + len - 1) / kCacheLineSize;
+  for (uint64_t line = first; line <= last; line++) {
+    const uint64_t tag = line + 1;
+    Way* set = &slots_[static_cast<size_t>(SetIndex(line)) * ways_];
+    for (uint32_t w = 0; w < ways_; w++) {
+      if (set[w].tag == tag) {
+        if (set[w].dirty) dirty++;
+        else clean++;
+        set[w].tag = 0;
+        set[w].dirty = false;
+        set[w].home = nullptr;
+        break;
+      }
+    }
+  }
+  if (dirty_out != nullptr) *dirty_out = dirty;
+  if (clean_out != nullptr) *clean_out = clean;
+}
+
+void CpuCacheSim::InvalidateAll() {
+  for (auto& w : slots_) {
+    w.tag = 0;
+    w.dirty = false;
+    w.home = nullptr;
+  }
+}
+
+}  // namespace polarcxl::sim

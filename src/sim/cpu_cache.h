@@ -1,0 +1,80 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// Set-associative CPU cache simulator. Tracks which cache lines of the
+// simulated physical address space are resident/dirty so that (a) CXL/DRAM
+// access costs reflect locality, and (b) the Section 3.3 coherency protocol
+// can count exactly how many dirty lines a clflush writes back.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/types.h"
+
+namespace polarcxl::sim {
+
+class MemorySpace;
+
+/// One CPU cache domain (the LLC share of one database instance). Not
+/// thread-safe; the executor serializes all lanes.
+class CpuCacheSim {
+ public:
+  /// `capacity_bytes` is rounded down to a whole number of sets.
+  CpuCacheSim(uint64_t capacity_bytes, uint32_t ways = 16);
+
+  struct AccessResult {
+    bool hit = false;
+    bool evicted_dirty = false;
+    uint64_t evicted_addr = 0;      // line-aligned byte address
+    MemorySpace* evicted_home = nullptr;
+  };
+
+  /// Access the line containing `addr`. On miss the line is installed
+  /// (write-allocate) and the victim, if dirty, is reported for writeback
+  /// accounting. `home` is remembered for future eviction/flush charging.
+  AccessResult Access(uint64_t addr, bool write, MemorySpace* home);
+
+  /// True if the line containing addr is resident.
+  bool Contains(uint64_t addr) const;
+
+  /// clflush semantics over [addr, addr+len): every resident line is
+  /// dropped; the number of *dirty* lines (writebacks needed) is returned in
+  /// `dirty_out` and the number of clean resident lines in `clean_out`.
+  void FlushRange(uint64_t addr, uint64_t len, uint32_t* dirty_out,
+                  uint32_t* clean_out);
+
+  /// Drop lines without writeback accounting (used when the simulation
+  /// resets an instance; a crash powering off a host does this implicitly).
+  void InvalidateAll();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t capacity_bytes() const {
+    return static_cast<uint64_t>(num_sets_) * ways_ * kCacheLineSize;
+  }
+  uint32_t ways() const { return ways_; }
+
+ private:
+  struct Way {
+    uint64_t tag = 0;  // (line_addr + 1); 0 == empty
+    MemorySpace* home = nullptr;
+    uint32_t tick = 0;
+    bool dirty = false;
+  };
+
+  uint32_t SetIndex(uint64_t line_addr) const {
+    // Multiplicative hash avoids pathological striding when buffer pools
+    // hand out page-aligned regions.
+    return static_cast<uint32_t>((line_addr * 0x9E3779B97F4A7C15ULL) >> 33) %
+           num_sets_;
+  }
+
+  uint32_t num_sets_;
+  uint32_t ways_;
+  uint32_t tick_ = 0;
+  std::vector<Way> slots_;  // num_sets_ * ways_, row-major by set
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace polarcxl::sim

@@ -1,0 +1,125 @@
+#include "sim/executor.h"
+
+#include <algorithm>
+
+namespace polarcxl::sim {
+
+namespace {
+/// Adapter for std::function lanes.
+class FnLane final : public Lane {
+ public:
+  explicit FnLane(std::function<bool(ExecContext&)> fn) : fn_(std::move(fn)) {}
+  bool Step(ExecContext& ctx) override { return fn_(ctx); }
+
+ private:
+  std::function<bool(ExecContext&)> fn_;
+};
+}  // namespace
+
+uint32_t Executor::AddLane(std::unique_ptr<Lane> lane, NodeId node_id,
+                           CpuCacheSim* cache, Nanos start_at) {
+  const uint32_t id = static_cast<uint32_t>(lanes_.size());
+  LaneRec rec;
+  rec.lane = std::move(lane);
+  rec.ctx.now = start_at;
+  rec.ctx.lane_id = id;
+  rec.ctx.node_id = node_id;
+  rec.ctx.cache = cache;
+  lanes_.push_back(std::move(rec));
+  heap_.push({start_at, id, 0});
+  return id;
+}
+
+uint32_t Executor::AddLane(std::function<bool(ExecContext&)> fn,
+                           NodeId node_id, CpuCacheSim* cache,
+                           Nanos start_at) {
+  return AddLane(std::make_unique<FnLane>(std::move(fn)), node_id, cache,
+                 start_at);
+}
+
+bool Executor::StepOne() {
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.top();
+    LaneRec& rec = lanes_[top.id];
+    if (rec.parked || rec.epoch != top.epoch || rec.ctx.now != top.at) {
+      heap_.pop();  // stale
+      continue;
+    }
+    heap_.pop();
+    const Nanos before = rec.ctx.now;
+    const bool keep = rec.lane->Step(rec.ctx);
+    total_steps_++;
+    // A step that does not advance time would live-lock the scheduler.
+    if (rec.ctx.now <= before) rec.ctx.now = before + 1;
+    if (keep) {
+      rec.epoch++;
+      heap_.push({rec.ctx.now, top.id, rec.epoch});
+    } else {
+      rec.parked = true;
+    }
+    return true;
+  }
+  return false;
+}
+
+void Executor::RunUntil(Nanos t) {
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.top();
+    const LaneRec& rec = lanes_[top.id];
+    if (rec.parked || rec.epoch != top.epoch || rec.ctx.now != top.at) {
+      heap_.pop();
+      continue;
+    }
+    if (top.at >= t) return;
+    if (!StepOne()) return;
+  }
+}
+
+void Executor::RunSteps(uint64_t n) {
+  for (uint64_t i = 0; i < n; i++) {
+    if (!StepOne()) return;
+  }
+}
+
+void Executor::RunToCompletion() {
+  while (StepOne()) {
+  }
+}
+
+void Executor::ParkLane(uint32_t lane_id) {
+  POLAR_CHECK(lane_id < lanes_.size());
+  lanes_[lane_id].parked = true;
+}
+
+void Executor::ResumeLane(uint32_t lane_id, Nanos at) {
+  POLAR_CHECK(lane_id < lanes_.size());
+  LaneRec& rec = lanes_[lane_id];
+  rec.parked = false;
+  rec.ctx.now = std::max(rec.ctx.now, at);
+  rec.epoch++;
+  heap_.push({rec.ctx.now, lane_id, rec.epoch});
+}
+
+Nanos Executor::MinClock(Nanos fallback) const {
+  Nanos best = -1;
+  for (const auto& rec : lanes_) {
+    if (rec.parked) continue;
+    if (best < 0 || rec.ctx.now < best) best = rec.ctx.now;
+  }
+  return best < 0 ? fallback : best;
+}
+
+Nanos Executor::MaxClock() const {
+  Nanos best = 0;
+  for (const auto& rec : lanes_) best = std::max(best, rec.ctx.now);
+  return best;
+}
+
+bool Executor::AnyRunnable() const {
+  for (const auto& rec : lanes_) {
+    if (!rec.parked) return true;
+  }
+  return false;
+}
+
+}  // namespace polarcxl::sim

@@ -1,0 +1,95 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// Deterministic virtual-time lane executor. Each lane is one database
+// worker (session thread); the executor always steps the lane with the
+// smallest clock, so shared-resource ordering is causal and runs are exactly
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/types.h"
+#include "sim/exec_context.h"
+
+namespace polarcxl::sim {
+
+/// A schedulable worker. Step() executes exactly one unit of work (one
+/// transaction/query), advancing ctx.now by its virtual cost.
+class Lane {
+ public:
+  virtual ~Lane() = default;
+  /// Returns false to park the lane (it will not be stepped again).
+  virtual bool Step(ExecContext& ctx) = 0;
+};
+
+/// Min-clock scheduler over a set of lanes.
+class Executor {
+ public:
+  Executor() = default;
+  POLAR_DISALLOW_COPY(Executor);
+
+  /// Registers a lane starting at virtual time `start_at`. Returns lane id.
+  uint32_t AddLane(std::unique_ptr<Lane> lane, NodeId node_id,
+                   CpuCacheSim* cache, Nanos start_at = 0);
+
+  /// Convenience: wrap a callable as a lane.
+  uint32_t AddLane(std::function<bool(ExecContext&)> fn, NodeId node_id,
+                   CpuCacheSim* cache, Nanos start_at = 0);
+
+  /// Step lanes until every runnable lane's clock is >= `t` (or all lanes
+  /// parked). Lanes may overshoot `t` by one step.
+  void RunUntil(Nanos t);
+
+  /// Step at most `n` lane-steps.
+  void RunSteps(uint64_t n);
+
+  /// Run until all lanes park.
+  void RunToCompletion();
+
+  /// Parks a lane externally (e.g., instance crash).
+  void ParkLane(uint32_t lane_id);
+  /// Re-activates a parked lane at time `at`.
+  void ResumeLane(uint32_t lane_id, Nanos at);
+
+  ExecContext& context(uint32_t lane_id) {
+    return lanes_[lane_id].ctx;
+  }
+  size_t num_lanes() const { return lanes_.size(); }
+  uint64_t total_steps() const { return total_steps_; }
+  /// Smallest clock among runnable lanes; `fallback` if none runnable.
+  Nanos MinClock(Nanos fallback = 0) const;
+  /// Largest clock reached by any lane (runnable or parked).
+  Nanos MaxClock() const;
+  bool AnyRunnable() const;
+
+ private:
+  struct LaneRec {
+    std::unique_ptr<Lane> lane;
+    ExecContext ctx;
+    bool parked = false;
+    uint64_t epoch = 0;  // invalidates stale heap entries
+  };
+
+  struct HeapEntry {
+    Nanos at;
+    uint32_t id;
+    uint64_t epoch;
+    bool operator>(const HeapEntry& o) const {
+      if (at != o.at) return at > o.at;
+      return id > o.id;
+    }
+  };
+
+  bool StepOne();  // returns false if no runnable lane
+
+  std::vector<LaneRec> lanes_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      heap_;
+  uint64_t total_steps_ = 0;
+};
+
+}  // namespace polarcxl::sim

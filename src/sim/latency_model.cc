@@ -1,0 +1,6 @@
+#include "sim/latency_model.h"
+
+// Constants live in the header; this TU anchors the library and is the
+// natural home for any future runtime-tunable model loading.
+
+namespace polarcxl::sim {}

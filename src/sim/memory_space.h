@@ -1,0 +1,91 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// A memory domain (local DRAM, CXL-behind-switch, ...) with a latency
+// profile, optional shared bandwidth channels, and CPU-cache interplay.
+// Buffer pools and the engine charge all of their memory traffic through
+// MemorySpace, which is what makes read/write amplification and bandwidth
+// saturation observable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "sim/bandwidth_channel.h"
+#include "sim/cpu_cache.h"
+#include "sim/exec_context.h"
+#include "sim/latency_model.h"
+
+namespace polarcxl::sim {
+
+/// Cost/accounting view of one physical memory domain. The actual bytes are
+/// owned elsewhere (e.g., by CxlMemoryDevice); MemorySpace only models time
+/// and bandwidth.
+class MemorySpace {
+ public:
+  struct Options {
+    std::string name = "mem";
+    /// Latency of one uncached line access.
+    Nanos line_latency = 146;
+    /// Streaming (multi-line pipelined) profile.
+    StreamCost stream_read{100, 4.0};
+    StreamCost stream_write{100, 3.0};
+    /// Link between the accessing host and this memory (nullable). All
+    /// traffic — demand misses, streams, writebacks — occupies it.
+    BandwidthChannel* link = nullptr;
+    /// Device/pool-side channel shared by all hosts (nullable).
+    BandwidthChannel* pool = nullptr;
+    /// Whether the CPU cache may hold lines of this domain.
+    bool cacheable = true;
+    /// clflush cost per dirty line and invalidate cost per clean line.
+    Nanos clflush_line = 120;
+    Nanos invalidate_line = 20;
+  };
+
+  explicit MemorySpace(Options options) : opt_(std::move(options)) {}
+
+  /// Access `len` bytes at `addr` with CPU-cache semantics, charging
+  /// ctx.now. Within one call, the first miss pays full latency and further
+  /// misses pay the pipelined streaming slope (models MLP).
+  void Touch(ExecContext& ctx, uint64_t addr, uint32_t len, bool write);
+
+  /// Bulk copy of `len` bytes (page transfer / memcpy) at streaming cost;
+  /// bypasses the CPU cache model.
+  void Stream(ExecContext& ctx, uint64_t addr, uint32_t len, bool write);
+
+  /// Uncached access (ntload/ntstore): always pays device latency, never
+  /// consults or fills the CPU cache. Used for coherency flags that another
+  /// host may overwrite at any time.
+  void TouchUncached(ExecContext& ctx, uint64_t addr, uint32_t len,
+                     bool write);
+
+  /// clflush [addr, addr+len): writes back dirty lines, drops all resident
+  /// lines. Returns the number of dirty lines written back.
+  uint32_t Flush(ExecContext& ctx, uint64_t addr, uint32_t len);
+
+  /// Drop resident lines of the range from the CPU cache (coherency
+  /// invalidation of clean data: next access will miss to the device).
+  void Invalidate(ExecContext& ctx, uint64_t addr, uint32_t len);
+
+  const std::string& name() const { return opt_.name; }
+  Nanos line_latency() const { return opt_.line_latency; }
+  BandwidthChannel* link() const { return opt_.link; }
+  uint64_t demand_bytes() const { return demand_bytes_; }
+  uint64_t writeback_bytes() const { return writeback_bytes_; }
+  /// Total time accesses spent queued on the channels (diagnostics).
+  Nanos queue_delay() const { return queue_delay_; }
+  void ResetStats() { demand_bytes_ = writeback_bytes_ = 0; queue_delay_ = 0; }
+
+ private:
+  friend class CpuCacheSim;
+
+  /// Charge the channels for `bytes` moving between host and device at time
+  /// `now`; returns the (possibly queued) completion time.
+  Nanos ChargeChannels(Nanos now, uint64_t bytes);
+
+  Options opt_;
+  uint64_t demand_bytes_ = 0;     // demand miss + stream traffic
+  uint64_t writeback_bytes_ = 0;  // dirty evictions and flushes
+  Nanos queue_delay_ = 0;
+};
+
+}  // namespace polarcxl::sim

@@ -1,0 +1,37 @@
+#include "storage/disk.h"
+
+#include <algorithm>
+
+namespace polarcxl::storage {
+
+Nanos SimDisk::Read(sim::ExecContext& ctx, uint64_t bytes) {
+  read_bytes_ += bytes;
+  read_ops_++;
+  const Nanos entry = ctx.now;
+  const Nanos queued = std::max(channel_.Transfer(ctx.now, bytes),
+                                ops_.Transfer(ctx.now, 1));
+  ctx.now = std::max(ctx.now + opt_.read_latency, queued + opt_.read_latency / 2);
+  ctx.t_io += ctx.now - entry;
+  return ctx.now;
+}
+
+Nanos SimDisk::Write(sim::ExecContext& ctx, uint64_t bytes) {
+  write_bytes_ += bytes;
+  write_ops_++;
+  const Nanos entry = ctx.now;
+  const Nanos queued = std::max(channel_.Transfer(ctx.now, bytes),
+                                ops_.Transfer(ctx.now, 1));
+  ctx.now =
+      std::max(ctx.now + opt_.write_latency, queued + opt_.write_latency / 2);
+  ctx.t_io += ctx.now - entry;
+  return ctx.now;
+}
+
+void SimDisk::ResetStats() {
+  read_bytes_ = write_bytes_ = 0;
+  read_ops_ = write_ops_ = 0;
+  channel_.ResetStats();
+  ops_.ResetStats();
+}
+
+}  // namespace polarcxl::storage

@@ -1,0 +1,58 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// Simulated shared-storage backend (PolarFS-like: NVMe + replication over
+// its own network). Far slower than any memory tier; the thing buffer pools
+// exist to avoid.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "sim/bandwidth_channel.h"
+#include "sim/exec_context.h"
+
+namespace polarcxl::storage {
+
+class SimDisk {
+ public:
+  struct Options {
+    Nanos read_latency = 90'000;   // 90 us to first byte
+    Nanos write_latency = 50'000;  // 50 us append ack (log path is tuned)
+    uint64_t bandwidth_bps = 2ULL * 1000 * 1000 * 1000;  // 2 GB/s per host
+    /// I/O operation ceiling (0 = unlimited). Shared PolarFS-style volumes
+    /// saturate on IOPS under many small WAL appends — the paper's "WAL
+    /// persistency bottleneck" at high instance counts.
+    uint64_t iops = 0;
+  };
+
+  explicit SimDisk(std::string name) : SimDisk(std::move(name), Options()) {}
+  SimDisk(std::string name, Options options)
+      : name_(std::move(name)),
+        opt_(options),
+        channel_(name_ + ".io", options.bandwidth_bps),
+        ops_(name_ + ".iops", options.iops) {}
+
+  /// Charges a read of `bytes`; returns completion time.
+  Nanos Read(sim::ExecContext& ctx, uint64_t bytes);
+  /// Charges a durable write of `bytes`.
+  Nanos Write(sim::ExecContext& ctx, uint64_t bytes);
+
+  sim::BandwidthChannel& channel() { return channel_; }
+  uint64_t read_bytes() const { return read_bytes_; }
+  uint64_t write_bytes() const { return write_bytes_; }
+  uint64_t read_ops() const { return read_ops_; }
+  uint64_t write_ops() const { return write_ops_; }
+  void ResetStats();
+
+ private:
+  std::string name_;
+  Options opt_;
+  sim::BandwidthChannel channel_;
+  sim::BandwidthChannel ops_;  // "bytes" are operations
+  uint64_t read_bytes_ = 0;
+  uint64_t write_bytes_ = 0;
+  uint64_t read_ops_ = 0;
+  uint64_t write_ops_ = 0;
+};
+
+}  // namespace polarcxl::storage

@@ -1,0 +1,34 @@
+#include "storage/page_store.h"
+
+#include <cstring>
+
+namespace polarcxl::storage {
+
+void PageStore::ReadPage(sim::ExecContext& ctx, PageId page_id, void* dst) {
+  disk_->Read(ctx, kPageSize);
+  ctx.pages_read_io++;
+  const auto it = pages_.find(page_id);
+  if (it == pages_.end()) {
+    std::memset(dst, 0, kPageSize);
+  } else {
+    std::memcpy(dst, it->second->data(), kPageSize);
+  }
+}
+
+void PageStore::WritePage(sim::ExecContext& ctx, PageId page_id,
+                          const void* src) {
+  disk_->Write(ctx, kPageSize);
+  ctx.pages_written_io++;
+  auto it = pages_.find(page_id);
+  if (it == pages_.end()) {
+    it = pages_.emplace(page_id, std::make_unique<PageImage>()).first;
+  }
+  std::memcpy(it->second->data(), src, kPageSize);
+}
+
+const uint8_t* PageStore::RawPage(PageId page_id) const {
+  const auto it = pages_.find(page_id);
+  return it == pages_.end() ? nullptr : it->second->data();
+}
+
+}  // namespace polarcxl::storage

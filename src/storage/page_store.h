@@ -1,0 +1,45 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// Durable page images on shared storage. Owned outside the database
+// instance, so contents survive crashes. Pages not yet written read back as
+// freshly formatted zero pages.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/disk.h"
+
+namespace polarcxl::storage {
+
+class PageStore {
+ public:
+  explicit PageStore(SimDisk* disk) : disk_(disk) {}
+  POLAR_DISALLOW_COPY(PageStore);
+
+  /// Reads a page image into `dst` (zeros if never written), charging the
+  /// disk.
+  void ReadPage(sim::ExecContext& ctx, PageId page_id, void* dst);
+
+  /// Durably writes a page image, charging the disk.
+  void WritePage(sim::ExecContext& ctx, PageId page_id, const void* src);
+
+  /// Direct (uncharged) access for checkpointer bookkeeping and tests.
+  bool Contains(PageId page_id) const { return pages_.count(page_id) > 0; }
+  const uint8_t* RawPage(PageId page_id) const;
+
+  uint64_t num_pages() const { return pages_.size(); }
+  SimDisk* disk() { return disk_; }
+
+ private:
+  using PageImage = std::array<uint8_t, kPageSize>;
+
+  SimDisk* disk_;
+  std::unordered_map<PageId, std::unique_ptr<PageImage>> pages_;
+};
+
+}  // namespace polarcxl::storage

@@ -1,0 +1,73 @@
+#include "storage/redo_log.h"
+
+namespace polarcxl::storage {
+
+Lsn RedoLog::AppendMtr(std::vector<RedoRecord> records) {
+  for (RedoRecord& rec : records) {
+    rec.lsn = next_lsn_;
+    next_lsn_ += rec.SizeBytes();
+    buffer_.push_back(std::move(rec));
+  }
+  return next_lsn_;
+}
+
+Lsn RedoLog::Flush(sim::ExecContext& ctx) {
+  if (buffer_.empty()) return flushed_lsn_;
+  const uint64_t bytes = next_lsn_ - flushed_lsn_;
+  disk_->Write(ctx, bytes);
+  for (RedoRecord& rec : buffer_) durable_.push_back(std::move(rec));
+  buffer_.clear();
+  flushed_lsn_ = next_lsn_;
+  return flushed_lsn_;
+}
+
+Lsn RedoLog::GroupCommit(sim::ExecContext& ctx, Nanos window) {
+  if (window <= 0) return Flush(ctx);
+  if (buffer_.empty()) return flushed_lsn_;
+  if (ctx.now < last_batch_completion_) {
+    // A flush led by another committer is in flight (in virtual time);
+    // this commit's bytes ride that same write: charge channel occupancy
+    // but no additional I/O, and complete with the batch.
+    const Nanos entry = ctx.now;
+    const uint64_t bytes = next_lsn_ - flushed_lsn_;
+    disk_->channel().Transfer(ctx.now, bytes);
+    for (RedoRecord& rec : buffer_) durable_.push_back(std::move(rec));
+    buffer_.clear();
+    flushed_lsn_ = next_lsn_;
+    ctx.now = last_batch_completion_;
+    ctx.t_io += ctx.now - entry;
+    return flushed_lsn_;
+  }
+  // Lead a new batch: optionally linger up to `window` to let followers
+  // accumulate, then flush once.
+  ctx.now += window;
+  const Lsn flushed = Flush(ctx);
+  last_batch_completion_ = ctx.now;
+  return flushed;
+}
+
+void RedoLog::LoseUnflushedTail() {
+  buffer_.clear();
+  next_lsn_ = flushed_lsn_;
+}
+
+std::vector<const RedoRecord*> RedoLog::DurableRecordsFrom(Lsn from) const {
+  std::vector<const RedoRecord*> out;
+  // durable_ is LSN-ordered; binary search the start.
+  size_t lo = 0;
+  size_t hi = durable_.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (durable_[mid].lsn + durable_[mid].SizeBytes() <= from) lo = mid + 1;
+    else hi = mid;
+  }
+  for (size_t i = lo; i < durable_.size(); i++) out.push_back(&durable_[i]);
+  return out;
+}
+
+void RedoLog::ChargeScan(sim::ExecContext& ctx, Lsn from) {
+  if (flushed_lsn_ <= from) return;
+  disk_->Read(ctx, flushed_lsn_ - from);
+}
+
+}  // namespace polarcxl::storage

@@ -1,0 +1,115 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// ARIES-style physical redo log (InnoDB lineage, as in PolarDB). Records
+// carry real page deltas so recovery replays actual bytes. The log buffer
+// lives in local DRAM and its unflushed tail is lost on crash — the hazard
+// PolarRecv's "too-new page" LSN check exists for.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/types.h"
+#include "storage/disk.h"
+
+namespace polarcxl::storage {
+
+/// Redo record kinds. kRaw is pure physical redo; the entry kinds are
+/// physiological (page-local logical) records, keeping per-row log volume
+/// proportional to the row instead of the page bytes moved.
+enum class RedoKind : uint8_t {
+  kRaw = 0,        // overwrite [page_off, page_off+len) with data
+  kFormat = 1,     // format empty page; data = {level u8, value_size u16}
+  kInsertEntry = 2,  // sorted insert; data = 8-byte key + value bytes
+  kEraseEntry = 3,   // erase by key; data = 8-byte key
+  // Transaction records (page_id unused):
+  kTxnCommit = 4,  // txn_id committed
+  kTxnAbort = 5,   // txn_id rolled back (undo already materialized)
+  kUndoInfo = 6,   // data = serialized logical undo op (see transaction.h)
+};
+
+/// One redo record. Records of one mini-transaction share mtr_id and are
+/// appended atomically.
+struct RedoRecord {
+  Lsn lsn = 0;          // start LSN of this record
+  PageId page_id = 0;
+  RedoKind kind = RedoKind::kRaw;
+  uint16_t page_off = 0;
+  uint16_t len = 0;
+  uint64_t mtr_id = 0;
+  uint64_t txn_id = 0;  // 0 = auto-commit / non-transactional
+  std::vector<uint8_t> data;
+
+  Lsn end_lsn() const { return lsn + SizeBytes(); }
+
+  /// On-log size used for LSN arithmetic and I/O charging.
+  uint32_t SizeBytes() const {
+    return 32 + static_cast<uint32_t>(data.size());
+  }
+};
+
+/// Redo log with a volatile buffer and a durable portion. All LSNs are byte
+/// positions, so `flushed_lsn - checkpoint_lsn` is exactly the number of
+/// bytes recovery must scan.
+class RedoLog {
+ public:
+  explicit RedoLog(SimDisk* disk) : disk_(disk) {}
+  POLAR_DISALLOW_COPY(RedoLog);
+
+  /// Appends one mini-transaction's records to the volatile buffer
+  /// atomically. Records receive consecutive LSNs. Returns the end LSN.
+  Lsn AppendMtr(std::vector<RedoRecord> records);
+
+  /// Durably flush the buffer up to its current end. Charges the disk for
+  /// the flushed bytes (one I/O per call).
+  Lsn Flush(sim::ExecContext& ctx);
+
+  /// Group commit: a commit arriving while another commit's flush is in
+  /// flight rides that write (bytes only, no extra I/O) and completes with
+  /// it; otherwise it leads a new batch, lingering up to `window` to let
+  /// followers accumulate. window == 0 degenerates to Flush(). Returns the
+  /// durable LSN covering this commit.
+  Lsn GroupCommit(sim::ExecContext& ctx, Nanos window);
+
+  /// Crash: the volatile buffer is lost. Durable records stay.
+  void LoseUnflushedTail();
+
+  /// Advance the checkpoint (older records become irrelevant for recovery
+  /// but are retained for test introspection).
+  void Checkpoint(Lsn lsn) {
+    POLAR_CHECK(lsn <= flushed_lsn_);
+    checkpoint_lsn_ = lsn > checkpoint_lsn_ ? lsn : checkpoint_lsn_;
+  }
+
+  Lsn current_lsn() const { return next_lsn_; }
+  Lsn flushed_lsn() const { return flushed_lsn_; }
+  Lsn checkpoint_lsn() const { return checkpoint_lsn_; }
+  uint64_t unflushed_bytes() const {
+    return next_lsn_ - flushed_lsn_;
+  }
+
+  /// Durable records with lsn >= `from`, in LSN order. (Recovery drivers
+  /// charge the disk for the scan themselves via ChargeScan.)
+  std::vector<const RedoRecord*> DurableRecordsFrom(Lsn from) const;
+
+  /// Charges the disk for scanning the durable log from `from` to the end.
+  void ChargeScan(sim::ExecContext& ctx, Lsn from);
+
+  SimDisk* disk() { return disk_; }
+
+ private:
+  SimDisk* disk_;
+  std::vector<RedoRecord> durable_;
+  std::vector<RedoRecord> buffer_;  // volatile tail (local DRAM)
+  Lsn next_lsn_ = 0;
+  Lsn flushed_lsn_ = 0;
+  Lsn checkpoint_lsn_ = 0;
+  Nanos last_batch_completion_ = 0;
+  uint64_t next_mtr_id_ = 1;
+
+ public:
+  /// Allocates a cluster-unique mini-transaction id.
+  uint64_t NewMtrId() { return next_mtr_id_++; }
+};
+
+}  // namespace polarcxl::storage

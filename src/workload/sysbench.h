@@ -1,0 +1,97 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// Sysbench OLTP workload generator (the paper's primary benchmark),
+// including the multi-primary adaptation of Section 4.4: tables are split
+// into N+1 groups (N private, one shared) and X% of queries target the
+// shared group.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "engine/database.h"
+#include "sim/bandwidth_channel.h"
+
+namespace polarcxl::workload {
+
+/// Sysbench oltp_* flavors used in the paper.
+enum class SysbenchOp {
+  kPointSelect,  // 1 point SELECT per event
+  kRangeSelect,  // 1 range SELECT (range_size rows) per event
+  kReadOnly,     // 10 point selects + 1 range per transaction
+  kReadWrite,    // reads + index/non-index update + delete/insert
+  kWriteOnly,    // index/non-index update + delete/insert
+  kPointUpdate,  // 10 point updates per transaction (Section 4.4)
+};
+
+const char* SysbenchOpName(SysbenchOp op);
+
+/// sbtest row: k INT at [0,4), c CHAR(120) at [4,124), pad CHAR(60) at
+/// [124,184).
+enum class KeyDistribution { kUniform, kZipfian };
+
+struct SysbenchConfig {
+  uint32_t tables = 8;
+  uint32_t rows_per_table = 25000;
+  uint32_t range_size = 100;
+  uint16_t row_size = 184;
+  /// Key skew: uniform (sysbench default) or zipfian (hot rows, like
+  /// sysbench's rand-type=zipfian).
+  KeyDistribution distribution = KeyDistribution::kUniform;
+  double zipf_theta = 0.99;
+
+  // Multi-primary sharing adaptation (Section 4.4): with `num_nodes` = N,
+  // tables form N+1 groups of `tables` each; group i is private to node i
+  // and group N is shared. `shared_fraction` of queries hit the shared
+  // group. num_nodes == 1 disables grouping (all tables local).
+  uint32_t num_nodes = 1;
+  double shared_fraction = 0.0;
+
+  uint32_t TotalTables() const {
+    return num_nodes == 1 ? tables : (num_nodes + 1) * tables;
+  }
+};
+
+/// Creates and populates the sbtest tables on `db`. Call once per cluster
+/// (on the schema-owning node in multi-primary setups).
+Status LoadSysbenchTables(sim::ExecContext& ctx, engine::Database* db,
+                          const SysbenchConfig& config);
+
+/// Per-lane workload driver. Deterministic given (seed, node).
+class SysbenchWorkload {
+ public:
+  /// `client_net` (nullable) is charged with query/result bytes.
+  SysbenchWorkload(engine::Database* db, SysbenchConfig config, NodeId node,
+                   uint64_t seed, sim::BandwidthChannel* client_net = nullptr);
+
+  /// Executes one sysbench event (query or transaction). Returns the number
+  /// of queries executed (the paper's QPS counts queries).
+  uint32_t RunEvent(sim::ExecContext& ctx, SysbenchOp op);
+
+  uint64_t total_queries() const { return total_queries_; }
+  uint64_t shared_queries() const { return shared_queries_; }
+
+ private:
+  engine::Table* PickTable(bool* is_shared);
+  uint64_t PickRow();
+  void ChargeClient(sim::ExecContext& ctx, uint64_t bytes);
+
+  void PointSelect(sim::ExecContext& ctx);
+  void RangeSelect(sim::ExecContext& ctx);
+  void IndexUpdate(sim::ExecContext& ctx);
+  void NonIndexUpdate(sim::ExecContext& ctx);
+  void DeleteInsert(sim::ExecContext& ctx);
+  void PointUpdate(sim::ExecContext& ctx);
+
+  engine::Database* db_;
+  SysbenchConfig config_;
+  NodeId node_;
+  Rng rng_;
+  std::unique_ptr<ZipfRng> zipf_;
+  sim::BandwidthChannel* client_net_;
+  uint64_t total_queries_ = 0;
+  uint64_t shared_queries_ = 0;
+};
+
+}  // namespace polarcxl::workload

@@ -1,0 +1,66 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// TATP (Telecom Application Transaction Processing) workload: the standard
+// 80/20 read/write mix over subscriber records. Subscribers are partitioned
+// across nodes — TATP has no data sharing at all (Section 4.4), so in
+// multi-primary runs it isolates the pooling benefits.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "engine/database.h"
+
+namespace polarcxl::workload {
+
+struct TatpConfig {
+  uint64_t subscribers = 100000;
+  uint32_t num_nodes = 1;  // subscribers are range-partitioned over nodes
+
+  uint64_t SubscribersPerNode() const {
+    return subscribers / std::max(1u, num_nodes);
+  }
+};
+
+struct TatpTables {
+  static constexpr size_t kSubscriber = 0;
+  static constexpr size_t kAccessInfo = 1;       // sid*4 + ai_type
+  static constexpr size_t kSpecialFacility = 2;  // sid*4 + sf_type
+  static constexpr size_t kCallForwarding = 3;   // (sid*4+sf)*24 + start_hr
+  static constexpr size_t kCount = 4;
+};
+
+Status LoadTatpTables(sim::ExecContext& ctx, engine::Database* db,
+                      const TatpConfig& config);
+
+struct TatpStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t not_found = 0;  // TATP expects some probes to miss
+  uint64_t total() const { return reads + writes; }
+};
+
+class TatpWorkload {
+ public:
+  TatpWorkload(engine::Database* db, TatpConfig config, NodeId node,
+               uint64_t seed);
+
+  /// Runs one transaction from the standard mix:
+  ///   GET_SUBSCRIBER_DATA 35 / GET_NEW_DESTINATION 10 / GET_ACCESS_DATA 35
+  ///   UPDATE_SUBSCRIBER_DATA 2 / UPDATE_LOCATION 14
+  ///   INSERT_CALL_FORWARDING 2 / DELETE_CALL_FORWARDING 2.
+  /// Returns the number of queries executed.
+  uint32_t RunTransaction(sim::ExecContext& ctx);
+
+  const TatpStats& stats() const { return stats_; }
+
+ private:
+  uint64_t PickSubscriber();
+
+  engine::Database* db_;
+  TatpConfig config_;
+  NodeId node_;
+  Rng rng_;
+  TatpStats stats_;
+};
+
+}  // namespace polarcxl::workload

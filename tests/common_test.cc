@@ -1,0 +1,164 @@
+// Tests for src/common: Status/Result, Slice, Rng/ZipfRng, Histogram,
+// TimeSeries.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace polarcxl {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCodesAndMessages) {
+  Status s = Status::NotFound("page 7");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "NotFound: page 7");
+
+  EXPECT_TRUE(Status::Corruption().IsCorruption());
+  EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
+  EXPECT_TRUE(Status::OutOfMemory().IsOutOfMemory());
+  EXPECT_TRUE(Status::Busy().IsBusy());
+  EXPECT_TRUE(Status::IOError().IsIOError());
+  EXPECT_TRUE(Status::NotSupported().IsNotSupported());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::Busy("later"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsBusy());
+}
+
+TEST(SliceTest, CompareAndEquality) {
+  EXPECT_EQ(Slice("abc"), Slice("abc"));
+  EXPECT_NE(Slice("abc"), Slice("abd"));
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);
+  EXPECT_GT(Slice("b").compare(Slice("abc")), 0);
+  EXPECT_TRUE(Slice().empty());
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; i++) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformWithinBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    const uint64_t v = rng.Range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, ChanceRoughlyCalibrated) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 100000; i++) hits += rng.Chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(ZipfTest, SkewsTowardsSmallValues) {
+  ZipfRng zipf(3, 1000, 0.99);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; i++) counts[zipf.Next()]++;
+  // Head must be much hotter than the tail.
+  EXPECT_GT(counts[0], counts[500] * 10);
+  // All draws in range (counts vector indexing above would have aborted).
+}
+
+TEST(ZipfTest, CoversRange) {
+  ZipfRng zipf(5, 10, 0.5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 10000; i++) seen.insert(zipf.Next());
+  EXPECT_GE(seen.size(), 9u);
+  for (uint64_t v : seen) EXPECT_LT(v, 10u);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (int i = 1; i <= 100; i++) h.Add(i * 1000);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 1000);
+  EXPECT_EQ(h.max(), 100000);
+  EXPECT_NEAR(h.Mean(), 50500.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 50000.0, 2500.0);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(95)), 95000.0, 4000.0);
+}
+
+TEST(HistogramTest, MergeMatchesCombined) {
+  Histogram a;
+  Histogram b;
+  Histogram all;
+  Rng rng(1);
+  for (int i = 0; i < 5000; i++) {
+    const Nanos v = static_cast<Nanos>(rng.Uniform(1000000));
+    if (i % 2 == 0) a.Add(v);
+    else b.Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  EXPECT_EQ(a.Percentile(99), all.Percentile(99));
+}
+
+TEST(HistogramTest, PercentileWithinRelativeError) {
+  Histogram h;
+  for (int i = 0; i < 100000; i++) h.Add(123456);
+  // All mass in one bucket: percentiles must be within bucket width (~2%).
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 123456, 123456 * 0.02);
+  EXPECT_EQ(h.Percentile(100), 123456);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Add(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(TimeSeriesTest, BucketsAndRates) {
+  TimeSeries ts(kNanosPerSec);
+  ts.Add(Secs(0.5));
+  ts.Add(Secs(0.7));
+  ts.Add(Secs(2.1));
+  EXPECT_EQ(ts.bucket(0), 2u);
+  EXPECT_EQ(ts.bucket(1), 0u);
+  EXPECT_EQ(ts.bucket(2), 1u);
+  EXPECT_DOUBLE_EQ(ts.RatePerSec(0), 2.0);
+  EXPECT_EQ(ts.num_buckets(), 3u);
+  EXPECT_EQ(ts.bucket(99), 0u);  // out of range reads as zero
+}
+
+TEST(TypesTest, DurationHelpers) {
+  EXPECT_EQ(Micros(1.5), 1500);
+  EXPECT_EQ(Millis(2), 2000000);
+  EXPECT_EQ(Secs(1), kNanosPerSec);
+  EXPECT_EQ(kLinesPerPage, 256u);
+}
+
+}  // namespace
+}  // namespace polarcxl

@@ -1,0 +1,210 @@
+// Edge cases across the engine and substrate layers: page geometry limits,
+// empty structures, boundary scans, early latch release, metadata layout
+// contracts.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "engine/database.h"
+#include "sharing/coherency.h"
+
+namespace polarcxl {
+namespace {
+
+using engine::BufferPoolKind;
+using engine::Database;
+using engine::MiniTransaction;
+using engine::PageView;
+using sim::ExecContext;
+
+struct EdgeEnv {
+  EdgeEnv() : disk("d"), store(&disk), log(&disk) {}
+
+  std::unique_ptr<Database> MakeDb(uint64_t pool_pages = 4096) {
+    engine::DatabaseEnv env;
+    env.store = &store;
+    env.log = &log;
+    engine::DatabaseOptions opt;
+    opt.pool_kind = BufferPoolKind::kDram;
+    opt.pool_pages = pool_pages;
+    ExecContext ctx;
+    return std::move(*Database::Create(ctx, env, opt));
+  }
+
+  storage::SimDisk disk;
+  storage::PageStore store;
+  storage::RedoLog log;
+};
+
+// ---------- page geometry ----------
+
+TEST(PageGeometryTest, LayoutContracts) {
+  // The buffer pools peek the page LSN at bytes [8,16); keep that stable.
+  uint8_t buf[kPageSize] = {};
+  PageView page(buf);
+  page.Format(3, 0, 32);
+  page.set_lsn(0x1122334455667788ULL);
+  Lsn peeked;
+  std::memcpy(&peeked, buf + 8, sizeof(peeked));
+  EXPECT_EQ(peeked, 0x1122334455667788ULL);
+}
+
+TEST(PageGeometryTest, ExactCapacityFill) {
+  uint8_t buf[kPageSize] = {};
+  PageView page(buf);
+  page.Format(1, 0, 24);
+  const uint16_t cap = page.Capacity();
+  uint8_t val[24] = {};
+  for (uint16_t i = 0; i < cap; i++) {
+    page.InsertEntryRaw(i, i, val);
+  }
+  EXPECT_TRUE(page.IsFull());
+  EXPECT_EQ(page.nkeys(), cap);
+  // Entries end within the page.
+  EXPECT_LE(page.EntryOffset(cap), kPageSize);
+}
+
+TEST(PageGeometryTest, LowerBoundOnEmptyPage) {
+  uint8_t buf[kPageSize] = {};
+  PageView page(buf);
+  page.Format(1, 0, 16);
+  EXPECT_EQ(page.LowerBound(42), 0);
+  uint16_t idx;
+  EXPECT_FALSE(page.Find(42, &idx));
+}
+
+TEST(PageGeometryTest, WideRowsStillFitSeveralPerPage) {
+  uint8_t buf[kPageSize] = {};
+  PageView page(buf);
+  page.Format(1, 0, 2048);  // warehouse-style fat rows
+  EXPECT_GE(page.Capacity(), 7);
+  EXPECT_LE(page.Capacity(), 8);
+}
+
+// ---------- B+tree boundaries ----------
+
+TEST(BTreeEdgeTest, ScanBeyondMaxKeyReturnsEmpty) {
+  EdgeEnv env;
+  auto db = env.MakeDb();
+  ExecContext ctx;
+  auto t = *db->CreateTable(ctx, "t", 16);
+  for (uint64_t k = 1; k <= 50; k++) {
+    ASSERT_TRUE(t->Insert(ctx, k, std::string(16, 'x')).ok());
+  }
+  std::vector<std::pair<uint64_t, std::string>> out;
+  auto n = t->Scan(ctx, 1000, 10, &out);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+}
+
+TEST(BTreeEdgeTest, ScanWithZeroCount) {
+  EdgeEnv env;
+  auto db = env.MakeDb();
+  ExecContext ctx;
+  auto t = *db->CreateTable(ctx, "t", 16);
+  ASSERT_TRUE(t->Insert(ctx, 1, std::string(16, 'x')).ok());
+  auto n = t->Scan(ctx, 0, 0, nullptr);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+}
+
+TEST(BTreeEdgeTest, ExtremeKeys) {
+  EdgeEnv env;
+  auto db = env.MakeDb();
+  ExecContext ctx;
+  auto t = *db->CreateTable(ctx, "t", 16);
+  ASSERT_TRUE(t->Insert(ctx, 0, std::string(16, 'a')).ok());
+  ASSERT_TRUE(t->Insert(ctx, UINT64_MAX, std::string(16, 'z')).ok());
+  EXPECT_EQ(*t->Get(ctx, 0), std::string(16, 'a'));
+  EXPECT_EQ(*t->Get(ctx, UINT64_MAX), std::string(16, 'z'));
+  std::vector<std::pair<uint64_t, std::string>> out;
+  ASSERT_TRUE(t->Scan(ctx, 0, 10, &out).ok());
+  EXPECT_EQ(out.front().first, 0u);
+  EXPECT_EQ(out.back().first, UINT64_MAX);
+}
+
+TEST(BTreeEdgeTest, DeleteEverythingThenReinsert) {
+  EdgeEnv env;
+  auto db = env.MakeDb();
+  ExecContext ctx;
+  auto t = *db->CreateTable(ctx, "t", 16);
+  for (uint64_t k = 1; k <= 1000; k++) {
+    ASSERT_TRUE(t->Insert(ctx, k, std::string(16, 'x')).ok());
+  }
+  for (uint64_t k = 1; k <= 1000; k++) {
+    ASSERT_TRUE(t->Delete(ctx, k).ok());
+  }
+  EXPECT_EQ(*t->tree()->CountAll(ctx), 0u);
+  // Empty leaves stay linked; reinserting into them must work.
+  for (uint64_t k = 1; k <= 1000; k++) {
+    ASSERT_TRUE(t->Insert(ctx, k, std::string(16, 'y')).ok());
+  }
+  EXPECT_EQ(*t->tree()->CountAll(ctx), 1000u);
+  EXPECT_EQ(*t->Get(ctx, 500), std::string(16, 'y'));
+}
+
+TEST(BTreeEdgeTest, DescendingInsertOrder) {
+  EdgeEnv env;
+  auto db = env.MakeDb();
+  ExecContext ctx;
+  auto t = *db->CreateTable(ctx, "t", 64);
+  for (uint64_t k = 3000; k > 0; k--) {
+    ASSERT_TRUE(t->Insert(ctx, k, std::string(64, 'd')).ok()) << k;
+  }
+  EXPECT_EQ(*t->tree()->CountAll(ctx), 3000u);
+  std::vector<std::pair<uint64_t, std::string>> out;
+  ASSERT_TRUE(t->Scan(ctx, 0, 3000, &out).ok());
+  for (size_t i = 1; i < out.size(); i++) {
+    ASSERT_LT(out[i - 1].first, out[i].first);
+  }
+}
+
+// ---------- mini-transaction early release ----------
+
+TEST(MtrEdgeTest, ReleaseEarlyUnfixesBeforeCommit) {
+  EdgeEnv env;
+  auto db = env.MakeDb(/*pool_pages=*/2);
+  ExecContext ctx;
+  MiniTransaction mtr(ctx, db->pool(), db->log());
+  auto a = mtr.GetPage(10, false);
+  ASSERT_TRUE(a.ok());
+  mtr.ReleaseEarly(*a);
+  // With only 2 frames, holding both would block a third fetch; the early
+  // release must have freed the fix.
+  auto b = mtr.GetPage(11, false);
+  auto c = mtr.GetPage(12, false);
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  mtr.Commit();
+}
+
+TEST(MtrEdgeTest, ReleasedHandleIsNotDeduped) {
+  EdgeEnv env;
+  auto db = env.MakeDb();
+  ExecContext ctx;
+  MiniTransaction mtr(ctx, db->pool(), db->log());
+  auto a = mtr.GetPage(5, false);
+  ASSERT_TRUE(a.ok());
+  mtr.ReleaseEarly(*a);
+  auto b = mtr.GetPage(5, true);  // re-fetch, now for write
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE((*b)->write_fixed);
+  mtr.Commit();
+}
+
+// ---------- CXL metadata layout contract ----------
+
+TEST(CxlLayoutTest, MetadataStructsAreSingleCacheLines) {
+  EXPECT_EQ(sizeof(bufferpool::CxlPoolHeader), kCacheLineSize);
+  EXPECT_EQ(sizeof(bufferpool::CxlBlockMeta), kCacheLineSize);
+  EXPECT_EQ(sizeof(sharing::FlagLine), kCacheLineSize);
+}
+
+TEST(CxlLayoutTest, RegionBytesAccountsForMetadataAndAlignment) {
+  const uint64_t bytes = bufferpool::CxlBufferPool::RegionBytes(100);
+  EXPECT_GE(bytes, 100ULL * kPageSize + 101 * 64);
+  EXPECT_EQ(bytes % kPageSize, 0u);  // frames stay page-aligned
+}
+
+}  // namespace
+}  // namespace polarcxl

@@ -1,0 +1,166 @@
+// Tests for the RDMA network model and the remote memory pool.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "rdma/rdma_network.h"
+#include "rdma/remote_memory_pool.h"
+
+namespace polarcxl::rdma {
+namespace {
+
+using sim::ExecContext;
+
+class RdmaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_.RegisterHost(0);
+    net_.RegisterHost(1);
+  }
+  RdmaNetwork net_;
+};
+
+TEST_F(RdmaTest, ReadLatencyMatchesTable2) {
+  ExecContext ctx;
+  net_.Read(ctx, 0, 1, 64);
+  EXPECT_NEAR(static_cast<double>(ctx.now), 4550, 40);
+  ExecContext ctx2;
+  net_.Read(ctx2, 0, 1, 16384);
+  EXPECT_NEAR(static_cast<double>(ctx2.now), 7130, 80);
+}
+
+TEST_F(RdmaTest, WriteLatencyMatchesTable2) {
+  ExecContext ctx;
+  net_.Write(ctx, 0, 1, 64);
+  EXPECT_NEAR(static_cast<double>(ctx.now), 4480, 40);
+  ExecContext ctx2;
+  net_.Write(ctx2, 0, 1, 16384);
+  EXPECT_NEAR(static_cast<double>(ctx2.now), 6120, 80);
+}
+
+TEST_F(RdmaTest, BandwidthSaturationQueues) {
+  // Pump 10000 x 16 KB reads at t=0: 160 MB at 12 GB/s needs ~13 ms.
+  ExecContext last;
+  for (int i = 0; i < 10000; i++) {
+    ExecContext ctx;
+    net_.Read(ctx, 0, 1, 16384);
+    last = ctx;
+  }
+  EXPECT_GT(last.now, Millis(12));
+  EXPECT_LT(last.now, Millis(20));
+}
+
+TEST_F(RdmaTest, UnsaturatedOpsDoNotQueue) {
+  ExecContext a;
+  net_.Read(a, 0, 1, 64);
+  ExecContext b;
+  b.now = Millis(1);
+  net_.Read(b, 0, 1, 64);
+  EXPECT_NEAR(static_cast<double>(b.now - Millis(1)), 4550, 40);
+}
+
+TEST_F(RdmaTest, RpcRoundTrip) {
+  ExecContext ctx;
+  net_.Rpc(ctx, 0, 1);
+  EXPECT_EQ(ctx.now, net_.latency().rdma_rpc_round_trip);
+}
+
+TEST_F(RdmaTest, StatsCount) {
+  ExecContext ctx;
+  net_.Read(ctx, 0, 1, 100);
+  net_.Write(ctx, 0, 1, 200);
+  EXPECT_EQ(net_.total_ops(), 2u);
+  EXPECT_EQ(net_.total_bytes(), 300u);
+  net_.ResetStats();
+  EXPECT_EQ(net_.total_bytes(), 0u);
+}
+
+TEST_F(RdmaTest, DoorbellLimitsIops) {
+  RdmaNic::Options slow;
+  slow.iops = 1000;  // 1 K verbs ops/sec
+  RdmaNetwork net;
+  net.RegisterHost(0, slow);
+  net.RegisterHost(1);
+  ExecContext last;
+  for (int i = 0; i < 100; i++) {
+    ExecContext ctx;
+    net.Read(ctx, 0, 1, 64);
+    last = ctx;
+  }
+  // 100 ops at 1 K IOPS occupy ~100 ms of doorbell time.
+  EXPECT_GT(last.now, Millis(20));
+}
+
+// ---------- RemoteMemoryPool ----------
+
+class RemotePoolTest : public ::testing::Test {
+ protected:
+  RemotePoolTest() : pool_(&net_, /*server_node=*/99, /*capacity=*/8) {
+    net_.RegisterHost(0);
+  }
+  RdmaNetwork net_;
+  RemoteMemoryPool pool_;
+};
+
+TEST_F(RemotePoolTest, WriteThenReadRoundTrips) {
+  std::array<uint8_t, kPageSize> in;
+  in.fill(0xAB);
+  ExecContext ctx;
+  ASSERT_TRUE(pool_.WritePage(ctx, 0, 1, 42, in.data()).ok());
+  std::array<uint8_t, kPageSize> out{};
+  ASSERT_TRUE(pool_.ReadPage(ctx, 0, 1, 42, out.data()).ok());
+  EXPECT_EQ(in, out);
+  EXPECT_TRUE(pool_.Contains(1, 42));
+}
+
+TEST_F(RemotePoolTest, MissingPageIsNotFound) {
+  std::array<uint8_t, kPageSize> out;
+  ExecContext ctx;
+  EXPECT_TRUE(pool_.ReadPage(ctx, 0, 1, 7, out.data()).IsNotFound());
+}
+
+TEST_F(RemotePoolTest, TenantsAreIsolated) {
+  std::array<uint8_t, kPageSize> in;
+  in.fill(1);
+  ExecContext ctx;
+  ASSERT_TRUE(pool_.WritePage(ctx, 0, /*tenant=*/1, 5, in.data()).ok());
+  EXPECT_FALSE(pool_.Contains(2, 5));
+  std::array<uint8_t, kPageSize> out;
+  EXPECT_TRUE(
+      pool_.ReadPage(ctx, 0, /*tenant=*/2, 5, out.data()).IsNotFound());
+}
+
+TEST_F(RemotePoolTest, CapacityEnforced) {
+  std::array<uint8_t, kPageSize> page{};
+  ExecContext ctx;
+  for (PageId p = 0; p < 8; p++) {
+    ASSERT_TRUE(pool_.WritePage(ctx, 0, 1, p, page.data()).ok());
+  }
+  EXPECT_TRUE(
+      pool_.WritePage(ctx, 0, 1, 100, page.data()).IsOutOfMemory());
+  // Overwriting an existing page is fine.
+  EXPECT_TRUE(pool_.WritePage(ctx, 0, 1, 3, page.data()).ok());
+}
+
+TEST_F(RemotePoolTest, TransfersChargeFullPages) {
+  std::array<uint8_t, kPageSize> page{};
+  ExecContext ctx;
+  net_.ResetStats();
+  pool_.WritePage(ctx, 0, 1, 9, page.data()).ok();
+  EXPECT_EQ(net_.total_bytes(), static_cast<uint64_t>(kPageSize));
+}
+
+TEST_F(RemotePoolTest, DropTenantRemovesAll) {
+  std::array<uint8_t, kPageSize> page{};
+  ExecContext ctx;
+  pool_.WritePage(ctx, 0, 1, 1, page.data()).ok();
+  pool_.WritePage(ctx, 0, 1, 2, page.data()).ok();
+  pool_.WritePage(ctx, 0, 2, 3, page.data()).ok();
+  pool_.DropTenant(1);
+  EXPECT_FALSE(pool_.Contains(1, 1));
+  EXPECT_TRUE(pool_.Contains(2, 3));
+  EXPECT_EQ(pool_.pages_stored(), 1u);
+}
+
+}  // namespace
+}  // namespace polarcxl::rdma

@@ -1,0 +1,62 @@
+// Tests for the reporting/metrics utilities used by the benchmark harness.
+#include <gtest/gtest.h>
+
+#include "harness/metrics.h"
+#include "harness/report.h"
+
+namespace polarcxl::harness {
+namespace {
+
+TEST(FormatTest, Numbers) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(3.14159, 0), "3");
+  EXPECT_EQ(FmtK(1234567), "1234.6K");
+  EXPECT_EQ(FmtK(500), "0.5K");
+  EXPECT_EQ(FmtGbps(11.994), "11.99GB/s");
+  EXPECT_EQ(FmtPct(0.625), "62.5%");
+  EXPECT_EQ(FmtUs(12345), "12.3us");
+  EXPECT_EQ(FmtSecs(1.25e9), "1.25s");
+}
+
+TEST(RunMetricsTest, RatesFromWindow) {
+  RunMetrics m;
+  m.queries = 1000;
+  m.events = 100;
+  m.window = Secs(0.5);
+  EXPECT_DOUBLE_EQ(m.Qps(), 2000.0);
+  EXPECT_DOUBLE_EQ(m.Tps(), 200.0);
+}
+
+TEST(RunMetricsTest, EmptyWindowIsZero) {
+  RunMetrics m;
+  EXPECT_DOUBLE_EQ(m.Qps(), 0.0);
+  EXPECT_DOUBLE_EQ(m.Tps(), 0.0);
+  EXPECT_DOUBLE_EQ(m.AvgLatencyUs(), 0.0);
+}
+
+TEST(RunMetricsTest, LatencyPercentiles) {
+  RunMetrics m;
+  for (int i = 1; i <= 100; i++) m.latency.Add(i * 1000);
+  EXPECT_NEAR(m.AvgLatencyUs(), 50.5, 0.1);
+  EXPECT_NEAR(m.P95LatencyUs(), 95.0, 4.0);
+}
+
+TEST(BandwidthProbeTest, DeltaOverWindow) {
+  BandwidthProbe probe;
+  probe.before = 1000;
+  probe.after = 1000 + 3ULL * 1000 * 1000 * 1000;  // +3 GB
+  EXPECT_NEAR(probe.Gbps(Secs(1)), 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(probe.Gbps(0), 0.0);
+}
+
+TEST(ReportTableTest, PrintsAlignedRows) {
+  ReportTable table("unit", {"a", "column-b"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"333333", "4"});
+  // Printing must not crash and row arity is enforced.
+  table.Print();
+  EXPECT_DEATH(table.AddRow({"only-one"}), "POLAR_CHECK");
+}
+
+}  // namespace
+}  // namespace polarcxl::harness
