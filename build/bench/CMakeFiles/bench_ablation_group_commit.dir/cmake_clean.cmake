@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_group_commit.dir/bench_ablation_group_commit.cc.o"
+  "CMakeFiles/bench_ablation_group_commit.dir/bench_ablation_group_commit.cc.o.d"
+  "bench_ablation_group_commit"
+  "bench_ablation_group_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_group_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

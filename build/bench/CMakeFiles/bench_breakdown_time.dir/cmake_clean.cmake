@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_breakdown_time.dir/bench_breakdown_time.cc.o"
+  "CMakeFiles/bench_breakdown_time.dir/bench_breakdown_time.cc.o.d"
+  "bench_breakdown_time"
+  "bench_breakdown_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_breakdown_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

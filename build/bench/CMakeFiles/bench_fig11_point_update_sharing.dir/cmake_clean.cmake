@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_point_update_sharing.dir/bench_fig11_point_update_sharing.cc.o"
+  "CMakeFiles/bench_fig11_point_update_sharing.dir/bench_fig11_point_update_sharing.cc.o.d"
+  "bench_fig11_point_update_sharing"
+  "bench_fig11_point_update_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_point_update_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_read_write_sharing.dir/bench_fig12_read_write_sharing.cc.o"
+  "CMakeFiles/bench_fig12_read_write_sharing.dir/bench_fig12_read_write_sharing.cc.o.d"
+  "bench_fig12_read_write_sharing"
+  "bench_fig12_read_write_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_read_write_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

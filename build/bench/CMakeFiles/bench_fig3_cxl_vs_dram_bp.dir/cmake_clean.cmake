@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_cxl_vs_dram_bp.dir/bench_fig3_cxl_vs_dram_bp.cc.o"
+  "CMakeFiles/bench_fig3_cxl_vs_dram_bp.dir/bench_fig3_cxl_vs_dram_bp.cc.o.d"
+  "bench_fig3_cxl_vs_dram_bp"
+  "bench_fig3_cxl_vs_dram_bp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_cxl_vs_dram_bp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

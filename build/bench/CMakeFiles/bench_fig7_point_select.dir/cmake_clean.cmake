@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_point_select.dir/bench_fig7_point_select.cc.o"
+  "CMakeFiles/bench_fig7_point_select.dir/bench_fig7_point_select.cc.o.d"
+  "bench_fig7_point_select"
+  "bench_fig7_point_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_point_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_range_select.dir/bench_fig8_range_select.cc.o"
+  "CMakeFiles/bench_fig8_range_select.dir/bench_fig8_range_select.cc.o.d"
+  "bench_fig8_range_select"
+  "bench_fig8_range_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_range_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

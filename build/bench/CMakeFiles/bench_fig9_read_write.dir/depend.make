@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_read_write.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_tpcc_tatp.dir/bench_table3_tpcc_tatp.cc.o"
+  "CMakeFiles/bench_table3_tpcc_tatp.dir/bench_table3_tpcc_tatp.cc.o.d"
+  "bench_table3_tpcc_tatp"
+  "bench_table3_tpcc_tatp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_tpcc_tatp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_instant_recovery.dir/instant_recovery.cpp.o"
+  "CMakeFiles/example_instant_recovery.dir/instant_recovery.cpp.o.d"
+  "example_instant_recovery"
+  "example_instant_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_instant_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

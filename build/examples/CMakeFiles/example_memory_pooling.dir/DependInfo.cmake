@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/memory_pooling.cpp" "examples/CMakeFiles/example_memory_pooling.dir/memory_pooling.cpp.o" "gcc" "examples/CMakeFiles/example_memory_pooling.dir/memory_pooling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/polar_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/polar_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/polar_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/polar_sharing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/polar_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/polar_bufferpool.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/polar_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/polar_cxl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/polar_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/polar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/polar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

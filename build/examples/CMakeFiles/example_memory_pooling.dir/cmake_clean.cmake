@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_memory_pooling.dir/memory_pooling.cpp.o"
+  "CMakeFiles/example_memory_pooling.dir/memory_pooling.cpp.o.d"
+  "example_memory_pooling"
+  "example_memory_pooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_memory_pooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_primary_sharing.dir/multi_primary_sharing.cpp.o"
+  "CMakeFiles/example_multi_primary_sharing.dir/multi_primary_sharing.cpp.o.d"
+  "example_multi_primary_sharing"
+  "example_multi_primary_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_primary_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_transactions.dir/transactions.cpp.o"
+  "CMakeFiles/example_transactions.dir/transactions.cpp.o.d"
+  "example_transactions"
+  "example_transactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polar_bufferpool.dir/bufferpool/buffer_pool.cc.o"
+  "CMakeFiles/polar_bufferpool.dir/bufferpool/buffer_pool.cc.o.d"
+  "CMakeFiles/polar_bufferpool.dir/bufferpool/cxl_buffer_pool.cc.o"
+  "CMakeFiles/polar_bufferpool.dir/bufferpool/cxl_buffer_pool.cc.o.d"
+  "CMakeFiles/polar_bufferpool.dir/bufferpool/dram_buffer_pool.cc.o"
+  "CMakeFiles/polar_bufferpool.dir/bufferpool/dram_buffer_pool.cc.o.d"
+  "CMakeFiles/polar_bufferpool.dir/bufferpool/tiered_rdma_buffer_pool.cc.o"
+  "CMakeFiles/polar_bufferpool.dir/bufferpool/tiered_rdma_buffer_pool.cc.o.d"
+  "libpolar_bufferpool.a"
+  "libpolar_bufferpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polar_bufferpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

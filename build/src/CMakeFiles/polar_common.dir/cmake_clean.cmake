@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polar_common.dir/common/histogram.cc.o"
+  "CMakeFiles/polar_common.dir/common/histogram.cc.o.d"
+  "CMakeFiles/polar_common.dir/common/status.cc.o"
+  "CMakeFiles/polar_common.dir/common/status.cc.o.d"
+  "libpolar_common.a"
+  "libpolar_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polar_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cxl/cxl_cluster.cc" "src/CMakeFiles/polar_cxl.dir/cxl/cxl_cluster.cc.o" "gcc" "src/CMakeFiles/polar_cxl.dir/cxl/cxl_cluster.cc.o.d"
+  "/root/repo/src/cxl/cxl_device.cc" "src/CMakeFiles/polar_cxl.dir/cxl/cxl_device.cc.o" "gcc" "src/CMakeFiles/polar_cxl.dir/cxl/cxl_device.cc.o.d"
+  "/root/repo/src/cxl/cxl_fabric.cc" "src/CMakeFiles/polar_cxl.dir/cxl/cxl_fabric.cc.o" "gcc" "src/CMakeFiles/polar_cxl.dir/cxl/cxl_fabric.cc.o.d"
+  "/root/repo/src/cxl/cxl_memory_manager.cc" "src/CMakeFiles/polar_cxl.dir/cxl/cxl_memory_manager.cc.o" "gcc" "src/CMakeFiles/polar_cxl.dir/cxl/cxl_memory_manager.cc.o.d"
+  "/root/repo/src/cxl/cxl_switch.cc" "src/CMakeFiles/polar_cxl.dir/cxl/cxl_switch.cc.o" "gcc" "src/CMakeFiles/polar_cxl.dir/cxl/cxl_switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/polar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/polar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

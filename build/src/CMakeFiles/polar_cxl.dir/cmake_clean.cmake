@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polar_cxl.dir/cxl/cxl_cluster.cc.o"
+  "CMakeFiles/polar_cxl.dir/cxl/cxl_cluster.cc.o.d"
+  "CMakeFiles/polar_cxl.dir/cxl/cxl_device.cc.o"
+  "CMakeFiles/polar_cxl.dir/cxl/cxl_device.cc.o.d"
+  "CMakeFiles/polar_cxl.dir/cxl/cxl_fabric.cc.o"
+  "CMakeFiles/polar_cxl.dir/cxl/cxl_fabric.cc.o.d"
+  "CMakeFiles/polar_cxl.dir/cxl/cxl_memory_manager.cc.o"
+  "CMakeFiles/polar_cxl.dir/cxl/cxl_memory_manager.cc.o.d"
+  "CMakeFiles/polar_cxl.dir/cxl/cxl_switch.cc.o"
+  "CMakeFiles/polar_cxl.dir/cxl/cxl_switch.cc.o.d"
+  "libpolar_cxl.a"
+  "libpolar_cxl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polar_cxl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/btree.cc" "src/CMakeFiles/polar_engine.dir/engine/btree.cc.o" "gcc" "src/CMakeFiles/polar_engine.dir/engine/btree.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/polar_engine.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/polar_engine.dir/engine/database.cc.o.d"
+  "/root/repo/src/engine/mini_transaction.cc" "src/CMakeFiles/polar_engine.dir/engine/mini_transaction.cc.o" "gcc" "src/CMakeFiles/polar_engine.dir/engine/mini_transaction.cc.o.d"
+  "/root/repo/src/engine/page.cc" "src/CMakeFiles/polar_engine.dir/engine/page.cc.o" "gcc" "src/CMakeFiles/polar_engine.dir/engine/page.cc.o.d"
+  "/root/repo/src/engine/table.cc" "src/CMakeFiles/polar_engine.dir/engine/table.cc.o" "gcc" "src/CMakeFiles/polar_engine.dir/engine/table.cc.o.d"
+  "/root/repo/src/engine/transaction.cc" "src/CMakeFiles/polar_engine.dir/engine/transaction.cc.o" "gcc" "src/CMakeFiles/polar_engine.dir/engine/transaction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/polar_bufferpool.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/polar_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/polar_cxl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/polar_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/polar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/polar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polar_engine.dir/engine/btree.cc.o"
+  "CMakeFiles/polar_engine.dir/engine/btree.cc.o.d"
+  "CMakeFiles/polar_engine.dir/engine/database.cc.o"
+  "CMakeFiles/polar_engine.dir/engine/database.cc.o.d"
+  "CMakeFiles/polar_engine.dir/engine/mini_transaction.cc.o"
+  "CMakeFiles/polar_engine.dir/engine/mini_transaction.cc.o.d"
+  "CMakeFiles/polar_engine.dir/engine/page.cc.o"
+  "CMakeFiles/polar_engine.dir/engine/page.cc.o.d"
+  "CMakeFiles/polar_engine.dir/engine/table.cc.o"
+  "CMakeFiles/polar_engine.dir/engine/table.cc.o.d"
+  "CMakeFiles/polar_engine.dir/engine/transaction.cc.o"
+  "CMakeFiles/polar_engine.dir/engine/transaction.cc.o.d"
+  "libpolar_engine.a"
+  "libpolar_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polar_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

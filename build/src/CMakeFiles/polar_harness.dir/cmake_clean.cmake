@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polar_harness.dir/harness/instance_driver.cc.o"
+  "CMakeFiles/polar_harness.dir/harness/instance_driver.cc.o.d"
+  "CMakeFiles/polar_harness.dir/harness/metrics.cc.o"
+  "CMakeFiles/polar_harness.dir/harness/metrics.cc.o.d"
+  "CMakeFiles/polar_harness.dir/harness/recovery_driver.cc.o"
+  "CMakeFiles/polar_harness.dir/harness/recovery_driver.cc.o.d"
+  "CMakeFiles/polar_harness.dir/harness/report.cc.o"
+  "CMakeFiles/polar_harness.dir/harness/report.cc.o.d"
+  "CMakeFiles/polar_harness.dir/harness/sharing_driver.cc.o"
+  "CMakeFiles/polar_harness.dir/harness/sharing_driver.cc.o.d"
+  "libpolar_harness.a"
+  "libpolar_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polar_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdma/rdma_network.cc" "src/CMakeFiles/polar_rdma.dir/rdma/rdma_network.cc.o" "gcc" "src/CMakeFiles/polar_rdma.dir/rdma/rdma_network.cc.o.d"
+  "/root/repo/src/rdma/rdma_nic.cc" "src/CMakeFiles/polar_rdma.dir/rdma/rdma_nic.cc.o" "gcc" "src/CMakeFiles/polar_rdma.dir/rdma/rdma_nic.cc.o.d"
+  "/root/repo/src/rdma/remote_memory_pool.cc" "src/CMakeFiles/polar_rdma.dir/rdma/remote_memory_pool.cc.o" "gcc" "src/CMakeFiles/polar_rdma.dir/rdma/remote_memory_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/polar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/polar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

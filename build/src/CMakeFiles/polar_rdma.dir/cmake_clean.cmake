@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polar_rdma.dir/rdma/rdma_network.cc.o"
+  "CMakeFiles/polar_rdma.dir/rdma/rdma_network.cc.o.d"
+  "CMakeFiles/polar_rdma.dir/rdma/rdma_nic.cc.o"
+  "CMakeFiles/polar_rdma.dir/rdma/rdma_nic.cc.o.d"
+  "CMakeFiles/polar_rdma.dir/rdma/remote_memory_pool.cc.o"
+  "CMakeFiles/polar_rdma.dir/rdma/remote_memory_pool.cc.o.d"
+  "libpolar_rdma.a"
+  "libpolar_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polar_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

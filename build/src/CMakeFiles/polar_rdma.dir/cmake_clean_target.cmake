@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpolar_rdma.a"
+)

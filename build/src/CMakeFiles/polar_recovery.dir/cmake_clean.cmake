@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polar_recovery.dir/recovery/polar_recv.cc.o"
+  "CMakeFiles/polar_recovery.dir/recovery/polar_recv.cc.o.d"
+  "CMakeFiles/polar_recovery.dir/recovery/recovery.cc.o"
+  "CMakeFiles/polar_recovery.dir/recovery/recovery.cc.o.d"
+  "CMakeFiles/polar_recovery.dir/recovery/txn_undo.cc.o"
+  "CMakeFiles/polar_recovery.dir/recovery/txn_undo.cc.o.d"
+  "libpolar_recovery.a"
+  "libpolar_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polar_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sharing/buffer_fusion.cc" "src/CMakeFiles/polar_sharing.dir/sharing/buffer_fusion.cc.o" "gcc" "src/CMakeFiles/polar_sharing.dir/sharing/buffer_fusion.cc.o.d"
+  "/root/repo/src/sharing/coherency.cc" "src/CMakeFiles/polar_sharing.dir/sharing/coherency.cc.o" "gcc" "src/CMakeFiles/polar_sharing.dir/sharing/coherency.cc.o.d"
+  "/root/repo/src/sharing/dist_lock_manager.cc" "src/CMakeFiles/polar_sharing.dir/sharing/dist_lock_manager.cc.o" "gcc" "src/CMakeFiles/polar_sharing.dir/sharing/dist_lock_manager.cc.o.d"
+  "/root/repo/src/sharing/mp_node.cc" "src/CMakeFiles/polar_sharing.dir/sharing/mp_node.cc.o" "gcc" "src/CMakeFiles/polar_sharing.dir/sharing/mp_node.cc.o.d"
+  "/root/repo/src/sharing/rdma_sharing.cc" "src/CMakeFiles/polar_sharing.dir/sharing/rdma_sharing.cc.o" "gcc" "src/CMakeFiles/polar_sharing.dir/sharing/rdma_sharing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/polar_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/polar_bufferpool.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/polar_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/polar_cxl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/polar_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/polar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/polar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polar_sharing.dir/sharing/buffer_fusion.cc.o"
+  "CMakeFiles/polar_sharing.dir/sharing/buffer_fusion.cc.o.d"
+  "CMakeFiles/polar_sharing.dir/sharing/coherency.cc.o"
+  "CMakeFiles/polar_sharing.dir/sharing/coherency.cc.o.d"
+  "CMakeFiles/polar_sharing.dir/sharing/dist_lock_manager.cc.o"
+  "CMakeFiles/polar_sharing.dir/sharing/dist_lock_manager.cc.o.d"
+  "CMakeFiles/polar_sharing.dir/sharing/mp_node.cc.o"
+  "CMakeFiles/polar_sharing.dir/sharing/mp_node.cc.o.d"
+  "CMakeFiles/polar_sharing.dir/sharing/rdma_sharing.cc.o"
+  "CMakeFiles/polar_sharing.dir/sharing/rdma_sharing.cc.o.d"
+  "libpolar_sharing.a"
+  "libpolar_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polar_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bandwidth_channel.cc" "src/CMakeFiles/polar_sim.dir/sim/bandwidth_channel.cc.o" "gcc" "src/CMakeFiles/polar_sim.dir/sim/bandwidth_channel.cc.o.d"
+  "/root/repo/src/sim/cpu_cache.cc" "src/CMakeFiles/polar_sim.dir/sim/cpu_cache.cc.o" "gcc" "src/CMakeFiles/polar_sim.dir/sim/cpu_cache.cc.o.d"
+  "/root/repo/src/sim/executor.cc" "src/CMakeFiles/polar_sim.dir/sim/executor.cc.o" "gcc" "src/CMakeFiles/polar_sim.dir/sim/executor.cc.o.d"
+  "/root/repo/src/sim/latency_model.cc" "src/CMakeFiles/polar_sim.dir/sim/latency_model.cc.o" "gcc" "src/CMakeFiles/polar_sim.dir/sim/latency_model.cc.o.d"
+  "/root/repo/src/sim/lock_table.cc" "src/CMakeFiles/polar_sim.dir/sim/lock_table.cc.o" "gcc" "src/CMakeFiles/polar_sim.dir/sim/lock_table.cc.o.d"
+  "/root/repo/src/sim/memory_space.cc" "src/CMakeFiles/polar_sim.dir/sim/memory_space.cc.o" "gcc" "src/CMakeFiles/polar_sim.dir/sim/memory_space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/polar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

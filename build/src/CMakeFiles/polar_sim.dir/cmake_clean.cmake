@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polar_sim.dir/sim/bandwidth_channel.cc.o"
+  "CMakeFiles/polar_sim.dir/sim/bandwidth_channel.cc.o.d"
+  "CMakeFiles/polar_sim.dir/sim/cpu_cache.cc.o"
+  "CMakeFiles/polar_sim.dir/sim/cpu_cache.cc.o.d"
+  "CMakeFiles/polar_sim.dir/sim/executor.cc.o"
+  "CMakeFiles/polar_sim.dir/sim/executor.cc.o.d"
+  "CMakeFiles/polar_sim.dir/sim/latency_model.cc.o"
+  "CMakeFiles/polar_sim.dir/sim/latency_model.cc.o.d"
+  "CMakeFiles/polar_sim.dir/sim/lock_table.cc.o"
+  "CMakeFiles/polar_sim.dir/sim/lock_table.cc.o.d"
+  "CMakeFiles/polar_sim.dir/sim/memory_space.cc.o"
+  "CMakeFiles/polar_sim.dir/sim/memory_space.cc.o.d"
+  "libpolar_sim.a"
+  "libpolar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/disk.cc" "src/CMakeFiles/polar_storage.dir/storage/disk.cc.o" "gcc" "src/CMakeFiles/polar_storage.dir/storage/disk.cc.o.d"
+  "/root/repo/src/storage/page_store.cc" "src/CMakeFiles/polar_storage.dir/storage/page_store.cc.o" "gcc" "src/CMakeFiles/polar_storage.dir/storage/page_store.cc.o.d"
+  "/root/repo/src/storage/redo_log.cc" "src/CMakeFiles/polar_storage.dir/storage/redo_log.cc.o" "gcc" "src/CMakeFiles/polar_storage.dir/storage/redo_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/polar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/polar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

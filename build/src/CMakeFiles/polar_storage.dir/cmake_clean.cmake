@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polar_storage.dir/storage/disk.cc.o"
+  "CMakeFiles/polar_storage.dir/storage/disk.cc.o.d"
+  "CMakeFiles/polar_storage.dir/storage/page_store.cc.o"
+  "CMakeFiles/polar_storage.dir/storage/page_store.cc.o.d"
+  "CMakeFiles/polar_storage.dir/storage/redo_log.cc.o"
+  "CMakeFiles/polar_storage.dir/storage/redo_log.cc.o.d"
+  "libpolar_storage.a"
+  "libpolar_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polar_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polar_workload.dir/workload/sysbench.cc.o"
+  "CMakeFiles/polar_workload.dir/workload/sysbench.cc.o.d"
+  "CMakeFiles/polar_workload.dir/workload/tatp.cc.o"
+  "CMakeFiles/polar_workload.dir/workload/tatp.cc.o.d"
+  "CMakeFiles/polar_workload.dir/workload/tpcc.cc.o"
+  "CMakeFiles/polar_workload.dir/workload/tpcc.cc.o.d"
+  "libpolar_workload.a"
+  "libpolar_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polar_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bufferpool_test.dir/bufferpool_test.cc.o"
+  "CMakeFiles/bufferpool_test.dir/bufferpool_test.cc.o.d"
+  "bufferpool_test"
+  "bufferpool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bufferpool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

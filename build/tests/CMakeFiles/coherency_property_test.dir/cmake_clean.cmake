@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherency_property_test.dir/coherency_property_test.cc.o"
+  "CMakeFiles/coherency_property_test.dir/coherency_property_test.cc.o.d"
+  "coherency_property_test"
+  "coherency_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherency_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxl_test.dir/cxl_test.cc.o"
+  "CMakeFiles/cxl_test.dir/cxl_test.cc.o.d"
+  "cxl_test"
+  "cxl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_test.dir/rdma_test.cc.o"
+  "CMakeFiles/rdma_test.dir/rdma_test.cc.o.d"
+  "rdma_test"
+  "rdma_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharing_test.dir/sharing_test.cc.o"
+  "CMakeFiles/sharing_test.dir/sharing_test.cc.o.d"
+  "sharing_test"
+  "sharing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
