@@ -3,10 +3,14 @@
 // recovery from CXL). Prints each scheme's throughput-over-time series
 // around the crash plus recovery/warm-up summary, for read-only,
 // read-write and write-only workloads. Workload pressure is paced equal
-// across schemes, matching the paper's methodology.
+// across schemes, matching the paper's methodology. The 9 (panel x scheme)
+// experiments are independent and fan out over POLAR_SWEEP_THREADS.
+#include <vector>
+
 #include "bench/bench_common.h"
 #include "harness/recovery_driver.h"
 #include "harness/report.h"
+#include "harness/sweep_runner.h"
 
 int main() {
   using namespace polarcxl;
@@ -26,9 +30,8 @@ int main() {
       {"write-only", workload::SysbenchOp::kWriteOnly},
   };
 
+  std::vector<RecoveryConfig> configs;
   for (const Panel& panel : panels) {
-    RecoveryResult results[3];
-    int i = 0;
     for (auto scheme : {RecoveryScheme::kVanilla, RecoveryScheme::kRdmaBased,
                         RecoveryScheme::kPolarRecv}) {
       RecoveryConfig c;
@@ -53,8 +56,15 @@ int main() {
       c.pace_interval =
           panel.op == workload::SysbenchOp::kReadOnly ? 0 : Millis(4);
       c.cpu_cache_bytes = 4ULL << 20;
-      results[i++] = RunRecoveryExperiment(c);
+      configs.push_back(c);
     }
+  }
+  const auto all_results = RunSweep<RecoveryConfig, RecoveryResult>(
+      configs, [](const RecoveryConfig& c) { return RunRecoveryExperiment(c); });
+
+  size_t panel_idx = 0;
+  for (const Panel& panel : panels) {
+    const RecoveryResult* results = &all_results[3 * panel_idx++];
 
     // Summary.
     ReportTable summary(

@@ -1,9 +1,12 @@
 // Figure 11: multi-primary data sharing, Sysbench point-update (10 updates
 // per transaction) on 8 nodes — throughput, latency, and PolarCXLMem's
 // improvement over RDMA-based PolarDB-MP as the shared-data percentage
-// sweeps 0%..100%.
+// sweeps 0%..100%. Points fan out over POLAR_SWEEP_THREADS.
+#include <vector>
+
 #include "bench/bench_common.h"
 #include "harness/sharing_driver.h"
+#include "harness/sweep_runner.h"
 
 int main() {
   using namespace polarcxl;
@@ -13,12 +16,10 @@ int main() {
       "improvement grows 33% (0% shared) -> 62% (40%) then declines to 27% "
       "(100%) as lock contention dominates");
 
-  ReportTable table("Sysbench point-update, 8 nodes",
-                    {"shared %", "RDMA QPS", "CXL QPS", "improvement",
-                     "RDMA lat", "CXL lat", "CXL lock waits"});
-  for (double frac : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
-    SharingResult results[2];
-    int i = 0;
+  const double fracs[] = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+
+  std::vector<SharingConfig> configs;
+  for (double frac : fracs) {
     for (auto mode : {SharingMode::kRdma, SharingMode::kCxl}) {
       SharingConfig c;
       c.mode = mode;
@@ -32,15 +33,26 @@ int main() {
       c.lbp_fraction = 0.3;
       c.warmup = bench::Scaled(Millis(40));
       c.measure = bench::Scaled(Millis(120));
-      results[i++] = RunSharing(c);
+      configs.push_back(c);
     }
-    const double improvement =
-        results[1].metrics.Qps() / results[0].metrics.Qps() - 1.0;
-    table.AddRow({FmtPct(frac), FmtK(results[0].metrics.Qps()),
-                  FmtK(results[1].metrics.Qps()), FmtPct(improvement),
-                  FmtUs(results[0].metrics.latency.Mean()),
-                  FmtUs(results[1].metrics.latency.Mean()),
-                  std::to_string(results[1].lock_waits)});
+  }
+  const auto results = RunSweep<SharingConfig, SharingResult>(
+      configs, [](const SharingConfig& c) { return RunSharing(c); });
+
+  ReportTable table("Sysbench point-update, 8 nodes",
+                    {"shared %", "RDMA QPS", "CXL QPS", "improvement",
+                     "RDMA lat", "CXL lat", "CXL lock waits"});
+  size_t i = 0;
+  for (double frac : fracs) {
+    const SharingResult& rdma = results[i];
+    const SharingResult& cxl = results[i + 1];
+    i += 2;
+    const double improvement = cxl.metrics.Qps() / rdma.metrics.Qps() - 1.0;
+    table.AddRow({FmtPct(frac), FmtK(rdma.metrics.Qps()),
+                  FmtK(cxl.metrics.Qps()), FmtPct(improvement),
+                  FmtUs(rdma.metrics.latency.Mean()),
+                  FmtUs(cxl.metrics.latency.Mean()),
+                  std::to_string(cxl.lock_waits)});
   }
   table.Print();
   return 0;

@@ -1,8 +1,12 @@
 // Figure 12: multi-primary data sharing, Sysbench read-write on 8- and
 // 12-node clusters — PolarCXLMem's improvement over the RDMA baseline as
-// the shared-data percentage sweeps 20%..100%.
+// the shared-data percentage sweeps 20%..100%. Points fan out over
+// POLAR_SWEEP_THREADS.
+#include <vector>
+
 #include "bench/bench_common.h"
 #include "harness/sharing_driver.h"
+#include "harness/sweep_runner.h"
 
 int main() {
   using namespace polarcxl;
@@ -12,13 +16,12 @@ int main() {
       "peak improvement 68.2% (8 nodes) / 154.4% (12 nodes) at 60% shared; "
       "still 34% / 126% at 100% shared");
 
-  for (uint32_t nodes : {8u, 12u}) {
-    ReportTable table("Sysbench read-write, " + std::to_string(nodes) +
-                          " nodes",
-                      {"shared %", "RDMA QPS", "CXL QPS", "improvement"});
-    for (double frac : {0.2, 0.4, 0.6, 0.8, 1.0}) {
-      SharingResult results[2];
-      int i = 0;
+  const uint32_t node_points[] = {8u, 12u};
+  const double fracs[] = {0.2, 0.4, 0.6, 0.8, 1.0};
+
+  std::vector<SharingConfig> configs;
+  for (uint32_t nodes : node_points) {
+    for (double frac : fracs) {
       for (auto mode : {SharingMode::kRdma, SharingMode::kCxl}) {
         SharingConfig c;
         c.mode = mode;
@@ -32,13 +35,25 @@ int main() {
         c.lbp_fraction = 0.3;
         c.warmup = bench::Scaled(Millis(40));
         c.measure = bench::Scaled(Millis(100));
-        results[i++] = RunSharing(c);
+        configs.push_back(c);
       }
-      table.AddRow({FmtPct(frac), FmtK(results[0].metrics.Qps()),
-                    FmtK(results[1].metrics.Qps()),
-                    FmtPct(results[1].metrics.Qps() /
-                               results[0].metrics.Qps() -
-                           1.0)});
+    }
+  }
+  const auto results = RunSweep<SharingConfig, SharingResult>(
+      configs, [](const SharingConfig& c) { return RunSharing(c); });
+
+  size_t i = 0;
+  for (uint32_t nodes : node_points) {
+    ReportTable table("Sysbench read-write, " + std::to_string(nodes) +
+                          " nodes",
+                      {"shared %", "RDMA QPS", "CXL QPS", "improvement"});
+    for (double frac : fracs) {
+      const SharingResult& rdma = results[i];
+      const SharingResult& cxl = results[i + 1];
+      i += 2;
+      table.AddRow({FmtPct(frac), FmtK(rdma.metrics.Qps()),
+                    FmtK(cxl.metrics.Qps()),
+                    FmtPct(cxl.metrics.Qps() / rdma.metrics.Qps() - 1.0)});
     }
     table.Print();
   }

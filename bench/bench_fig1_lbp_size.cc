@@ -1,8 +1,12 @@
 // Figure 1: impact of the local buffer pool (LBP) size in RDMA-based
 // tiered disaggregated memory — throughput and RDMA bandwidth vs LBP size
 // (10%..100% of the disaggregated memory), for point-select and read-write.
+// Points are independent experiments and fan out over POLAR_SWEEP_THREADS.
+#include <vector>
+
 #include "bench/bench_common.h"
 #include "harness/instance_driver.h"
+#include "harness/sweep_runner.h"
 
 int main() {
   using namespace polarcxl;
@@ -12,12 +16,13 @@ int main() {
       "point-select: 10% LBP -> 6.9 GB/s RDMA; 50% -> 3.8 GB/s; throughput "
       "rises with LBP; LBP-100% == local DRAM");
 
-  for (auto op : {workload::SysbenchOp::kPointSelect,
-                  workload::SysbenchOp::kReadWrite}) {
-    ReportTable table(std::string("Sysbench ") + workload::SysbenchOpName(op),
-                      {"LBP size", "throughput", "RDMA bandwidth",
-                       "LBP hit rate", "local DRAM"});
-    for (double frac : {0.1, 0.3, 0.5, 0.7, 1.0}) {
+  const workload::SysbenchOp ops[] = {workload::SysbenchOp::kPointSelect,
+                                      workload::SysbenchOp::kReadWrite};
+  const double fracs[] = {0.1, 0.3, 0.5, 0.7, 1.0};
+
+  std::vector<PoolingConfig> configs;
+  for (auto op : ops) {
+    for (double frac : fracs) {
       PoolingConfig c;
       // LBP-100% holds the whole dataset: equivalent to a local pool.
       c.kind = engine::BufferPoolKind::kTieredRdma;
@@ -29,7 +34,19 @@ int main() {
       c.op = op;
       c.warmup = bench::Scaled(Millis(60));
       c.measure = bench::Scaled(Millis(200));
-      PoolingResult r = RunPooling(c);
+      configs.push_back(c);
+    }
+  }
+  const auto results = RunSweep<PoolingConfig, PoolingResult>(
+      configs, [](const PoolingConfig& c) { return RunPooling(c); });
+
+  size_t i = 0;
+  for (auto op : ops) {
+    ReportTable table(std::string("Sysbench ") + workload::SysbenchOpName(op),
+                      {"LBP size", "throughput", "RDMA bandwidth",
+                       "LBP hit rate", "local DRAM"});
+    for (double frac : fracs) {
+      const PoolingResult& r = results[i++];
       table.AddRow({FmtPct(frac), FmtK(r.metrics.Qps()),
                     FmtGbps(r.nic_gbps), FmtPct(r.lbp_hit_rate),
                     FmtK(static_cast<double>(r.local_dram_bytes) / 1024)});

@@ -1,0 +1,153 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// Simulation-core throughput microbench: how fast does the virtual-time
+// simulator itself run on this host? Every figure/table bench is bounded by
+// this number, so its trajectory is tracked across PRs in
+// BENCH_sim_throughput.json (committed at the repo root).
+//
+// Workload: the Figure 7 8-instance sysbench point-select pooling point
+// (both the PolarCXLMem/CXL and tiered-RDMA configurations). Metrics:
+//   - lane-steps/sec: executor steps retired per second of compute
+//   - virtual-ns per wall-ns: how much simulated time one second buys
+// Time is thread CPU time, not wall time: the experiment is single-threaded,
+// so the two agree on an idle machine, but CPU time stays meaningful on a
+// contended CI box where wall time mostly measures preemption by other
+// tenants. Best-of-N repetitions is reported to shave remaining noise.
+#include <ctime>
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "harness/instance_driver.h"
+
+namespace polarcxl::bench {
+namespace {
+
+struct ThroughputSample {
+  uint64_t lane_steps = 0;
+  Nanos virtual_end = 0;
+  double wall_sec = 0;
+  double StepsPerSec() const { return static_cast<double>(lane_steps) / wall_sec; }
+  double VirtualPerWall() const {
+    return static_cast<double>(virtual_end) / (wall_sec * 1e9);
+  }
+};
+
+harness::PoolingConfig BenchConfig(engine::BufferPoolKind kind) {
+  harness::PoolingConfig c;
+  c.kind = kind;
+  c.instances = 8;
+  c.lanes_per_instance = 8;
+  c.op = workload::SysbenchOp::kPointSelect;
+  c.sysbench.tables = 4;
+  c.sysbench.rows_per_table = 8000;
+  c.cpu_cache_bytes = 2ULL << 20;
+  c.lbp_fraction = 0.3;
+  c.warmup = Scaled(Millis(40));
+  c.measure = Scaled(Millis(120));
+  return c;
+}
+
+double ThreadCpuSec() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+ThroughputSample RunOnce(engine::BufferPoolKind kind) {
+  const double t0 = ThreadCpuSec();
+  const harness::PoolingResult r = harness::RunPooling(BenchConfig(kind));
+  const double t1 = ThreadCpuSec();
+  ThroughputSample s;
+  s.lane_steps = r.lane_steps;
+  s.virtual_end = r.virtual_end;
+  s.wall_sec = t1 - t0;
+  return s;
+}
+
+ThroughputSample BestOf(engine::BufferPoolKind kind, int reps) {
+  ThroughputSample best;
+  for (int i = 0; i < reps; i++) {
+    const ThroughputSample s = RunOnce(kind);
+    if (best.wall_sec == 0 || s.StepsPerSec() > best.StepsPerSec()) best = s;
+  }
+  return best;
+}
+
+void WriteJson(const ThroughputSample& cxl, const ThroughputSample& rdma,
+               int reps) {
+  FILE* f = std::fopen("BENCH_sim_throughput.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_sim_throughput.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"sim_throughput\",\n");
+  std::fprintf(f,
+               "  \"workload\": \"8-instance sysbench point-select pooling "
+               "(fig7 point), 8 lanes/instance\",\n");
+  std::fprintf(f, "  \"scale\": %.3f,\n", BenchScale());
+  std::fprintf(f, "  \"reps\": %d,\n", reps);
+  std::fprintf(f, "  \"cxl\": {\n");
+  std::fprintf(f, "    \"lane_steps\": %llu,\n",
+               static_cast<unsigned long long>(cxl.lane_steps));
+  std::fprintf(f, "    \"wall_sec\": %.4f,\n", cxl.wall_sec);
+  std::fprintf(f, "    \"lane_steps_per_sec\": %.0f,\n", cxl.StepsPerSec());
+  std::fprintf(f, "    \"virtual_ns_per_wall_ns\": %.4f\n",
+               cxl.VirtualPerWall());
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"tiered_rdma\": {\n");
+  std::fprintf(f, "    \"lane_steps\": %llu,\n",
+               static_cast<unsigned long long>(rdma.lane_steps));
+  std::fprintf(f, "    \"wall_sec\": %.4f,\n", rdma.wall_sec);
+  std::fprintf(f, "    \"lane_steps_per_sec\": %.0f,\n", rdma.StepsPerSec());
+  std::fprintf(f, "    \"virtual_ns_per_wall_ns\": %.4f\n",
+               rdma.VirtualPerWall());
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+int Main() {
+  PrintHeader("sim-core throughput",
+              "n/a (infrastructure bench: lane-steps/sec of the simulator)");
+  const char* reps_env = std::getenv("POLAR_BENCH_REPS");
+  const int reps = reps_env != nullptr ? std::max(1, std::atoi(reps_env)) : 3;
+
+  const ThroughputSample cxl = BestOf(engine::BufferPoolKind::kCxl, reps);
+  const ThroughputSample rdma =
+      BestOf(engine::BufferPoolKind::kTieredRdma, reps);
+
+  harness::ReportTable table(
+      "Simulator throughput — best of " + std::to_string(reps),
+      {"config", "lane-steps", "wall s", "steps/sec", "vns/wns"});
+  auto row = [&](const char* name, const ThroughputSample& s) {
+    char steps[32], wall[32], rate[32], ratio[32];
+    std::snprintf(steps, sizeof(steps), "%llu",
+                  static_cast<unsigned long long>(s.lane_steps));
+    std::snprintf(wall, sizeof(wall), "%.3f", s.wall_sec);
+    std::snprintf(rate, sizeof(rate), "%.0f", s.StepsPerSec());
+    std::snprintf(ratio, sizeof(ratio), "%.4f", s.VirtualPerWall());
+    table.AddRow({name, steps, wall, rate, ratio});
+  };
+  row("cxl", cxl);
+  row("tiered_rdma", rdma);
+  table.Print();
+
+  // Only full-scale runs refresh the committed trajectory file: a quick
+  // POLAR_BENCH_SCALE pass must not silently clobber it with numbers from
+  // a smaller workload.
+  if (BenchScale() == 1.0) {
+    WriteJson(cxl, rdma, reps);
+    std::printf("wrote BENCH_sim_throughput.json\n");
+  } else {
+    std::printf(
+        "POLAR_BENCH_SCALE != 1: BENCH_sim_throughput.json not refreshed\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace polarcxl::bench
+
+int main() { return polarcxl::bench::Main(); }

@@ -2,12 +2,18 @@
 // Shared driver for Figures 7-9: RDMA-based vs PolarCXLMem pooling sweeps
 // over the instance count, reporting throughput, average latency, and
 // RDMA/CXL bandwidth — the three panels of each figure.
+//
+// All (instance count x pool kind) experiment points are independent, so the
+// sweep fans out over host threads (POLAR_SWEEP_THREADS); results are
+// bit-identical at any thread count (see harness/sweep_runner.h).
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "harness/instance_driver.h"
+#include "harness/sweep_runner.h"
 
 namespace polarcxl::bench {
 
@@ -16,15 +22,9 @@ inline void RunPoolingFigure(const char* figure, const char* paper_summary,
   PrintHeader(figure, paper_summary);
 
   const uint32_t kInstancePoints[] = {1, 2, 3, 4, 6, 8, 10, 12};
-  harness::ReportTable table(
-      std::string("Sysbench ") + workload::SysbenchOpName(op) +
-          " — RDMA-based (LBP 30%) vs PolarCXLMem",
-      {"instances", "RDMA QPS", "CXL QPS", "RDMA lat", "CXL lat",
-       "RDMA BW", "CXL BW"});
 
+  std::vector<harness::PoolingConfig> configs;
   for (uint32_t n : kInstancePoints) {
-    harness::PoolingResult results[2];
-    int i = 0;
     for (auto kind : {engine::BufferPoolKind::kTieredRdma,
                       engine::BufferPoolKind::kCxl}) {
       harness::PoolingConfig c;
@@ -38,15 +38,31 @@ inline void RunPoolingFigure(const char* figure, const char* paper_summary,
       c.cpu_cache_bytes = 2ULL << 20;  // dataset >> LLC, as at paper scale
       c.warmup = Scaled(Millis(40));
       c.measure = Scaled(Millis(120));
-      results[i++] = harness::RunPooling(c);
+      configs.push_back(c);
     }
-    table.AddRow({std::to_string(n),
-                  harness::FmtK(results[0].metrics.Qps()),
-                  harness::FmtK(results[1].metrics.Qps()),
-                  harness::FmtUs(results[0].metrics.latency.Mean()),
-                  harness::FmtUs(results[1].metrics.latency.Mean()),
-                  harness::FmtGbps(results[0].nic_gbps),
-                  harness::FmtGbps(results[1].cxl_gbps)});
+  }
+
+  const auto results =
+      harness::RunSweep<harness::PoolingConfig, harness::PoolingResult>(
+          configs, [](const harness::PoolingConfig& c) {
+            return harness::RunPooling(c);
+          });
+
+  harness::ReportTable table(
+      std::string("Sysbench ") + workload::SysbenchOpName(op) +
+          " — RDMA-based (LBP 30%) vs PolarCXLMem",
+      {"instances", "RDMA QPS", "CXL QPS", "RDMA lat", "CXL lat",
+       "RDMA BW", "CXL BW"});
+  for (size_t p = 0; p < std::size(kInstancePoints); p++) {
+    const harness::PoolingResult& rdma = results[2 * p];
+    const harness::PoolingResult& cxl = results[2 * p + 1];
+    table.AddRow({std::to_string(kInstancePoints[p]),
+                  harness::FmtK(rdma.metrics.Qps()),
+                  harness::FmtK(cxl.metrics.Qps()),
+                  harness::FmtUs(rdma.metrics.latency.Mean()),
+                  harness::FmtUs(cxl.metrics.latency.Mean()),
+                  harness::FmtGbps(rdma.nic_gbps),
+                  harness::FmtGbps(cxl.cxl_gbps)});
   }
   table.Print();
 }

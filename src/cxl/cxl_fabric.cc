@@ -16,6 +16,8 @@ Status CxlFabric::AddDevice(uint64_t capacity) {
       static_cast<uint32_t>(devices_.size()), capacity));
   device_base_.push_back(capacity_);
   capacity_ += capacity;
+  single_device_data_ =
+      devices_.size() == 1 ? devices_[0]->data() : nullptr;
   return Status::OK();
 }
 
@@ -40,8 +42,7 @@ Result<CxlAccessor*> CxlFabric::AttachHost(NodeId node, bool remote_numa) {
   return hosts_.back().get();
 }
 
-uint8_t* CxlFabric::Translate(MemOffset off) {
-  POLAR_CHECK_MSG(off < capacity_, "fabric offset out of range");
+uint8_t* CxlFabric::TranslateSlow(MemOffset off) {
   // Devices are laid out back-to-back; binary search the base table.
   const auto it =
       std::upper_bound(device_base_.begin(), device_base_.end(), off);
@@ -49,7 +50,7 @@ uint8_t* CxlFabric::Translate(MemOffset off) {
   return devices_[idx]->data() + (off - device_base_[idx]);
 }
 
-uint64_t CxlFabric::ContiguousAt(MemOffset off) const {
+uint64_t CxlFabric::ContiguousAtSlow(MemOffset off) const {
   POLAR_CHECK(off < capacity_);
   const auto it =
       std::upper_bound(device_base_.begin(), device_base_.end(), off);
@@ -57,7 +58,7 @@ uint64_t CxlFabric::ContiguousAt(MemOffset off) const {
   return device_base_[idx] + devices_[idx]->capacity() - off;
 }
 
-void CxlFabric::CopyOut(MemOffset off, void* dst, uint64_t len) {
+void CxlFabric::CopyOutSlow(MemOffset off, void* dst, uint64_t len) {
   uint8_t* out = static_cast<uint8_t*>(dst);
   while (len > 0) {
     const uint64_t chunk = std::min(len, ContiguousAt(off));
@@ -68,7 +69,7 @@ void CxlFabric::CopyOut(MemOffset off, void* dst, uint64_t len) {
   }
 }
 
-void CxlFabric::CopyIn(MemOffset off, const void* src, uint64_t len) {
+void CxlFabric::CopyInSlow(MemOffset off, const void* src, uint64_t len) {
   const uint8_t* in = static_cast<const uint8_t*>(src);
   while (len > 0) {
     const uint64_t chunk = std::min(len, ContiguousAt(off));

@@ -146,14 +146,41 @@ class CxlFabric {
   /// Resolve a fabric offset to its backing device bytes. The returned
   /// pointer is only valid up to the end of the backing device; use
   /// CopyOut/CopyIn for ranges that may span devices.
-  uint8_t* Translate(MemOffset off);
+  /// (Inline single-device fast path: the common deployment backs the
+  /// whole fabric with one device, and this is called once per simulated
+  /// load/store, so the binary search is hoisted out of the hot path.)
+  uint8_t* Translate(MemOffset off) {
+    POLAR_CHECK_MSG(off < capacity_, "fabric offset out of range");
+    if (single_device_data_ != nullptr) return single_device_data_ + off;
+    return TranslateSlow(off);
+  }
 
   /// Device-boundary-safe bulk copies.
-  void CopyOut(MemOffset off, void* dst, uint64_t len);
-  void CopyIn(MemOffset off, const void* src, uint64_t len);
+  void CopyOut(MemOffset off, void* dst, uint64_t len) {
+    if (single_device_data_ != nullptr) {
+      POLAR_CHECK(off + len <= capacity_);
+      std::memcpy(dst, single_device_data_ + off, len);
+      return;
+    }
+    CopyOutSlow(off, dst, len);
+  }
+  void CopyIn(MemOffset off, const void* src, uint64_t len) {
+    if (single_device_data_ != nullptr) {
+      POLAR_CHECK(off + len <= capacity_);
+      std::memcpy(single_device_data_ + off, src, len);
+      return;
+    }
+    CopyInSlow(off, src, len);
+  }
 
   /// Bytes remaining in the device backing `off`.
-  uint64_t ContiguousAt(MemOffset off) const;
+  uint64_t ContiguousAt(MemOffset off) const {
+    if (single_device_data_ != nullptr) {
+      POLAR_CHECK(off < capacity_);
+      return capacity_ - off;
+    }
+    return ContiguousAtSlow(off);
+  }
 
   CxlSwitch& cxl_switch() { return switch_; }
   const sim::LatencyModel& latency() const { return lat_; }
@@ -165,11 +192,18 @@ class CxlFabric {
   static constexpr uint64_t kPhysBase = 1ULL << 40;
 
  private:
+  uint8_t* TranslateSlow(MemOffset off);
+  uint64_t ContiguousAtSlow(MemOffset off) const;
+  void CopyOutSlow(MemOffset off, void* dst, uint64_t len);
+  void CopyInSlow(MemOffset off, const void* src, uint64_t len);
+
   sim::LatencyModel lat_;
   CxlSwitch switch_;
   std::vector<std::unique_ptr<CxlMemoryDevice>> devices_;
   std::vector<uint64_t> device_base_;  // fabric offset of each device
   uint64_t capacity_ = 0;
+  /// Backing bytes when exactly one device serves the fabric (else null).
+  uint8_t* single_device_data_ = nullptr;
   std::vector<std::unique_ptr<CxlAccessor>> hosts_;
 };
 

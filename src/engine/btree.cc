@@ -9,7 +9,7 @@ constexpr uint16_t kInternalValueSize = 4;  // child PageId
 
 /// Charges the probe reads a LowerBound/ChildIndexFor made.
 void ChargeProbes(MiniTransaction& mtr, MiniTransaction::Handle* h,
-                  const std::vector<uint32_t>& probes) {
+                  const ProbeList& probes) {
   for (uint32_t off : probes) mtr.ChargeRead(h, off, kKeySize);
 }
 }  // namespace
@@ -69,7 +69,7 @@ Result<MiniTransaction::Handle*> BTree::DescendToLeaf(MiniTransaction& mtr,
       }
       return *h;
     }
-    std::vector<uint32_t> probes;
+    ProbeList probes;
     const uint16_t ci = page.ChildIndexFor(key, &probes);
     ChargeProbes(mtr, *h, probes);
     current = page.ChildAt(ci);
@@ -147,7 +147,7 @@ Status BTree::SplitPathTo(sim::ExecContext& ctx, uint64_t key) {
       path.push_back(current);
       full.push_back(page.IsFull());
       if (page.is_leaf()) break;
-      std::vector<uint32_t> probes;
+      ProbeList probes;
       const uint16_t ci = page.ChildIndexFor(key, &probes);
       ChargeProbes(probe, *h, probes);
       current = page.ChildAt(ci);
@@ -214,7 +214,7 @@ Status BTree::SplitPathTo(sim::ExecContext& ctx, uint64_t key) {
     mtr.ctx().Advance(costs_->btree_level_cpu);
     if (ppage.is_leaf()) break;
 
-    std::vector<uint32_t> probes;
+    ProbeList probes;
     uint16_t ci = ppage.ChildIndexFor(key, &probes);
     ChargeProbes(mtr, *ph, probes);
     PageId child_id = ppage.ChildAt(ci);
@@ -234,7 +234,7 @@ Status BTree::SplitPathTo(sim::ExecContext& ctx, uint64_t key) {
       if (key >= *split_key) {
         // Re-route into the new sibling.
         ppage = mtr.View(*ph);
-        std::vector<uint32_t> probes2;
+        ProbeList probes2;
         ci = ppage.ChildIndexFor(key, &probes2);
         child_id = ppage.ChildAt(ci);
       }
@@ -257,7 +257,7 @@ Status BTree::Insert(sim::ExecContext& ctx, uint64_t key, Slice value) {
       return leaf.status();
     }
     PageView page = mtr.View(*leaf);
-    std::vector<uint32_t> probes;
+    ProbeList probes;
     uint16_t idx;
     if (page.Find(key, &idx, &probes)) {
       ChargeProbes(mtr, *leaf, probes);
@@ -296,7 +296,7 @@ Status BTree::UpdatePartial(sim::ExecContext& ctx, uint64_t key, uint32_t off,
     return leaf.status();
   }
   PageView page = mtr.View(*leaf);
-  std::vector<uint32_t> probes;
+  ProbeList probes;
   uint16_t idx;
   const bool found = page.Find(key, &idx, &probes);
   ChargeProbes(mtr, *leaf, probes);
@@ -319,7 +319,7 @@ Result<std::string> BTree::Get(sim::ExecContext& ctx, uint64_t key) {
     return leaf.status();
   }
   PageView page = mtr.View(*leaf);
-  std::vector<uint32_t> probes;
+  ProbeList probes;
   uint16_t idx;
   const bool found = page.Find(key, &idx, &probes);
   ChargeProbes(mtr, *leaf, probes);
@@ -358,7 +358,7 @@ Result<size_t> BTree::Scan(sim::ExecContext& ctx, uint64_t start_key,
   size_t read = 0;
   MiniTransaction::Handle* h = *leaf;
   PageView page = mtr.View(h);
-  std::vector<uint32_t> probes;
+  ProbeList probes;
   uint16_t i = page.LowerBound(start_key, &probes);
   ChargeProbes(mtr, h, probes);
   while (read < count) {

@@ -22,7 +22,8 @@ MiniTransaction::~MiniTransaction() {
 
 Result<MiniTransaction::Handle*> MiniTransaction::GetPage(PageId page_id,
                                                           bool for_write) {
-  for (Handle& h : handles_) {
+  for (size_t i = 0; i < handles_.size(); i++) {
+    Handle& h = handles_[i];
     if (h.id == page_id) {
       if (for_write && !h.write_fixed) {
         pool_->UpgradeToWrite(ctx_, h.ref, page_id);
@@ -33,8 +34,7 @@ Result<MiniTransaction::Handle*> MiniTransaction::GetPage(PageId page_id,
   }
   auto ref = pool_->Fetch(ctx_, page_id, for_write);
   if (!ref.ok()) return ref.status();
-  handles_.push_back(Handle{page_id, *ref, for_write, false, 0});
-  return &handles_.back();
+  return handles_.Add(Handle{page_id, *ref, for_write, false, 0});
 }
 
 void MiniTransaction::ChargeRead(Handle* h, uint32_t off, uint32_t len) {
@@ -58,7 +58,7 @@ storage::RedoRecord& MiniTransaction::NewRecord(Handle* h,
   rec.mtr_id = mtr_id_;
   rec.txn_id = ctx_.txn_id;
   records_.push_back(std::move(rec));
-  // Deque storage is not contiguous; locate the handle's index by identity.
+  // Handle storage is not contiguous; locate the handle's index by identity.
   size_t idx = handles_.size();
   for (size_t i = 0; i < handles_.size(); i++) {
     if (&handles_[i] == h) {
@@ -99,7 +99,7 @@ void MiniTransaction::FormatPage(Handle* h, uint8_t level,
 void MiniTransaction::InsertEntry(Handle* h, uint64_t key,
                                   const uint8_t* value) {
   PageView page(h->ref.data);
-  std::vector<uint32_t> probes;
+  ProbeList probes;
   const uint16_t index = page.LowerBound(key, &probes);
   for (uint32_t off : probes) ChargeRead(h, off, kKeySize);
   page.InsertEntryRaw(index, key, value);
@@ -117,7 +117,7 @@ void MiniTransaction::InsertEntry(Handle* h, uint64_t key,
 
 bool MiniTransaction::EraseEntry(Handle* h, uint64_t key) {
   PageView page(h->ref.data);
-  std::vector<uint32_t> probes;
+  ProbeList probes;
   uint16_t index;
   const bool found = page.Find(key, &index, &probes);
   for (uint32_t off : probes) ChargeRead(h, off, kKeySize);
@@ -151,7 +151,8 @@ Lsn MiniTransaction::Commit() {
     POLAR_CHECK(end == cursor);
   }
 
-  for (Handle& h : handles_) {
+  for (size_t i = 0; i < handles_.size(); i++) {
+    Handle& h = handles_[i];
     if (h.id == kInvalidPageId) continue;  // released early
     if (h.dirty) {
       // Stamp the page LSN (recovery replay reproduces this same value).

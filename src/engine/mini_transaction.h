@@ -6,8 +6,10 @@
 // atomically, stamps page LSNs, and releases the fixes.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "bufferpool/buffer_pool.h"
@@ -62,13 +64,49 @@ class MiniTransaction {
   bool committed() const { return committed_; }
 
  private:
+  /// Stable-pointer handle store. The common mtr (one B-tree operation)
+  /// fixes at most tree-height pages, so handles live in an inline array
+  /// and constructing an mtr allocates nothing; rare deep mtrs (long leaf
+  /// scans) overflow into a lazily-created deque. Pointers returned by
+  /// Add() stay valid until clear() in both regimes.
+  class HandleList {
+   public:
+    size_t size() const { return size_; }
+    Handle& operator[](size_t i) {
+      return i < kInline ? inline_[i] : (*overflow_)[i - kInline];
+    }
+    Handle* Add(Handle h) {
+      if (size_ < kInline) {
+        inline_[size_] = std::move(h);
+        return &inline_[size_++];
+      }
+      if (overflow_ == nullptr) {
+        overflow_ = std::make_unique<std::deque<Handle>>();
+      }
+      overflow_->push_back(std::move(h));
+      size_++;
+      return &overflow_->back();
+    }
+    void clear() {
+      for (size_t i = 0; i < size_ && i < kInline; i++) inline_[i] = Handle{};
+      overflow_.reset();
+      size_ = 0;
+    }
+
+   private:
+    static constexpr size_t kInline = 8;
+    std::array<Handle, kInline> inline_{};
+    size_t size_ = 0;
+    std::unique_ptr<std::deque<Handle>> overflow_;
+  };
+
   storage::RedoRecord& NewRecord(Handle* h, storage::RedoKind kind);
 
   sim::ExecContext& ctx_;
   bufferpool::BufferPool* pool_;
   storage::RedoLog* log_;
   uint64_t mtr_id_;
-  std::deque<Handle> handles_;  // deque: Handle* stays stable across growth
+  HandleList handles_;
   std::vector<storage::RedoRecord> records_;
   std::vector<size_t> record_handle_;  // records_[i] touches handles_[record_handle_[i]]
   bool committed_ = false;

@@ -14,14 +14,17 @@ void PageView::Format(PageId id, uint8_t level, uint16_t value_size) {
   set_value_size(value_size);
 }
 
-uint16_t PageView::LowerBound(uint64_t key,
-                              std::vector<uint32_t>* probes) const {
+uint16_t PageView::LowerBound(uint64_t key, ProbeList* probes) const {
+  // Hoist the entry geometry out of the loop: d_ is a byte pointer, so the
+  // compiler must otherwise assume every probe may alias the header fields
+  // and re-load value_size()/nkeys() each iteration.
+  const uint32_t es = entry_size();
   uint32_t lo = 0;
   uint32_t hi = nkeys();
   while (lo < hi) {
     const uint32_t mid = (lo + hi) / 2;
-    const uint32_t off = EntryOffset(mid);
-    if (probes != nullptr) probes->push_back(off);
+    const uint32_t off = kPageHeaderSize + mid * es;
+    if (probes != nullptr) probes->Add(off);
     if (Load64(off) < key) lo = mid + 1;
     else hi = mid;
   }
@@ -29,7 +32,7 @@ uint16_t PageView::LowerBound(uint64_t key,
 }
 
 bool PageView::Find(uint64_t key, uint16_t* index,
-                    std::vector<uint32_t>* probes) const {
+                    ProbeList* probes) const {
   const uint16_t i = LowerBound(key, probes);
   if (i < nkeys() && KeyAt(i) == key) {
     *index = i;
@@ -38,8 +41,7 @@ bool PageView::Find(uint64_t key, uint16_t* index,
   return false;
 }
 
-uint16_t PageView::ChildIndexFor(uint64_t key,
-                                 std::vector<uint32_t>* probes) const {
+uint16_t PageView::ChildIndexFor(uint64_t key, ProbeList* probes) const {
   POLAR_CHECK(!is_leaf());
   POLAR_CHECK(nkeys() > 0);
   const uint16_t i = LowerBound(key, probes);

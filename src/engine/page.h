@@ -41,6 +41,24 @@ struct PageOffsets {
   static constexpr uint32_t kValueSize = 24;
 };
 
+/// Fixed-capacity record of the key offsets a binary search probed, so the
+/// caller can charge the simulated reads actually made. A page holds at most
+/// (kPageSize - kPageHeaderSize) / kKeySize = 2040 entries, so a search
+/// probes at most ceil(log2(2040)) = 11 offsets; the inline array keeps the
+/// per-lookup bookkeeping allocation-free (lookups are the hot path).
+struct ProbeList {
+  static constexpr uint32_t kMaxProbes = 16;
+  uint32_t count = 0;
+  uint32_t offs[kMaxProbes];
+
+  void Add(uint32_t off) {
+    POLAR_CHECK(count < kMaxProbes);
+    offs[count++] = off;
+  }
+  const uint32_t* begin() const { return offs; }
+  const uint32_t* end() const { return offs + count; }
+};
+
 /// Non-owning typed view over one 16 KB frame.
 class PageView {
  public:
@@ -93,16 +111,14 @@ class PageView {
   /// Index of the first entry with key >= `key` (== nkeys() if none).
   /// `probes`, when non-null, receives the byte offset of every key probed
   /// so the caller can charge the memory accesses actually made.
-  uint16_t LowerBound(uint64_t key, std::vector<uint32_t>* probes = nullptr) const;
+  uint16_t LowerBound(uint64_t key, ProbeList* probes = nullptr) const;
 
   /// True + index when `key` is present.
-  bool Find(uint64_t key, uint16_t* index,
-            std::vector<uint32_t>* probes = nullptr) const;
+  bool Find(uint64_t key, uint16_t* index, ProbeList* probes = nullptr) const;
 
   /// In internal nodes (entries = smallest key of each child subtree):
   /// index of the child covering `key`.
-  uint16_t ChildIndexFor(uint64_t key,
-                         std::vector<uint32_t>* probes = nullptr) const;
+  uint16_t ChildIndexFor(uint64_t key, ProbeList* probes = nullptr) const;
 
   PageId ChildAt(uint32_t i) const {
     POLAR_CHECK(!is_leaf());

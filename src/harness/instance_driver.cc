@@ -81,6 +81,8 @@ PoolingResult RunPooling(const PoolingConfig& config) {
   std::vector<Instance> instances(config.instances);
   Nanos setup_end = 0;
   sim::Executor executor;
+  executor.ReserveLanes(static_cast<size_t>(config.instances) *
+                        config.lanes_per_instance);
   std::vector<std::unique_ptr<workload::SysbenchWorkload>> lanes_wl;
 
   for (uint32_t i = 0; i < config.instances; i++) {
@@ -187,6 +189,8 @@ PoolingResult RunPooling(const PoolingConfig& config) {
   }
   result.local_dram_bytes = dram_bytes;
   result.lbp_hit_rate = hit_rate / config.instances;
+  result.lane_steps = executor.total_steps();
+  result.virtual_end = executor.MaxClock();
   for (size_t l = 0; l < executor.num_lanes(); l++) {
     const sim::ExecContext& lane = executor.context(static_cast<uint32_t>(l));
     result.line_hits += lane.mem_line_hits;

@@ -48,6 +48,11 @@ struct PoolingResult {
   uint64_t line_hits = 0;
   uint64_t line_misses = 0;
   uint64_t pages_read_io = 0;
+  /// Executor lane-steps taken over the whole run (setup excluded) and the
+  /// largest virtual clock reached — the numerator/denominator pair for
+  /// sim-core throughput tracking (see bench_sim_throughput).
+  uint64_t lane_steps = 0;
+  Nanos virtual_end = 0;
   TimeBreakdown breakdown;
 };
 

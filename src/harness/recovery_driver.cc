@@ -129,6 +129,7 @@ RecoveryResult RunRecoveryExperiment(const RecoveryConfig& config) {
   result.crash_at = config.crash_at;
 
   sim::Executor executor;
+  executor.ReserveLanes(config.lanes + 2);  // + checkpointer + crash lane
   std::vector<std::unique_ptr<workload::SysbenchWorkload>> workloads;
   std::vector<uint32_t> lane_ids;
   engine::Database* db_ptr = db.get();

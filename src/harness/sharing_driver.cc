@@ -190,6 +190,8 @@ SharingResult RunSharing(const SharingConfig& config) {
   Nanos window_end = -1;
 
   sim::Executor executor;
+  executor.ReserveLanes(static_cast<size_t>(config.nodes) *
+                        config.lanes_per_node);
   std::vector<std::unique_ptr<LaneWork>> works;
   for (uint32_t n = 0; n < config.nodes; n++) {
     for (uint32_t l = 0; l < config.lanes_per_node; l++) {

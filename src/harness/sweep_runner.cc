@@ -1,0 +1,43 @@
+#include "harness/sweep_runner.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+namespace polarcxl::harness {
+
+unsigned SweepThreads() {
+  const char* env = std::getenv("POLAR_SWEEP_THREADS");
+  if (env != nullptr && *env != '\0') {
+    const long v = std::strtol(env, nullptr, 10);
+    return v < 1 ? 1u : static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+void RunIndexedTasks(size_t n, const std::function<void(size_t)>& fn,
+                     unsigned threads) {
+  if (n == 0) return;
+  if (threads <= 1 || n == 1) {
+    for (size_t i = 0; i < n; i++) fn(i);
+    return;
+  }
+  if (threads > n) threads = static_cast<unsigned>(n);
+
+  std::atomic<size_t> cursor{0};
+  auto worker = [&]() {
+    while (true) {
+      const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (unsigned t = 1; t < threads; t++) pool.emplace_back(worker);
+  worker();  // the caller's thread is worker 0
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace polarcxl::harness

@@ -6,6 +6,14 @@
 
 namespace polarcxl::sim {
 
+namespace {
+size_t NextPow2(size_t v) {
+  size_t p = 64;
+  while (p < v) p *= 2;
+  return p;
+}
+}  // namespace
+
 BandwidthChannel::BandwidthChannel(std::string name, uint64_t bytes_per_sec,
                                    Nanos window_ns)
     : name_(std::move(name)),
@@ -23,6 +31,97 @@ BandwidthChannel::BandwidthChannel(std::string name, uint64_t bytes_per_sec,
       1, static_cast<uint64_t>(
              static_cast<__int128>(bytes_per_sec_) * window_ns_ /
              kNanosPerSec));
+  // Virtual time starts at 0, so no transfer can ever land below window 0;
+  // claiming those windows "consumed" is vacuous and lets the prune loop
+  // advance from the very first window.
+  pruned_end_ = 0;
+  base_window_ = 0;
+}
+
+uint64_t BandwidthChannel::UsedIn(int64_t w) const {
+  if (w < pruned_end_) return bytes_per_window_;
+  if (window_count_ == 0 || w < base_window_ ||
+      w >= base_window_ + static_cast<int64_t>(window_count_)) {
+    return 0;
+  }
+  return ring_[(base_slot_ + static_cast<size_t>(w - base_window_)) &
+               ring_mask_];
+}
+
+void BandwidthChannel::EnsureWindow(int64_t w) const {
+  if (window_count_ == 0) {
+    if (ring_.empty()) {
+      ring_.assign(64, 0);
+      ring_mask_ = ring_.size() - 1;
+    }
+    base_window_ = w;
+    base_slot_ = 0;
+    window_count_ = 1;
+    ring_[base_slot_] = 0;
+    return;
+  }
+  const int64_t end = base_window_ + static_cast<int64_t>(window_count_);
+  if (w >= base_window_ && w < end) return;
+
+  const int64_t new_base = std::min<int64_t>(w, base_window_);
+  const int64_t new_end = std::max<int64_t>(w + 1, end);
+  size_t span = static_cast<size_t>(new_end - new_base);
+
+  if (span > ring_.size()) {
+    // Re-layout into a larger ring, oldest window at slot 0.
+    std::vector<uint64_t> grown(NextPow2(span), 0);
+    for (size_t i = 0; i < window_count_; i++) {
+      grown[static_cast<size_t>(base_window_ - new_base) + i] =
+          ring_[(base_slot_ + i) & ring_mask_];
+    }
+    ring_.swap(grown);
+    ring_mask_ = ring_.size() - 1;
+    base_slot_ = 0;
+    base_window_ = new_base;
+    window_count_ = span;
+  } else if (new_base < base_window_) {
+    // Extend backward over the (empty, never-touched) gap.
+    const size_t d = static_cast<size_t>(base_window_ - new_base);
+    base_slot_ = (base_slot_ - d) & ring_mask_;
+    for (size_t i = 0; i < d; i++) {
+      ring_[(base_slot_ + i) & ring_mask_] = 0;
+    }
+    base_window_ = new_base;
+    window_count_ += d;
+  } else {
+    // Extend forward, zero-filling the idle gap.
+    for (size_t i = window_count_; i < span; i++) {
+      ring_[(base_slot_ + i) & ring_mask_] = 0;
+    }
+    window_count_ = span;
+  }
+
+  if (window_count_ > kMaxRingWindows) {
+    // Safety valve: force-retire the oldest windows (treat any leftover
+    // budget as consumed). Unreachable for realistic reorder spans.
+    const size_t drop = window_count_ - kMaxRingWindows;
+    base_slot_ = (base_slot_ + drop) & ring_mask_;
+    base_window_ += static_cast<int64_t>(drop);
+    window_count_ -= drop;
+    pruned_end_ = base_window_;
+  }
+}
+
+void BandwidthChannel::StoreUsed(int64_t w, uint64_t used) const {
+  EnsureWindow(w);
+  ring_[(base_slot_ + static_cast<size_t>(w - base_window_)) & ring_mask_] =
+      used;
+  // Prune fully-consumed windows off the front. Only valid while the front
+  // is contiguous with the pruned prefix (otherwise the gap in between
+  // still holds unconsumed budget that an out-of-order post may claim).
+  while (window_count_ > 0 && base_window_ == pruned_end_ &&
+         ring_[base_slot_] == bytes_per_window_) {
+    ring_[base_slot_] = 0;
+    base_slot_ = (base_slot_ + 1) & ring_mask_;
+    base_window_++;
+    window_count_--;
+    pruned_end_ = base_window_;
+  }
 }
 
 Nanos BandwidthChannel::Place(Nanos now, uint64_t bytes, bool commit) const {
@@ -33,28 +132,23 @@ Nanos BandwidthChannel::Place(Nanos now, uint64_t bytes, bool commit) const {
   // completion clamp below keeps time monotonic). Clamping the budget to
   // the elapsed sub-window position instead would re-introduce a FIFO
   // whenever out-of-order lanes land in one window.
-  auto it = used_.find(w);
-  uint64_t offset = it == used_.end() ? 0 : it->second;
+  if (w < pruned_end_) w = pruned_end_;  // everything earlier is consumed
 
   uint64_t remaining = bytes;
   Nanos completion = now;
   while (true) {
+    uint64_t offset = UsedIn(w);
     const uint64_t free =
         bytes_per_window_ > offset ? bytes_per_window_ - offset : 0;
     const uint64_t take = std::min(free, remaining);
     if (take > 0) {
       offset += take;
       remaining -= take;
-      if (commit) used_[w] = offset;
-      completion =
-          w * window_ns_ +
-          static_cast<Nanos>(static_cast<__int128>(offset) * kNanosPerSec /
-                             bytes_per_sec_);
+      if (commit) StoreUsed(w, offset);
+      completion = w * window_ns_ + NsForBytes(offset);
     }
     if (remaining == 0) break;
     w++;
-    it = used_.find(w);
-    offset = it == used_.end() ? 0 : it->second;
   }
   return std::max(completion, now + 1);
 }
@@ -63,8 +157,7 @@ Nanos BandwidthChannel::Transfer(Nanos now, uint64_t bytes) {
   total_bytes_ += bytes;
   total_transfers_++;
   if (bytes_per_sec_ > 0) {
-    busy_time_ += static_cast<Nanos>(static_cast<__int128>(bytes) *
-                                     kNanosPerSec / bytes_per_sec_);
+    busy_time_ += NsForBytes(bytes);
   }
   const Nanos completion = Place(now, bytes, /*commit=*/true);
   last_completion_ = std::max(last_completion_, completion);

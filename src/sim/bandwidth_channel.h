@@ -11,11 +11,18 @@
 // transfers out of virtual-time order (the executor steps one whole
 // transaction at a time): a transfer at time T never blocks one at T' < T
 // in a different window.
+//
+// The per-window ledger is a ring buffer over a contiguous span of window
+// indices. Windows at the front of the span whose budget is fully consumed
+// are pruned as soon as they fill (everything before `pruned_end_` is
+// implicitly "full"), so the footprint stays proportional to the channel's
+// reorder span instead of growing linearly over the run the way the old
+// std::map ledger did.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <vector>
 
 #include "common/types.h"
 
@@ -51,15 +58,53 @@ class BandwidthChannel {
 
   void ResetStats();
 
+  /// Number of window slots currently held in the ledger (tests assert this
+  /// stays bounded under sustained traffic; the old map grew linearly).
+  size_t window_footprint() const { return window_count_; }
+
  private:
+  // Hard cap on the ledger span: windows further than this behind the
+  // newest tracked window are force-retired (treated as fully consumed).
+  // At the default 10 us window this is > 5 min of virtual time — far
+  // beyond any reorder the min-clock executor can produce — so in practice
+  // only fully-consumed windows are ever dropped.
+  static constexpr size_t kMaxRingWindows = 1ULL << 25;
+
   Nanos Place(Nanos now, uint64_t bytes, bool commit) const;
+
+  /// Exact link time of `b` bytes (b * 1e9 / rate). Window budgets are a few
+  /// hundred KB at realistic rates, so the product almost always fits in 64
+  /// bits and the slow 128-bit division is skipped.
+  Nanos NsForBytes(uint64_t b) const {
+    if (b <= UINT64_MAX / kNanosPerSec) {
+      return static_cast<Nanos>(b * kNanosPerSec / bytes_per_sec_);
+    }
+    return static_cast<Nanos>(static_cast<__int128>(b) * kNanosPerSec /
+                              bytes_per_sec_);
+  }
+
+  /// Consumed bytes of window `w`.
+  uint64_t UsedIn(int64_t w) const;
+  /// Record `used` consumed bytes for window `w`, growing/sliding the ring
+  /// as needed, then prune fully-consumed windows off the front.
+  void StoreUsed(int64_t w, uint64_t used) const;
+  /// Make window `w` addressable in the ring (grows capacity, zero-fills).
+  void EnsureWindow(int64_t w) const;
 
   std::string name_;
   uint64_t bytes_per_sec_;
   Nanos window_ns_;
   uint64_t bytes_per_window_;
-  // window index -> budget position consumed (bytes into the window).
-  mutable std::map<int64_t, uint64_t> used_;
+
+  // Ring ledger state (mutable: PeekCompletion shares Place with commit
+  // disabled and never mutates observable state).
+  mutable std::vector<uint64_t> ring_;   // power-of-two capacity
+  mutable size_t ring_mask_ = 0;
+  mutable int64_t base_window_ = 0;      // window id of ring_[base_slot_]
+  mutable size_t base_slot_ = 0;
+  mutable size_t window_count_ = 0;      // valid span [base_, base_+count_)
+  mutable int64_t pruned_end_ = INT64_MIN;  // all windows < this are full
+
   Nanos last_completion_ = 0;
   Nanos busy_time_ = 0;
   uint64_t total_bytes_ = 0;

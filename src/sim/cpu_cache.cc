@@ -1,62 +1,45 @@
 #include "sim/cpu_cache.h"
 
+#include <algorithm>
+
 namespace polarcxl::sim {
+
+namespace {
+uint32_t FloorPow2(uint32_t v) {
+  uint32_t p = 1;
+  while (p * 2 <= v && p * 2 != 0) p *= 2;
+  return p;
+}
+}  // namespace
 
 CpuCacheSim::CpuCacheSim(uint64_t capacity_bytes, uint32_t ways)
     : ways_(ways) {
   POLAR_CHECK(ways > 0);
+  POLAR_CHECK_MSG(ways <= 64, "at most 64 ways (per-set bitmasks)");
   const uint64_t lines = capacity_bytes / kCacheLineSize;
-  num_sets_ = static_cast<uint32_t>(lines / ways);
-  POLAR_CHECK_MSG(num_sets_ > 0, "cache too small");
-  slots_.resize(static_cast<size_t>(num_sets_) * ways_);
-}
-
-CpuCacheSim::AccessResult CpuCacheSim::Access(uint64_t addr, bool write,
-                                              MemorySpace* home) {
-  AccessResult result;
-  const uint64_t line = addr / kCacheLineSize;
-  const uint64_t tag = line + 1;
-  Way* set = &slots_[static_cast<size_t>(SetIndex(line)) * ways_];
-  tick_++;
-
-  Way* victim = &set[0];
-  for (uint32_t w = 0; w < ways_; w++) {
-    if (set[w].tag == tag) {
-      set[w].tick = tick_;
-      set[w].dirty |= write;
-      hits_++;
-      result.hit = true;
-      return result;
-    }
-    if (set[w].tag == 0) {
-      victim = &set[w];  // free way; keep scanning for a tag match
-    } else if (victim->tag != 0 && set[w].tick < victim->tick) {
-      victim = &set[w];
-    }
-  }
-
-  misses_++;
-  if (victim->tag != 0 && victim->dirty) {
-    result.evicted_dirty = true;
-    result.evicted_addr = (victim->tag - 1) * kCacheLineSize;
-    result.evicted_home = victim->home;
-  }
-  victim->tag = tag;
-  victim->home = home;
-  victim->tick = tick_;
-  victim->dirty = write;
-  return result;
+  const uint32_t raw_sets = static_cast<uint32_t>(lines / ways);
+  POLAR_CHECK_MSG(raw_sets > 0, "cache too small");
+  num_sets_ = FloorPow2(raw_sets);
+  set_mask_ = num_sets_ - 1;
+  full_set_mask_ =
+      ways_ == 64 ? ~0ULL : ((1ULL << ways_) - 1);
+  const size_t slots = static_cast<size_t>(num_sets_) * ways_;
+  tags_.resize(slots, 0);
+  ticks_.resize(slots, 0);
+  homes_.resize(slots, nullptr);
+  valid_.resize(num_sets_, 0);
+  dirty_.resize(num_sets_, 0);
 }
 
 bool CpuCacheSim::Contains(uint64_t addr) const {
+  if (live_lines_ == 0) return false;
   const uint64_t line = addr / kCacheLineSize;
   const uint64_t tag = line + 1;
-  const Way* set =
-      &slots_[static_cast<size_t>(
-                  const_cast<CpuCacheSim*>(this)->SetIndex(line)) *
-              ways_];
+  const uint32_t set = SetIndex(line);
+  if (valid_[set] == 0) return false;
+  const uint64_t* tags = &tags_[static_cast<size_t>(set) * ways_];
   for (uint32_t w = 0; w < ways_; w++) {
-    if (set[w].tag == tag) return true;
+    if (tags[w] == tag) return true;
   }
   return false;
 }
@@ -65,19 +48,53 @@ void CpuCacheSim::FlushRange(uint64_t addr, uint64_t len, uint32_t* dirty_out,
                              uint32_t* clean_out) {
   uint32_t dirty = 0;
   uint32_t clean = 0;
+  if (len == 0 || live_lines_ == 0) {
+    if (dirty_out != nullptr) *dirty_out = 0;
+    if (clean_out != nullptr) *clean_out = 0;
+    return;
+  }
   const uint64_t first = addr / kCacheLineSize;
   const uint64_t last = (addr + len - 1) / kCacheLineSize;
-  for (uint64_t line = first; line <= last; line++) {
-    const uint64_t tag = line + 1;
-    Way* set = &slots_[static_cast<size_t>(SetIndex(line)) * ways_];
-    for (uint32_t w = 0; w < ways_; w++) {
-      if (set[w].tag == tag) {
-        if (set[w].dirty) dirty++;
+  const uint64_t range_lines = last - first + 1;
+  const uint64_t total_lines = static_cast<uint64_t>(num_sets_) * ways_;
+
+  if (range_lines >= total_lines) {
+    // The range covers more lines than the cache can hold: sweeping the
+    // occupied slots directly is cheaper than probing per range line.
+    for (uint32_t set = 0; set < num_sets_; set++) {
+      uint64_t occupied = valid_[set];
+      while (occupied != 0) {
+        const uint32_t w = static_cast<uint32_t>(__builtin_ctzll(occupied));
+        occupied &= occupied - 1;
+        const size_t slot = static_cast<size_t>(set) * ways_ + w;
+        const uint64_t line = tags_[slot] - 1;
+        if (line < first || line > last) continue;
+        if ((dirty_[set] >> w) & 1) dirty++;
         else clean++;
-        set[w].tag = 0;
-        set[w].dirty = false;
-        set[w].home = nullptr;
-        break;
+        tags_[slot] = 0;
+        homes_[slot] = nullptr;
+        valid_[set] &= ~(1ULL << w);
+        dirty_[set] &= ~(1ULL << w);
+        live_lines_--;
+      }
+    }
+  } else {
+    for (uint64_t line = first; line <= last; line++) {
+      const uint64_t tag = line + 1;
+      const uint32_t set = SetIndex(line);
+      if (valid_[set] == 0) continue;  // cheap skip of non-resident sets
+      const size_t base = static_cast<size_t>(set) * ways_;
+      for (uint32_t w = 0; w < ways_; w++) {
+        if (tags_[base + w] == tag) {
+          if ((dirty_[set] >> w) & 1) dirty++;
+          else clean++;
+          tags_[base + w] = 0;
+          homes_[base + w] = nullptr;
+          valid_[set] &= ~(1ULL << w);
+          dirty_[set] &= ~(1ULL << w);
+          live_lines_--;
+          break;
+        }
       }
     }
   }
@@ -86,11 +103,12 @@ void CpuCacheSim::FlushRange(uint64_t addr, uint64_t len, uint32_t* dirty_out,
 }
 
 void CpuCacheSim::InvalidateAll() {
-  for (auto& w : slots_) {
-    w.tag = 0;
-    w.dirty = false;
-    w.home = nullptr;
-  }
+  if (live_lines_ == 0) return;
+  std::fill(tags_.begin(), tags_.end(), 0);
+  std::fill(homes_.begin(), homes_.end(), nullptr);
+  std::fill(valid_.begin(), valid_.end(), 0);
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+  live_lines_ = 0;
 }
 
 }  // namespace polarcxl::sim

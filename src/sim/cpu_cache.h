@@ -3,6 +3,12 @@
 // simulated physical address space are resident/dirty so that (a) CXL/DRAM
 // access costs reflect locality, and (b) the Section 3.3 coherency protocol
 // can count exactly how many dirty lines a clflush writes back.
+//
+// This is the single hottest function of the whole simulator (one call per
+// simulated cache-line access), so the layout is optimized for the probe
+// path: tags live in their own contiguous array (a set's tags span at most
+// two host cache lines), sets are a power of two so indexing is a mask, and
+// residency/dirtiness are per-set bitmasks so empty sets are skipped in O(1).
 #pragma once
 
 #include <cstdint>
@@ -16,10 +22,12 @@ namespace polarcxl::sim {
 class MemorySpace;
 
 /// One CPU cache domain (the LLC share of one database instance). Not
-/// thread-safe; the executor serializes all lanes.
+/// thread-safe; the executor serializes all lanes of an experiment (distinct
+/// experiments own distinct caches and may run on distinct threads).
 class CpuCacheSim {
  public:
-  /// `capacity_bytes` is rounded down to a whole number of sets.
+  /// `capacity_bytes` is rounded down to a whole power-of-two number of
+  /// sets (capacity_bytes() reports the effective size).
   CpuCacheSim(uint64_t capacity_bytes, uint32_t ways = 16);
 
   struct AccessResult {
@@ -32,7 +40,84 @@ class CpuCacheSim {
   /// Access the line containing `addr`. On miss the line is installed
   /// (write-allocate) and the victim, if dirty, is reported for writeback
   /// accounting. `home` is remembered for future eviction/flush charging.
-  AccessResult Access(uint64_t addr, bool write, MemorySpace* home);
+  AccessResult Access(uint64_t addr, bool write, MemorySpace* home) {
+    AccessResult result;
+    const uint64_t line = addr / kCacheLineSize;
+    const uint64_t tag = line + 1;
+    // Recent-line memo: consecutive accesses frequently land on the same
+    // one or two lines (binary-search convergence; buffer pools alternating
+    // between their header line and a block-meta line). The tag re-check
+    // makes a memo entry self-invalidating if its slot was since evicted;
+    // state evolution is identical to the regular hit path below.
+    if (tag == memo_[0].tag && tags_[memo_[0].slot] == tag) {
+      ticks_[memo_[0].slot] = ++tick_;
+      if (write) dirty_[memo_[0].set] |= memo_[0].bit;
+      hits_++;
+      result.hit = true;
+      return result;
+    }
+    if (tag == memo_[1].tag && tags_[memo_[1].slot] == tag) {
+      std::swap(memo_[0], memo_[1]);
+      ticks_[memo_[0].slot] = ++tick_;
+      if (write) dirty_[memo_[0].set] |= memo_[0].bit;
+      hits_++;
+      result.hit = true;
+      return result;
+    }
+    const uint32_t set = SetIndex(line);
+    const size_t base = static_cast<size_t>(set) * ways_;
+    const uint64_t* tags = &tags_[base];
+    tick_++;
+
+    // Branchless probe (no early exit) so the compiler can vectorize the
+    // tag compares; a set's tags are contiguous (at most two host lines).
+    uint32_t match = ways_;
+    for (uint32_t w = 0; w < ways_; w++) {
+      if (tags[w] == tag) match = w;
+    }
+    if (match != ways_) {
+      ticks_[base + match] = tick_;
+      if (write) dirty_[set] |= 1ULL << match;
+      hits_++;
+      result.hit = true;
+      SetMemo(tag, base + match, set, match);
+      return result;
+    }
+
+    misses_++;
+    const uint64_t valid = valid_[set];
+    uint32_t victim;
+    if (valid != full_set_mask_) {
+      victim = static_cast<uint32_t>(
+          __builtin_ctzll(~valid & full_set_mask_));
+      valid_[set] = valid | (1ULL << victim);
+      live_lines_++;
+    } else {
+      victim = 0;
+      uint32_t best = ticks_[base];
+      for (uint32_t w = 1; w < ways_; w++) {
+        if (ticks_[base + w] < best) {
+          best = ticks_[base + w];
+          victim = w;
+        }
+      }
+      if ((dirty_[set] >> victim) & 1) {
+        result.evicted_dirty = true;
+        result.evicted_addr = (tags[victim] - 1) * kCacheLineSize;
+        result.evicted_home = homes_[base + victim];
+      }
+    }
+    tags_[base + victim] = tag;
+    homes_[base + victim] = home;
+    ticks_[base + victim] = tick_;
+    if (write) {
+      dirty_[set] |= 1ULL << victim;
+    } else {
+      dirty_[set] &= ~(1ULL << victim);
+    }
+    SetMemo(tag, base + victim, set, victim);
+    return result;
+  }
 
   /// True if the line containing addr is resident.
   bool Contains(uint64_t addr) const;
@@ -53,26 +138,47 @@ class CpuCacheSim {
     return static_cast<uint64_t>(num_sets_) * ways_ * kCacheLineSize;
   }
   uint32_t ways() const { return ways_; }
+  uint32_t num_sets() const { return num_sets_; }
+  /// Currently resident lines (diagnostics / cheap emptiness checks).
+  uint64_t live_lines() const { return live_lines_; }
 
  private:
-  struct Way {
-    uint64_t tag = 0;  // (line_addr + 1); 0 == empty
-    MemorySpace* home = nullptr;
-    uint32_t tick = 0;
-    bool dirty = false;
-  };
+  void SetMemo(uint64_t tag, size_t slot, uint32_t set, uint32_t way) {
+    memo_[1] = memo_[0];
+    memo_[0] = Memo{tag, slot, set, 1ULL << way};
+  }
 
   uint32_t SetIndex(uint64_t line_addr) const {
     // Multiplicative hash avoids pathological striding when buffer pools
-    // hand out page-aligned regions.
-    return static_cast<uint32_t>((line_addr * 0x9E3779B97F4A7C15ULL) >> 33) %
-           num_sets_;
+    // hand out page-aligned regions; sets are a power of two so the mix is
+    // reduced with a mask instead of a modulo.
+    return static_cast<uint32_t>((line_addr * 0x9E3779B97F4A7C15ULL) >> 33) &
+           set_mask_;
   }
 
   uint32_t num_sets_;
+  uint32_t set_mask_;        // num_sets_ - 1
   uint32_t ways_;
+  uint64_t full_set_mask_;   // low `ways_` bits set
   uint32_t tick_ = 0;
-  std::vector<Way> slots_;  // num_sets_ * ways_, row-major by set
+  uint64_t live_lines_ = 0;
+  // Recent-hit memo (see Access). tag == 0 means empty; a stale entry is
+  // harmless because the slot's tag is re-checked before use.
+  struct Memo {
+    uint64_t tag = 0;
+    size_t slot = 0;
+    uint32_t set = 0;
+    uint64_t bit = 0;
+  };
+  Memo memo_[2];
+  // Structure-of-arrays slot state, row-major by set: the probe loop only
+  // touches tags_; ticks_/homes_ are visited on hit-refresh/eviction.
+  std::vector<uint64_t> tags_;       // (line_addr + 1); 0 == empty
+  std::vector<uint32_t> ticks_;
+  std::vector<MemorySpace*> homes_;
+  // Per-set way bitmasks (ways_ <= 64).
+  std::vector<uint64_t> valid_;
+  std::vector<uint64_t> dirty_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
 };

@@ -4,17 +4,10 @@
 
 namespace polarcxl::sim {
 
-namespace {
-/// Adapter for std::function lanes.
-class FnLane final : public Lane {
- public:
-  explicit FnLane(std::function<bool(ExecContext&)> fn) : fn_(std::move(fn)) {}
-  bool Step(ExecContext& ctx) override { return fn_(ctx); }
-
- private:
-  std::function<bool(ExecContext&)> fn_;
-};
-}  // namespace
+void Executor::ReserveLanes(size_t n) {
+  lanes_.reserve(n);
+  heap_.reserve(n);
+}
 
 uint32_t Executor::AddLane(std::unique_ptr<Lane> lane, NodeId node_id,
                            CpuCacheSim* cache, Nanos start_at) {
@@ -26,51 +19,109 @@ uint32_t Executor::AddLane(std::unique_ptr<Lane> lane, NodeId node_id,
   rec.ctx.node_id = node_id;
   rec.ctx.cache = cache;
   lanes_.push_back(std::move(rec));
-  heap_.push({start_at, id, 0});
+  HeapPush({start_at, id, 0});
   return id;
 }
 
-uint32_t Executor::AddLane(std::function<bool(ExecContext&)> fn,
-                           NodeId node_id, CpuCacheSim* cache,
-                           Nanos start_at) {
-  return AddLane(std::make_unique<FnLane>(std::move(fn)), node_id, cache,
-                 start_at);
+void Executor::SiftUp(size_t i) {
+  HeapEntry e = heap_[i];
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!e.Before(heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
 }
 
-bool Executor::StepOne() {
+void Executor::SiftDown(size_t i) {
+  HeapEntry e = heap_[i];
+  const size_t n = heap_.size();
+  while (true) {
+    size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && heap_[child + 1].Before(heap_[child])) child++;
+    if (!heap_[child].Before(e)) break;
+    heap_[i] = heap_[child];
+    i = child;
+  }
+  heap_[i] = e;
+}
+
+void Executor::HeapPush(HeapEntry e) {
+  heap_.push_back(e);
+  SiftUp(heap_.size() - 1);
+}
+
+void Executor::HeapPopTop() {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
+}
+
+void Executor::HeapReplaceTop(HeapEntry e) {
+  heap_[0] = e;
+  SiftDown(0);
+}
+
+void Executor::Compact() {
+  size_t out = 0;
+  for (size_t i = 0; i < heap_.size(); i++) {
+    if (!Stale(heap_[i])) heap_[out++] = heap_[i];
+  }
+  heap_.resize(out);
+  if (out > 1) {
+    for (size_t i = out / 2; i-- > 0;) SiftDown(i);
+  }
+  stale_entries_ = 0;
+}
+
+bool Executor::SettleTop() {
   while (!heap_.empty()) {
-    const HeapEntry top = heap_.top();
-    LaneRec& rec = lanes_[top.id];
-    if (rec.parked || rec.epoch != top.epoch || rec.ctx.now != top.at) {
-      heap_.pop();  // stale
-      continue;
-    }
-    heap_.pop();
-    const Nanos before = rec.ctx.now;
-    const bool keep = rec.lane->Step(rec.ctx);
-    total_steps_++;
-    // A step that does not advance time would live-lock the scheduler.
-    if (rec.ctx.now <= before) rec.ctx.now = before + 1;
-    if (keep) {
-      rec.epoch++;
-      heap_.push({rec.ctx.now, top.id, rec.epoch});
-    } else {
-      rec.parked = true;
-    }
-    return true;
+    if (!Stale(heap_[0])) return true;
+    HeapPopTop();
+    if (stale_entries_ > 0) stale_entries_--;
   }
   return false;
 }
 
-void Executor::RunUntil(Nanos t) {
-  while (!heap_.empty()) {
-    const HeapEntry top = heap_.top();
-    const LaneRec& rec = lanes_[top.id];
-    if (rec.parked || rec.epoch != top.epoch || rec.ctx.now != top.at) {
-      heap_.pop();
-      continue;
+bool Executor::StepOne() {
+  if (!SettleTop()) return false;
+  const HeapEntry top = heap_[0];
+  LaneRec& rec = lanes_[top.id];
+  const Nanos before = rec.ctx.now;
+  const bool keep = rec.lane->Step(rec.ctx);
+  total_steps_++;
+  // A step that does not advance time would live-lock the scheduler.
+  if (rec.ctx.now <= before) rec.ctx.now = before + 1;
+  rec.epoch++;
+  // The stepped entry is normally still at the top; Step() may however have
+  // re-shaped the heap (a lane resuming/adding peers), in which case the old
+  // entry is left behind as epoch-stale.
+  const bool still_top = !heap_.empty() && heap_[0].id == top.id &&
+                         heap_[0].epoch == top.epoch && heap_[0].at == top.at;
+  if (keep) {
+    const HeapEntry next{rec.ctx.now, top.id, rec.epoch};
+    if (still_top) {
+      HeapReplaceTop(next);
+    } else {
+      stale_entries_++;
+      HeapPush(next);
     }
-    if (top.at >= t) return;
+  } else {
+    rec.parked = true;
+    if (still_top) {
+      HeapPopTop();
+    } else {
+      stale_entries_++;
+    }
+  }
+  return true;
+}
+
+void Executor::RunUntil(Nanos t) {
+  while (SettleTop()) {
+    if (heap_[0].at >= t) return;
     if (!StepOne()) return;
   }
 }
@@ -88,7 +139,10 @@ void Executor::RunToCompletion() {
 
 void Executor::ParkLane(uint32_t lane_id) {
   POLAR_CHECK(lane_id < lanes_.size());
-  lanes_[lane_id].parked = true;
+  if (!lanes_[lane_id].parked) {
+    lanes_[lane_id].parked = true;
+    stale_entries_++;  // its heap entry (if any) is now dead
+  }
 }
 
 void Executor::ResumeLane(uint32_t lane_id, Nanos at) {
@@ -97,7 +151,10 @@ void Executor::ResumeLane(uint32_t lane_id, Nanos at) {
   rec.parked = false;
   rec.ctx.now = std::max(rec.ctx.now, at);
   rec.epoch++;
-  heap_.push({rec.ctx.now, lane_id, rec.epoch});
+  HeapPush({rec.ctx.now, lane_id, rec.epoch});
+  // Park/resume cycles strand epoch-invalidated entries in the heap; once
+  // they outnumber the live lanes, rebuild without them.
+  if (stale_entries_ > lanes_.size() + 64) Compact();
 }
 
 Nanos Executor::MinClock(Nanos fallback) const {

@@ -3,12 +3,17 @@
 // worker (session thread); the executor always steps the lane with the
 // smallest clock, so shared-resource ordering is causal and runs are exactly
 // reproducible.
+//
+// Scheduling uses a hand-rolled binary min-heap: the common case (the lane
+// just stepped is re-queued) is a replace-top + sift-down instead of a
+// pop + push pair, and stale entries left behind by park/resume cycles are
+// compacted once they outnumber the live lanes.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/macros.h"
@@ -26,19 +31,45 @@ class Lane {
   virtual bool Step(ExecContext& ctx) = 0;
 };
 
+namespace internal {
+/// Adapter lane around an arbitrary callable. Unlike a std::function-based
+/// adapter this keeps the callable inline (no second indirection and no
+/// heap-allocated closure copy on the hot Step path).
+template <typename Fn>
+class CallableLane final : public Lane {
+ public:
+  explicit CallableLane(Fn fn) : fn_(std::move(fn)) {}
+  bool Step(ExecContext& ctx) override { return fn_(ctx); }
+
+ private:
+  Fn fn_;
+};
+}  // namespace internal
+
 /// Min-clock scheduler over a set of lanes.
 class Executor {
  public:
   Executor() = default;
   POLAR_DISALLOW_COPY(Executor);
 
+  /// Pre-sizes the lane table (and heap) for `n` lanes, so AddLane never
+  /// reallocates mid-setup.
+  void ReserveLanes(size_t n);
+
   /// Registers a lane starting at virtual time `start_at`. Returns lane id.
   uint32_t AddLane(std::unique_ptr<Lane> lane, NodeId node_id,
                    CpuCacheSim* cache, Nanos start_at = 0);
 
-  /// Convenience: wrap a callable as a lane.
-  uint32_t AddLane(std::function<bool(ExecContext&)> fn, NodeId node_id,
-                   CpuCacheSim* cache, Nanos start_at = 0);
+  /// Convenience: wrap any `bool(ExecContext&)` callable as a lane.
+  template <typename Fn,
+            typename = std::enable_if_t<
+                std::is_invocable_r_v<bool, Fn&, ExecContext&>>>
+  uint32_t AddLane(Fn fn, NodeId node_id, CpuCacheSim* cache,
+                   Nanos start_at = 0) {
+    return AddLane(
+        std::make_unique<internal::CallableLane<Fn>>(std::move(fn)), node_id,
+        cache, start_at);
+  }
 
   /// Step lanes until every runnable lane's clock is >= `t` (or all lanes
   /// parked). Lanes may overshoot `t` by one step.
@@ -78,17 +109,33 @@ class Executor {
     Nanos at;
     uint32_t id;
     uint64_t epoch;
-    bool operator>(const HeapEntry& o) const {
-      if (at != o.at) return at > o.at;
-      return id > o.id;
+    bool Before(const HeapEntry& o) const {
+      if (at != o.at) return at < o.at;
+      return id < o.id;
     }
   };
 
   bool StepOne();  // returns false if no runnable lane
 
+  bool Stale(const HeapEntry& e) const {
+    const LaneRec& rec = lanes_[e.id];
+    return rec.parked || rec.epoch != e.epoch || rec.ctx.now != e.at;
+  }
+
+  /// Drops stale entries off the top; false if the heap drained.
+  bool SettleTop();
+
+  void HeapPush(HeapEntry e);
+  void HeapPopTop();
+  void HeapReplaceTop(HeapEntry e);
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+  /// Rebuilds the heap without stale entries (lazy-deletion compaction).
+  void Compact();
+
   std::vector<LaneRec> lanes_;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
-      heap_;
+  std::vector<HeapEntry> heap_;
+  size_t stale_entries_ = 0;  // upper bound on dead entries in heap_
   uint64_t total_steps_ = 0;
 };
 

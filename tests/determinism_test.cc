@@ -4,9 +4,12 @@
 // meaningful — any drift is a real behavioural change, never noise.)
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "harness/instance_driver.h"
 #include "harness/recovery_driver.h"
 #include "harness/sharing_driver.h"
+#include "harness/sweep_runner.h"
 
 namespace polarcxl::harness {
 namespace {
@@ -78,6 +81,44 @@ TEST(DeterminismTest, RecoveryTimelinesAreBitIdentical) {
     EXPECT_EQ(a.qps.bucket(i), b.qps.bucket(i)) << i;
   }
   EXPECT_EQ(a.polar.records_applied, b.polar.records_applied);
+}
+
+TEST(DeterminismTest, SerialLoopMatchesParallelSweepAtAnyThreadCount) {
+  // The parallel sweep runner must be pure wall-clock parallelism: per-
+  // experiment metrics are bit-identical between a plain serial loop and
+  // RunSweep at any thread count.
+  std::vector<PoolingConfig> configs = {
+      SmallPooling(engine::BufferPoolKind::kCxl),
+      SmallPooling(engine::BufferPoolKind::kTieredRdma),
+      SmallPooling(engine::BufferPoolKind::kDram),
+  };
+  configs.push_back(SmallPooling(engine::BufferPoolKind::kCxl));
+  configs.back().seed = 99;
+
+  std::vector<PoolingResult> serial;
+  for (const PoolingConfig& c : configs) serial.push_back(RunPooling(c));
+
+  for (unsigned threads : {2u, 4u, 8u}) {
+    const auto swept = RunSweep<PoolingConfig, PoolingResult>(
+        configs, [](const PoolingConfig& c) { return RunPooling(c); },
+        threads);
+    ASSERT_EQ(swept.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); i++) {
+      SCOPED_TRACE(::testing::Message() << "threads=" << threads
+                                        << " config=" << i);
+      EXPECT_EQ(serial[i].metrics.queries, swept[i].metrics.queries);
+      EXPECT_EQ(serial[i].metrics.events, swept[i].metrics.events);
+      EXPECT_EQ(serial[i].metrics.latency.max(),
+                swept[i].metrics.latency.max());
+      EXPECT_EQ(serial[i].line_hits, swept[i].line_hits);
+      EXPECT_EQ(serial[i].line_misses, swept[i].line_misses);
+      EXPECT_EQ(serial[i].lane_steps, swept[i].lane_steps);
+      EXPECT_EQ(serial[i].virtual_end, swept[i].virtual_end);
+      EXPECT_EQ(serial[i].breakdown.total, swept[i].breakdown.total);
+      EXPECT_DOUBLE_EQ(serial[i].interconnect_gbps,
+                       swept[i].interconnect_gbps);
+    }
+  }
 }
 
 TEST(DeterminismTest, SeedChangesResultsButNotValidity) {

@@ -2,7 +2,9 @@
 // simulator, memory spaces, lock table, executor.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/bandwidth_channel.h"
@@ -64,6 +66,69 @@ TEST(BandwidthChannelTest, MinimumOneNanosecond) {
   BandwidthChannel ch("fast", 64ULL * 1000 * 1000 * 1000);
   const Nanos done = ch.Transfer(0, 1);
   EXPECT_GE(done, 1);
+}
+
+TEST(BandwidthChannelTest, OutOfOrderPostingKeepsPerWindowAccounting) {
+  // 1 GB/s, default 10 us windows => 10 KB budget per window. A transfer
+  // posted at an *earlier* virtual time than one already accepted must not
+  // be pushed behind it: its own window still has budget.
+  BandwidthChannel ch("nic", 1000000000);
+  const Nanos late = ch.Transfer(50'000, 5000);   // window 5
+  EXPECT_EQ(late, 55'000);
+  const Nanos early = ch.Transfer(12'000, 5000);  // window 1, posted after
+  EXPECT_EQ(early, 15'000);  // window 1's budget, unaffected by window 5
+  // Window 1 now holds 5000/10000: a second early transfer fills it.
+  EXPECT_EQ(ch.Transfer(12'000, 5000), 20'000);
+  // And a third spills into window 2.
+  EXPECT_EQ(ch.Transfer(12'000, 5000), 25'000);
+}
+
+TEST(BandwidthChannelTest, ZeroRateChannelNeverQueuesAndKeepsNoLedger) {
+  BandwidthChannel ch("inf", 0);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_EQ(ch.Transfer(i * 100, 1 << 20), i * 100);
+  }
+  EXPECT_EQ(ch.window_footprint(), 0u);  // rate 0 = infinite: no ledger
+  EXPECT_EQ(ch.busy_time(), 0);
+}
+
+TEST(BandwidthChannelTest, WindowBoundarySpill) {
+  // 1 GB/s, 10 KB/window. A transfer larger than the remaining budget of
+  // its window spills into the next; completion lands where the last byte
+  // lands, in the later window.
+  BandwidthChannel ch("nic", 1000000000);
+  EXPECT_EQ(ch.Transfer(0, 10'000), 10'000);   // fills window 0 exactly
+  EXPECT_EQ(ch.Transfer(0, 15'000), 25'000);   // spills through window 1
+  // Window 2 has 5000 used; the next 5000 completes window 2's budget.
+  EXPECT_EQ(ch.Transfer(20'000, 5000), 30'000);
+}
+
+TEST(BandwidthChannelTest, PeekCompletionMatchesSubsequentTransfer) {
+  BandwidthChannel ch("nic", 1000000000);
+  ch.Transfer(0, 7000);
+  const std::pair<Nanos, uint64_t> probes[] = {
+      {0, 4000}, {3'000, 12'000}, {28'000, 1}, {28'000, 25'000}};
+  for (const auto& [now, bytes] : probes) {
+    const Nanos peek = ch.PeekCompletion(now, bytes);
+    EXPECT_EQ(peek, ch.Transfer(now, bytes)) << now << "/" << bytes;
+  }
+}
+
+TEST(BandwidthChannelTest, FootprintStaysBoundedUnderSaturation) {
+  // Sustained saturated traffic must not grow the ledger: fully-consumed
+  // front windows are pruned as they fill (the old map ledger kept every
+  // window ever touched).
+  BandwidthChannel ch("nic", 1000000000);
+  size_t max_footprint = 0;
+  Nanos now = 0;
+  for (int i = 0; i < 50'000; i++) {
+    now = ch.Transfer(now, 10'000);  // one full window per transfer
+    max_footprint = std::max(max_footprint, ch.window_footprint());
+  }
+  EXPECT_LE(max_footprint, 64u);
+  // ~500 ms of virtual time crossed ~50k windows; the ring held only the
+  // active frontier.
+  EXPECT_GT(now, Nanos{400'000'000});
 }
 
 // ---------- CpuCacheSim ----------
@@ -146,6 +211,36 @@ TEST(CpuCacheTest, CapacityRespected) {
   EXPECT_LT(static_cast<double>(cache.hits()) /
                 static_cast<double>(cache.hits() + cache.misses()),
             0.35);
+}
+
+TEST(CpuCacheTest, CapacityRoundsDownToPowerOfTwoSets) {
+  // 100000 B / (4 ways * 64 B lines) = 390 sets, rounded down to 256 so
+  // set indexing stays a mask; capacity_bytes() reports the effective size.
+  CpuCacheSim cache(100'000, 4);
+  EXPECT_EQ(cache.num_sets(), 256u);
+  EXPECT_EQ(cache.num_sets() & (cache.num_sets() - 1), 0u);
+  EXPECT_EQ(cache.capacity_bytes(), 256u * 4 * 64);
+  CpuCacheSim exact(1 << 20, 16);
+  EXPECT_EQ(exact.capacity_bytes(), 1u << 20);
+}
+
+TEST(CpuCacheTest, RecentLineMemoInvalidatedWithTheCache) {
+  // The recent-line memo must never manufacture hits for lines the cache
+  // dropped: after a flush the memo's slot tag is zeroed, so the re-check
+  // fails and the access takes the regular (miss) path.
+  CpuCacheSim cache(1 << 20);
+  EXPECT_FALSE(cache.Access(0x2000, true, nullptr).hit);
+  EXPECT_TRUE(cache.Access(0x2000, false, nullptr).hit);  // memo hit path
+  cache.InvalidateAll();
+  EXPECT_FALSE(cache.Access(0x2000, false, nullptr).hit);
+  EXPECT_TRUE(cache.Access(0x2000, false, nullptr).hit);
+
+  cache.Access(0x2000, true, nullptr);  // re-dirty
+  uint32_t dirty = 0;
+  uint32_t clean = 0;
+  cache.FlushRange(0x2000, 64, &dirty, &clean);
+  EXPECT_EQ(dirty, 1u);
+  EXPECT_FALSE(cache.Access(0x2000, false, nullptr).hit);
 }
 
 // ---------- MemorySpace ----------

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Repo verification gate: the tier-1 build + full test suite, then a
+# sanitizer build (ASan+UBSan) of the simulation-core and determinism
+# tests. Run from anywhere; builds land in build/ and build-asan/.
+#
+#   tools/check.sh           # tier-1 + sanitizer pass
+#   tools/check.sh --fast    # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "==> tier-1: configure + build + ctest"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" >/dev/null
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "==> OK (fast mode: sanitizer pass skipped)"
+  exit 0
+fi
+
+echo "==> sanitizer: ASan+UBSan build of sim core + determinism tests"
+# LTO off: it slows the instrumented build down a lot for no extra signal.
+cmake -B build-asan -S . -DPOLAR_SANITIZE=ON -DPOLAR_LTO=OFF >/dev/null
+cmake --build build-asan -j "$JOBS" \
+  --target sim_test sweep_runner_test determinism_test >/dev/null
+for t in sim_test sweep_runner_test determinism_test; do
+  echo "==> build-asan/tests/$t"
+  "build-asan/tests/$t"
+done
+
+echo "==> OK"
