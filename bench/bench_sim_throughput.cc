@@ -15,8 +15,10 @@
 #include <ctime>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "common/prof.h"
 #include "harness/instance_driver.h"
 
 namespace polarcxl::bench {
@@ -33,15 +35,7 @@ struct ThroughputSample {
 };
 
 harness::PoolingConfig BenchConfig(engine::BufferPoolKind kind) {
-  harness::PoolingConfig c;
-  c.kind = kind;
-  c.instances = 8;
-  c.lanes_per_instance = 8;
-  c.op = workload::SysbenchOp::kPointSelect;
-  c.sysbench.tables = 4;
-  c.sysbench.rows_per_table = 8000;
-  c.cpu_cache_bytes = 2ULL << 20;
-  c.lbp_fraction = 0.3;
+  harness::PoolingConfig c = harness::Fig7PoolingConfig(kind);
   c.warmup = Scaled(Millis(40));
   c.measure = Scaled(Millis(120));
   return c;
@@ -74,8 +68,59 @@ ThroughputSample BestOf(engine::BufferPoolKind kind, int reps) {
   return best;
 }
 
+/// Reads the previously committed "profile" object (balanced-brace scan) so
+/// a profiler-free build — the one that produces the committed throughput
+/// numbers — does not discard the breakdown a POLAR_PROF build recorded.
+std::string CarriedProfile() {
+  FILE* f = std::fopen("BENCH_sim_throughput.json", "r");
+  if (f == nullptr) return "";
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  const size_t key = text.find("\"profile\": {");
+  if (key == std::string::npos) return "";
+  const size_t open = text.find('{', key);
+  int depth = 0;
+  for (size_t i = open; i < text.size(); i++) {
+    if (text[i] == '{') depth++;
+    if (text[i] == '}' && --depth == 0) {
+      return text.substr(open, i - open + 1);
+    }
+  }
+  return "";
+}
+
+/// Per-domain self/total CPU breakdown. The profiler covers the whole
+/// process (setup + warmup + every rep of both configs) — it answers
+/// "where do simulator cycles go", not "what did one rep cost".
+void PrintProfReport() {
+  if (!prof::kEnabled) return;
+  const std::vector<prof::DomainTotals> totals = prof::Collect();
+  double self_sum = 0;
+  for (const prof::DomainTotals& t : totals) self_sum += t.self_sec;
+  harness::ReportTable table(
+      "Profiler breakdown (POLAR_PROF build; whole process)",
+      {"domain", "calls", "self s", "self %", "total s"});
+  for (const prof::DomainTotals& t : totals) {
+    if (t.calls == 0) continue;
+    char calls[32], self_s[32], pct[32], total_s[32];
+    std::snprintf(calls, sizeof(calls), "%llu",
+                  static_cast<unsigned long long>(t.calls));
+    std::snprintf(self_s, sizeof(self_s), "%.3f", t.self_sec);
+    std::snprintf(pct, sizeof(pct), "%.1f",
+                  self_sum > 0 ? 100.0 * t.self_sec / self_sum : 0.0);
+    std::snprintf(total_s, sizeof(total_s), "%.3f", t.total_sec);
+    table.AddRow({t.name, calls, self_s, pct, total_s});
+  }
+  table.Print();
+}
+
 void WriteJson(const ThroughputSample& cxl, const ThroughputSample& rdma,
                int reps) {
+  // Must be captured before fopen("w") truncates the file.
+  const std::string carried = prof::kEnabled ? "" : CarriedProfile();
   FILE* f = std::fopen("BENCH_sim_throughput.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_sim_throughput.json\n");
@@ -103,7 +148,38 @@ void WriteJson(const ThroughputSample& cxl, const ThroughputSample& rdma,
   std::fprintf(f, "    \"lane_steps_per_sec\": %.0f,\n", rdma.StepsPerSec());
   std::fprintf(f, "    \"virtual_ns_per_wall_ns\": %.4f\n",
                rdma.VirtualPerWall());
-  std::fprintf(f, "  }\n");
+  std::fprintf(f, "  },\n");
+  if (prof::kEnabled) {
+    // Fresh breakdown from this (POLAR_PROF) build. Throughput numbers from
+    // such a build are instrumented; the committed perf figures above come
+    // from a profiler-free rerun, which carries this section forward.
+    std::fprintf(f, "  \"profile\": {\n");
+    std::fprintf(f, "    \"enabled\": true,\n");
+    std::fprintf(f,
+                 "    \"note\": \"per-domain CPU seconds over the whole "
+                 "process (both configs, all reps), POLAR_PROF build\",\n");
+    std::fprintf(f, "    \"domains\": {\n");
+    const std::vector<prof::DomainTotals> totals = prof::Collect();
+    bool first = true;
+    for (const prof::DomainTotals& t : totals) {
+      if (t.calls == 0) continue;
+      if (!first) std::fprintf(f, ",\n");
+      first = false;
+      std::fprintf(f,
+                   "      \"%s\": {\"calls\": %llu, \"self_sec\": %.4f, "
+                   "\"total_sec\": %.4f}",
+                   t.name, static_cast<unsigned long long>(t.calls),
+                   t.self_sec, t.total_sec);
+    }
+    std::fprintf(f, "\n    }\n");
+    std::fprintf(f, "  }\n");
+  } else if (!carried.empty()) {
+    std::fprintf(f, "  \"profile\": %s\n", carried.c_str());
+  } else {
+    std::fprintf(f,
+                 "  \"profile\": {\"enabled\": false, \"note\": \"build with "
+                 "-DPOLAR_PROF=ON to record a breakdown\"}\n");
+  }
   std::fprintf(f, "}\n");
   std::fclose(f);
 }
@@ -133,6 +209,7 @@ int Main() {
   row("cxl", cxl);
   row("tiered_rdma", rdma);
   table.Print();
+  PrintProfReport();
 
   // Only full-scale runs refresh the committed trajectory file: a quick
   // POLAR_BENCH_SCALE pass must not silently clobber it with numbers from
@@ -143,6 +220,30 @@ int Main() {
   } else {
     std::printf(
         "POLAR_BENCH_SCALE != 1: BENCH_sim_throughput.json not refreshed\n");
+  }
+
+  // Determinism gate: POLAR_BENCH_EXPECT="<cxl_steps>,<rdma_steps>" turns
+  // the bench into a bit-identity check (lane_steps is pure virtual-time
+  // output, so it must not move with host speed — only with semantic
+  // changes to the simulation). tools/check.sh --bench uses this.
+  if (const char* expect = std::getenv("POLAR_BENCH_EXPECT")) {
+    unsigned long long want_cxl = 0;
+    unsigned long long want_rdma = 0;
+    if (std::sscanf(expect, "%llu,%llu", &want_cxl, &want_rdma) != 2) {
+      std::fprintf(stderr, "bad POLAR_BENCH_EXPECT: %s\n", expect);
+      return 2;
+    }
+    if (cxl.lane_steps != want_cxl || rdma.lane_steps != want_rdma) {
+      std::fprintf(stderr,
+                   "lane_steps drift: got cxl=%llu rdma=%llu, expected "
+                   "cxl=%llu rdma=%llu\n",
+                   static_cast<unsigned long long>(cxl.lane_steps),
+                   static_cast<unsigned long long>(rdma.lane_steps), want_cxl,
+                   want_rdma);
+      return 1;
+    }
+    std::printf("lane_steps match POLAR_BENCH_EXPECT (%llu, %llu)\n",
+                want_cxl, want_rdma);
   }
   return 0;
 }

@@ -16,14 +16,27 @@
 #include "sim/exec_context.h"
 #include "storage/redo_log.h"
 
+namespace polarcxl::sim {
+class MemorySpace;
+}  // namespace polarcxl::sim
+
 namespace polarcxl::bufferpool {
 
 constexpr uint32_t kInvalidBlock = UINT32_MAX;
 
 /// A fixed (pinned + latched) page frame.
+///
+/// `space`/`phys` are the frame's charge target, resolved once at Fetch
+/// time: every pool's TouchRange boils down to
+/// `space->Touch(ctx, phys + off, len, write)`, so hot callers (the mtr
+/// charge path) go through these fields directly instead of a virtual
+/// TouchRange dispatch per probe. Pools that leave them null keep the
+/// virtual path.
 struct PageRef {
   uint32_t block = kInvalidBlock;
   uint8_t* data = nullptr;  // 16 KB frame
+  sim::MemorySpace* space = nullptr;  // charge target (null: virtual path)
+  uint64_t phys = 0;                  // simulated phys addr of frame byte 0
 
   bool valid() const { return block != kInvalidBlock; }
 };

@@ -23,6 +23,7 @@ CxlBufferPool::CxlBufferPool(Options options, MemOffset region,
                                    kPageSize)),
       acc_(accessor),
       store_(store),
+      page_table_(static_cast<uint32_t>(options.capacity_pages)),
       fix_count_(options.capacity_pages, 0),
       dirty_(options.capacity_pages, 0) {}
 
@@ -175,7 +176,7 @@ uint32_t CxlBufferPool::EvictTail(sim::ExecContext& ctx) {
         dirty_[b] = 0;
       }
       InUseUnlink(ctx, m);
-      page_table_.erase(m.id);
+      page_table_.Erase(m.id);
       stats_.evictions++;
       return b;
     }
@@ -189,10 +190,10 @@ uint32_t CxlBufferPool::EvictTail(sim::ExecContext& ctx) {
 Result<PageRef> CxlBufferPool::Fetch(sim::ExecContext& ctx, PageId page_id,
                                      bool for_write) {
   stats_.fetches++;
-  const auto it = page_table_.find(page_id);
-  if (it != page_table_.end()) {
+  const uint32_t found = page_table_.Find(page_id);
+  if (found != PageMap::kNotFound) {
     stats_.hits++;
-    const uint32_t b = it->second;
+    const uint32_t b = found;
     CxlBlockMeta m = LoadMeta(ctx, b);
     if (for_write) m.lock_state = 1;
     // Move to front of the in-use list (LRU), guarded by the CXL-mirrored
@@ -202,7 +203,7 @@ Result<PageRef> CxlBufferPool::Fetch(sim::ExecContext& ctx, PageId page_id,
     InUsePushFront(ctx, b, &m);
     SetLruMutex(ctx, 0);
     fix_count_[b]++;
-    return PageRef{b, FrameRaw(b)};
+    return PageRef{b, FrameRaw(b), acc_->space(), acc_->PhysAddr(FrameOff(b))};
   }
 
   stats_.misses++;
@@ -228,10 +229,10 @@ Result<PageRef> CxlBufferPool::Fetch(sim::ExecContext& ctx, PageId page_id,
   InUsePushFront(ctx, b, &m);
   SetLruMutex(ctx, 0);
 
-  page_table_[page_id] = b;
+  page_table_.Put(page_id, b);
   fix_count_[b] = 1;
   dirty_[b] = 0;
-  return PageRef{b, FrameRaw(b)};
+  return PageRef{b, FrameRaw(b), acc_->space(), acc_->PhysAddr(FrameOff(b))};
 }
 
 void CxlBufferPool::Unfix(sim::ExecContext& ctx, const PageRef& ref,
@@ -275,7 +276,7 @@ void CxlBufferPool::FlushDirtyPages(sim::ExecContext& ctx) {
 }
 
 bool CxlBufferPool::Cached(PageId page_id) const {
-  return page_table_.count(page_id) > 0;
+  return page_table_.Contains(page_id);
 }
 
 void CxlBufferPool::FinishRecovery(sim::ExecContext& ctx,
@@ -292,15 +293,15 @@ void CxlBufferPool::FinishRecoveryScanned(
     sim::ExecContext& ctx,
     const std::vector<std::pair<uint32_t, CxlBlockMeta>>& metas,
     bool rebuild_lists) {
-  page_table_.clear();
+  page_table_.Clear();
   std::fill(fix_count_.begin(), fix_count_.end(), 0);
 
   std::vector<uint32_t> in_use;
   for (const auto& [b, m] : metas) {
     if (m.in_use != 0) {
-      POLAR_CHECK_MSG(page_table_.count(m.id) == 0,
+      POLAR_CHECK_MSG(!page_table_.Contains(m.id),
                       "duplicate page in recovered pool");
-      page_table_[m.id] = b;
+      page_table_.Put(m.id, b);
       in_use.push_back(b);
       // Conservatively dirty: the crash lost the dirty bitmap.
       dirty_[b] = 1;

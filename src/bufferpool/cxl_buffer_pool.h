@@ -8,10 +8,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "bufferpool/buffer_pool.h"
+#include "common/flat_map.h"
 #include "cxl/cxl_fabric.h"
 #include "cxl/cxl_memory_manager.h"
 #include "storage/page_store.h"
@@ -154,7 +154,7 @@ class CxlBufferPool final : public BufferPool {
   MemOffset frames_off_;
   cxl::CxlAccessor* acc_;
   storage::PageStore* store_;
-  std::unordered_map<PageId, uint32_t> page_table_;  // DRAM; lost on crash
+  PageMap page_table_;  // DRAM; lost on crash
   std::vector<uint32_t> fix_count_;                  // DRAM; lost on crash
   std::vector<uint8_t> dirty_;                       // DRAM; lost on crash
   BufferPoolStats stats_;

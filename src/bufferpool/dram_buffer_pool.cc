@@ -9,7 +9,8 @@ DramBufferPool::DramBufferPool(Options options, sim::MemorySpace* dram,
       store_(store),
       frames_(opt_.capacity_pages * kPageSize),
       meta_(opt_.capacity_pages),
-      lru_(static_cast<uint32_t>(opt_.capacity_pages)) {
+      lru_(static_cast<uint32_t>(opt_.capacity_pages)),
+      page_table_(static_cast<uint32_t>(opt_.capacity_pages)) {
   free_list_.reserve(opt_.capacity_pages);
   // Populate in reverse so block 0 is handed out first.
   for (uint32_t b = static_cast<uint32_t>(opt_.capacity_pages); b > 0; b--) {
@@ -35,7 +36,7 @@ uint32_t DramBufferPool::AllocBlock(sim::ExecContext& ctx) {
       stats_.dirty_writebacks++;
     }
     lru_.Remove(b);
-    page_table_.erase(m.page_id);
+    page_table_.Erase(m.page_id);
     m = BlockMeta{};
     stats_.evictions++;
     return b;
@@ -47,13 +48,13 @@ Result<PageRef> DramBufferPool::Fetch(sim::ExecContext& ctx, PageId page_id,
                                       bool for_write) {
   (void)for_write;  // DRAM pools keep no durable lock state
   stats_.fetches++;
-  const auto it = page_table_.find(page_id);
-  if (it != page_table_.end()) {
+  const uint32_t found = page_table_.Find(page_id);
+  if (found != PageMap::kNotFound) {
     stats_.hits++;
-    const uint32_t b = it->second;
+    const uint32_t b = found;
     meta_[b].fix_count++;
     lru_.MoveToFront(b);
-    return PageRef{b, FrameData(b)};
+    return PageRef{b, FrameData(b), dram_, FrameAddr(b)};
   }
 
   stats_.misses++;
@@ -67,9 +68,9 @@ Result<PageRef> DramBufferPool::Fetch(sim::ExecContext& ctx, PageId page_id,
   m.in_use = true;
   m.dirty = false;
   m.fix_count = 1;
-  page_table_[page_id] = b;
+  page_table_.Put(page_id, b);
   lru_.PushFront(b);
-  return PageRef{b, FrameData(b)};
+  return PageRef{b, FrameData(b), dram_, FrameAddr(b)};
 }
 
 void DramBufferPool::Unfix(sim::ExecContext& ctx, const PageRef& ref,
@@ -103,7 +104,7 @@ void DramBufferPool::FlushDirtyPages(sim::ExecContext& ctx) {
 }
 
 bool DramBufferPool::Cached(PageId page_id) const {
-  return page_table_.count(page_id) > 0;
+  return page_table_.Contains(page_id);
 }
 
 }  // namespace polarcxl::bufferpool

@@ -5,10 +5,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "bufferpool/buffer_pool.h"
+#include "common/flat_map.h"
 #include "sim/memory_space.h"
 #include "storage/page_store.h"
 
@@ -69,7 +69,7 @@ class DramBufferPool final : public BufferPool {
   std::vector<BlockMeta> meta_;
   std::vector<uint32_t> free_list_;
   LruList lru_;
-  std::unordered_map<PageId, uint32_t> page_table_;
+  PageMap page_table_;
   BufferPoolStats stats_;
 };
 

@@ -8,10 +8,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "bufferpool/buffer_pool.h"
+#include "common/flat_map.h"
 #include "rdma/remote_memory_pool.h"
 #include "sim/memory_space.h"
 #include "storage/page_store.h"
@@ -78,7 +78,7 @@ class TieredRdmaBufferPool final : public BufferPool {
   std::vector<BlockMeta> meta_;
   std::vector<uint32_t> free_list_;
   LruList lru_;
-  std::unordered_map<PageId, uint32_t> page_table_;
+  PageMap page_table_;
   BufferPoolStats stats_;
   uint64_t remote_hits_ = 0;
 };

@@ -1,0 +1,139 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// Open-addressing hash map PageId -> uint32 for buffer-pool page tables.
+// Every simulated page fix does one lookup here, and std::unordered_map's
+// node allocation + pointer chase made it a top-5 wall-clock cost. Linear
+// probing over two flat arrays keeps a lookup to one or two cache lines.
+// Host-side data structure only: replacing the map implementation cannot
+// change any simulated (virtual-time) outcome.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/types.h"
+
+namespace polarcxl {
+
+/// Maps PageId (uint32, != 0xFFFFFFFE/0xFFFFFFFF) to uint32. Not
+/// thread-safe. Erase uses tombstones; the table rehashes when live+dead
+/// slots exceed 70% of capacity.
+class PageMap {
+ public:
+  explicit PageMap(uint32_t expected = 16) { Rebuild(CapacityFor(expected)); }
+
+  static constexpr uint32_t kNotFound = UINT32_MAX;
+
+  /// Value for `key`, or kNotFound.
+  uint32_t Find(PageId key) const {
+    uint32_t i = Hash(key) & mask_;
+    while (true) {
+      const uint32_t k = keys_[i];
+      if (k == key) return vals_[i];
+      if (k == kEmpty) return kNotFound;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  bool Contains(PageId key) const { return Find(key) != kNotFound; }
+
+  /// Inserts or overwrites.
+  void Put(PageId key, uint32_t value) {
+    POLAR_CHECK(key < kTombstone);
+    if ((occupied_ + 1) * 10 > capacity_ * 7) {
+      Rebuild(live_ * 4 > capacity_ ? capacity_ * 2 : capacity_);
+    }
+    uint32_t i = Hash(key) & mask_;
+    uint32_t first_dead = kNotFound;
+    while (true) {
+      const uint32_t k = keys_[i];
+      if (k == key) {
+        vals_[i] = value;
+        return;
+      }
+      if (k == kTombstone && first_dead == kNotFound) first_dead = i;
+      if (k == kEmpty) {
+        if (first_dead != kNotFound) {
+          i = first_dead;  // reuse the tombstone slot
+        } else {
+          occupied_++;
+        }
+        keys_[i] = key;
+        vals_[i] = value;
+        live_++;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Removes `key` if present; returns whether it was.
+  bool Erase(PageId key) {
+    uint32_t i = Hash(key) & mask_;
+    while (true) {
+      const uint32_t k = keys_[i];
+      if (k == key) {
+        keys_[i] = kTombstone;
+        live_--;
+        return true;
+      }
+      if (k == kEmpty) return false;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  void Clear() {
+    std::fill(keys_.begin(), keys_.end(), kEmpty);
+    live_ = 0;
+    occupied_ = 0;
+  }
+
+  uint32_t size() const { return live_; }
+  bool empty() const { return live_ == 0; }
+
+  void Reserve(uint32_t expected) {
+    const uint32_t want = CapacityFor(expected);
+    if (want > capacity_) Rebuild(want);
+  }
+
+ private:
+  static constexpr uint32_t kEmpty = UINT32_MAX;
+  static constexpr uint32_t kTombstone = UINT32_MAX - 1;
+
+  static uint32_t Hash(uint32_t k) {
+    // Fibonacci multiplicative mix; page ids are near-sequential.
+    return static_cast<uint32_t>(
+        (static_cast<uint64_t>(k) * 0x9E3779B97F4A7C15ULL) >> 32);
+  }
+
+  static uint32_t CapacityFor(uint32_t expected) {
+    uint32_t cap = 16;
+    // Size so `expected` entries stay under the 70% trigger.
+    while (cap * 7 < (expected + 1) * 10) cap *= 2;
+    return cap;
+  }
+
+  void Rebuild(uint32_t new_capacity) {
+    std::vector<uint32_t> old_keys = std::move(keys_);
+    std::vector<uint32_t> old_vals = std::move(vals_);
+    capacity_ = new_capacity;
+    mask_ = capacity_ - 1;
+    keys_.assign(capacity_, kEmpty);
+    vals_.assign(capacity_, 0);
+    live_ = 0;
+    occupied_ = 0;
+    for (size_t i = 0; i < old_keys.size(); i++) {
+      if (old_keys[i] < kTombstone) Put(old_keys[i], old_vals[i]);
+    }
+  }
+
+  std::vector<uint32_t> keys_;
+  std::vector<uint32_t> vals_;
+  uint32_t capacity_ = 0;
+  uint32_t mask_ = 0;
+  uint32_t live_ = 0;      // slots holding a key
+  uint32_t occupied_ = 0;  // live + tombstones (probe-chain load)
+};
+
+}  // namespace polarcxl

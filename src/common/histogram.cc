@@ -9,32 +9,11 @@ namespace polarcxl {
 
 Histogram::Histogram() : buckets_(kBuckets, 0) {}
 
-int Histogram::BucketFor(Nanos v) {
-  if (v < kSubBuckets) return static_cast<int>(v < 0 ? 0 : v);
-  // Decompose v = (1.mantissa) * 2^e; bucket = e * kSubBuckets + top mantissa
-  // bits. 63 - clz gives e.
-  const uint64_t uv = static_cast<uint64_t>(v);
-  const int e = 63 - __builtin_clzll(uv);
-  const int mant_shift = e - 6;  // kSubBuckets == 2^6
-  const int sub = static_cast<int>((uv >> mant_shift) & (kSubBuckets - 1));
-  int b = (e - 5) * kSubBuckets + sub;
-  return b >= kBuckets ? kBuckets - 1 : b;
-}
-
 Nanos Histogram::BucketLow(int b) {
   if (b < kSubBuckets) return b;
   const int e = b / kSubBuckets + 5;
   const int sub = b % kSubBuckets;
   return (1LL << e) + (static_cast<Nanos>(sub) << (e - 6));
-}
-
-void Histogram::Add(Nanos value) {
-  if (value < 0) value = 0;
-  buckets_[BucketFor(value)]++;
-  if (count_ == 0 || value < min_) min_ = value;
-  if (value > max_) max_ = value;
-  sum_ += static_cast<double>(value);
-  count_++;
 }
 
 void Histogram::Merge(const Histogram& other) {

@@ -2,6 +2,7 @@
 // Latency histogram and time-bucketed throughput series for the harness.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -16,7 +17,18 @@ class Histogram {
  public:
   Histogram();
 
-  void Add(Nanos value);
+  /// Inline and branch-free after the negative clamp: one bit_width, one
+  /// shift, one predicated clamp. Called once per completed query by every
+  /// lane, so it shares the step hot path with the simulator itself.
+  void Add(Nanos value) {
+    if (value < 0) value = 0;
+    buckets_[BucketFor(value)]++;
+    if (count_ == 0 || value < min_) min_ = value;
+    if (value > max_) max_ = value;
+    sum_ += static_cast<double>(value);
+    count_++;
+  }
+
   void Merge(const Histogram& other);
   void Reset();
 
@@ -34,7 +46,20 @@ class Histogram {
   static constexpr int kSubBuckets = 64;
   static constexpr int kBuckets = 64 * kSubBuckets;
 
-  static int BucketFor(Nanos v);
+  /// Branchless bucket index. For uv < 2*kSubBuckets the exponent clamps
+  /// to 6 and the 7-bit mantissa mask passes uv through (bucket == value);
+  /// above that, (uv >> (e-6)) sits in [64, 128), and adding its low 7 bits
+  /// to (e-6)*64 equals the classic (e-5)*64 + 6-bit-mantissa split — one
+  /// formula for both regimes, no small-value branch to mispredict.
+  static int BucketFor(Nanos v) {
+    const uint64_t uv = static_cast<uint64_t>(v < 0 ? 0 : v);
+    const int e = std::bit_width(uv | (2 * kSubBuckets - 1)) - 1;
+    const int b =
+        (e - 6) * kSubBuckets +
+        static_cast<int>((uv >> (e - 6)) & (2 * kSubBuckets - 1));
+    return b >= kBuckets ? kBuckets - 1 : b;
+  }
+
   static Nanos BucketLow(int b);
 
   std::vector<uint64_t> buckets_;
@@ -50,11 +75,19 @@ class TimeSeries {
  public:
   explicit TimeSeries(Nanos bucket_width) : width_(bucket_width) {}
 
+  /// Out-of-range timestamps saturate into the edge buckets instead of
+  /// resizing without bound: a corrupt/huge `at` used to make this resize
+  /// to `at / width` entries and OOM the harness.
   void Add(Nanos at, uint64_t n = 1) {
-    const size_t b = static_cast<size_t>(at / width_);
+    size_t b = at < 0 ? 0 : static_cast<size_t>(at / width_);
+    if (b >= kMaxBuckets) b = kMaxBuckets - 1;
     if (b >= buckets_.size()) buckets_.resize(b + 1, 0);
     buckets_[b] += n;
   }
+
+  /// Hard cap on the series length (8 MB of counters at the cap). Reached
+  /// only by malformed timestamps; real sweeps use a few thousand buckets.
+  static constexpr size_t kMaxBuckets = 1 << 20;
 
   Nanos bucket_width() const { return width_; }
   size_t num_buckets() const { return buckets_.size(); }

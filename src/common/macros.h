@@ -28,3 +28,11 @@
 #define POLAR_DISALLOW_COPY(TypeName)       \
   TypeName(const TypeName&) = delete;       \
   TypeName& operator=(const TypeName&) = delete
+
+// Keeps a cold/large function body out of line so the hot path that guards
+// it stays small enough for the inliner (see CpuCacheSim::AccessFast).
+#if defined(__GNUC__) || defined(__clang__)
+#define POLAR_NOINLINE __attribute__((noinline))
+#else
+#define POLAR_NOINLINE
+#endif

@@ -59,13 +59,16 @@ class ZipfRng {
     alpha_ = 1.0 / (1.0 - theta_);
     eta_ = (1.0 - FastPow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
            (1.0 - zeta2_ / zetan_);
+    // Constant for a given theta; computing pow() here instead of per draw
+    // yields the exact same double, so the key sequence is unchanged.
+    pow_half_theta_ = FastPow(0.5, theta_);
   }
 
   uint64_t Next() {
     const double u = rng_.NextDouble();
     const double uz = u * zetan_;
     if (uz < 1.0) return 0;
-    if (uz < 1.0 + FastPow(0.5, theta_)) return 1;
+    if (uz < 1.0 + pow_half_theta_) return 1;
     const double v =
         static_cast<double>(n_) * FastPow(eta_ * u - eta_ + 1.0, alpha_);
     uint64_t r = static_cast<uint64_t>(v);
@@ -96,6 +99,7 @@ class ZipfRng {
   double zeta2_;
   double alpha_;
   double eta_;
+  double pow_half_theta_;
 };
 
 inline double ZipfRng::FastPow(double base, double exp) {

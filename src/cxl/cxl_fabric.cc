@@ -80,24 +80,6 @@ void CxlFabric::CopyInSlow(MemOffset off, const void* src, uint64_t len) {
   }
 }
 
-uint64_t CxlAccessor::PhysAddr(MemOffset off) const {
-  return CxlFabric::kPhysBase + off;
-}
-
-uint8_t* CxlAccessor::Raw(MemOffset off) { return fabric_->Translate(off); }
-
-void CxlAccessor::Load(sim::ExecContext& ctx, MemOffset off, void* dst,
-                       uint32_t len) {
-  space_->Touch(ctx, PhysAddr(off), len, /*write=*/false);
-  fabric_->CopyOut(off, dst, len);
-}
-
-void CxlAccessor::Store(sim::ExecContext& ctx, MemOffset off, const void* src,
-                        uint32_t len) {
-  space_->Touch(ctx, PhysAddr(off), len, /*write=*/true);
-  fabric_->CopyIn(off, src, len);
-}
-
 void CxlAccessor::StreamRead(sim::ExecContext& ctx, MemOffset off, void* dst,
                              uint32_t len) {
   space_->Stream(ctx, PhysAddr(off), len, /*write=*/false);
@@ -130,11 +112,6 @@ uint32_t CxlAccessor::Flush(sim::ExecContext& ctx, MemOffset off,
 void CxlAccessor::InvalidateCache(sim::ExecContext& ctx, MemOffset off,
                                   uint32_t len) {
   space_->Invalidate(ctx, PhysAddr(off), len);
-}
-
-void CxlAccessor::Touch(sim::ExecContext& ctx, MemOffset off, uint32_t len,
-                        bool write) {
-  space_->Touch(ctx, PhysAddr(off), len, write);
 }
 
 void CxlAccessor::StreamTouch(sim::ExecContext& ctx, MemOffset off,

@@ -39,6 +39,10 @@ class CxlAccessor {
   POLAR_DISALLOW_COPY(CxlAccessor);
 
   /// Cached load of `len` bytes at fabric offset `off` into `dst`.
+  /// (Defined inline below the CxlFabric definition: Load/Store/Touch are
+  /// on the per-simulated-access hot path — one call per pool metadata or
+  /// list-pointer access — and must flatten into MemorySpace::Touch even
+  /// in non-LTO builds.)
   void Load(sim::ExecContext& ctx, MemOffset off, void* dst, uint32_t len);
   /// Cached store of `len` bytes from `src` to fabric offset `off`.
   void Store(sim::ExecContext& ctx, MemOffset off, const void* src,
@@ -206,5 +210,32 @@ class CxlFabric {
   uint8_t* single_device_data_ = nullptr;
   std::vector<std::unique_ptr<CxlAccessor>> hosts_;
 };
+
+// ---- CxlAccessor hot-path definitions (need the CxlFabric body) ----
+
+inline uint64_t CxlAccessor::PhysAddr(MemOffset off) const {
+  return CxlFabric::kPhysBase + off;
+}
+
+inline uint8_t* CxlAccessor::Raw(MemOffset off) {
+  return fabric_->Translate(off);
+}
+
+inline void CxlAccessor::Load(sim::ExecContext& ctx, MemOffset off, void* dst,
+                              uint32_t len) {
+  space_->Touch(ctx, PhysAddr(off), len, /*write=*/false);
+  fabric_->CopyOut(off, dst, len);
+}
+
+inline void CxlAccessor::Store(sim::ExecContext& ctx, MemOffset off,
+                               const void* src, uint32_t len) {
+  space_->Touch(ctx, PhysAddr(off), len, /*write=*/true);
+  fabric_->CopyIn(off, src, len);
+}
+
+inline void CxlAccessor::Touch(sim::ExecContext& ctx, MemOffset off,
+                               uint32_t len, bool write) {
+  space_->Touch(ctx, PhysAddr(off), len, write);
+}
 
 }  // namespace polarcxl::cxl

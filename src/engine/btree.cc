@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/prof.h"
+
 namespace polarcxl::engine {
 
 namespace {
@@ -246,6 +248,7 @@ Status BTree::SplitPathTo(sim::ExecContext& ctx, uint64_t key) {
 }
 
 Status BTree::Insert(sim::ExecContext& ctx, uint64_t key, Slice value) {
+  POLAR_PROF_SCOPE(kEngine);
   if (value.size() != value_size_) {
     return Status::InvalidArgument("value size mismatch");
   }
@@ -286,6 +289,7 @@ Status BTree::Update(sim::ExecContext& ctx, uint64_t key, Slice value) {
 
 Status BTree::UpdatePartial(sim::ExecContext& ctx, uint64_t key, uint32_t off,
                             Slice part) {
+  POLAR_PROF_SCOPE(kEngine);
   if (off + part.size() > value_size_) {
     return Status::InvalidArgument("partial update out of bounds");
   }
@@ -312,6 +316,14 @@ Status BTree::UpdatePartial(sim::ExecContext& ctx, uint64_t key, uint32_t off,
 }
 
 Result<std::string> BTree::Get(sim::ExecContext& ctx, uint64_t key) {
+  std::string out;
+  const Status s = GetTo(ctx, key, &out);
+  if (!s.ok()) return s;
+  return out;
+}
+
+Status BTree::GetTo(sim::ExecContext& ctx, uint64_t key, std::string* out) {
+  POLAR_PROF_SCOPE(kEngine);
   MiniTransaction mtr(ctx, pool_, log_);
   auto leaf = DescendToLeaf(mtr, key, /*leaf_for_write=*/false);
   if (!leaf.ok()) {
@@ -328,13 +340,13 @@ Result<std::string> BTree::Get(sim::ExecContext& ctx, uint64_t key) {
     return Status::NotFound("key absent");
   }
   mtr.ChargeRead(*leaf, page.EntryOffset(idx) + kKeySize, value_size_);
-  std::string out(reinterpret_cast<const char*>(page.ValueAt(idx)),
-                  value_size_);
+  out->assign(reinterpret_cast<const char*>(page.ValueAt(idx)), value_size_);
   mtr.Commit();
-  return out;
+  return Status::OK();
 }
 
 Status BTree::Delete(sim::ExecContext& ctx, uint64_t key) {
+  POLAR_PROF_SCOPE(kEngine);
   MiniTransaction mtr(ctx, pool_, log_);
   auto leaf = DescendToLeaf(mtr, key, /*leaf_for_write=*/true);
   if (!leaf.ok()) {
@@ -349,6 +361,7 @@ Status BTree::Delete(sim::ExecContext& ctx, uint64_t key) {
 Result<size_t> BTree::Scan(sim::ExecContext& ctx, uint64_t start_key,
                            size_t count,
                            std::vector<std::pair<uint64_t, std::string>>* out) {
+  POLAR_PROF_SCOPE(kEngine);
   MiniTransaction mtr(ctx, pool_, log_);
   auto leaf = DescendToLeaf(mtr, start_key, /*leaf_for_write=*/false);
   if (!leaf.ok()) {

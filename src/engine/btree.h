@@ -66,6 +66,11 @@ class BTree {
   /// Reads the value. NotFound if absent.
   Result<std::string> Get(sim::ExecContext& ctx, uint64_t key);
 
+  /// Reads the value into `*out`, reusing its capacity. The hot-path form
+  /// of Get(): a point select that recycles the caller's scratch string
+  /// performs no heap allocation. Identical charging and result.
+  Status GetTo(sim::ExecContext& ctx, uint64_t key, std::string* out);
+
   /// Removes the key. NotFound if absent.
   Status Delete(sim::ExecContext& ctx, uint64_t key);
 

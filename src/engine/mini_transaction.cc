@@ -1,6 +1,8 @@
 #include "engine/mini_transaction.h"
 
 #include <algorithm>
+#include <memory>
+#include <vector>
 
 namespace polarcxl::engine {
 
@@ -11,34 +13,74 @@ namespace {
 constexpr uint32_t kShiftChargeBytes = 128;
 }  // namespace
 
+struct MiniTransaction::Scratch {
+  std::vector<storage::RedoRecord> records;
+  std::vector<Handle*> record_handle;  // records[i] touches *record_handle[i]
+  Arena arena;                         // feeds HandleList overflow chunks
+};
+
+// Thread-local recycle stack (raw pointers; ownership stays with the
+// `owned` list in AcquireScratch, so thread exit frees everything and
+// sanitizers see no leak). Depth equals the maximum number of
+// simultaneously live mtrs on one thread — in practice one or two.
+std::vector<MiniTransaction::Scratch*>& MiniTransaction::FreeScratchList() {
+  static thread_local std::vector<Scratch*> free_list;
+  return free_list;
+}
+
+MiniTransaction::Scratch* MiniTransaction::AcquireScratch() {
+  std::vector<Scratch*>& free_list = FreeScratchList();
+  if (!free_list.empty()) {
+    Scratch* s = free_list.back();
+    free_list.pop_back();
+    return s;
+  }
+  static thread_local std::vector<std::unique_ptr<Scratch>> owned;
+  owned.push_back(std::make_unique<Scratch>());
+  return owned.back().get();
+}
+
+void MiniTransaction::ReleaseScratch(Scratch* s) {
+  s->records.clear();
+  s->record_handle.clear();
+  s->arena.Reset();
+  FreeScratchList().push_back(s);
+}
+
 MiniTransaction::MiniTransaction(sim::ExecContext& ctx,
                                  bufferpool::BufferPool* pool,
                                  storage::RedoLog* log)
-    : ctx_(ctx), pool_(pool), log_(log), mtr_id_(log->NewMtrId()) {}
+    : ctx_(ctx),
+      pool_(pool),
+      log_(log),
+      mtr_id_(log->NewMtrId()),
+      scratch_(AcquireScratch()) {}
 
 MiniTransaction::~MiniTransaction() {
   POLAR_CHECK_MSG(committed_, "mtr destroyed without Commit()");
 }
 
+size_t MiniTransaction::num_records() const {
+  return scratch_ == nullptr ? 0 : scratch_->records.size();
+}
+
 Result<MiniTransaction::Handle*> MiniTransaction::GetPage(PageId page_id,
                                                           bool for_write) {
-  for (size_t i = 0; i < handles_.size(); i++) {
-    Handle& h = handles_[i];
-    if (h.id == page_id) {
-      if (for_write && !h.write_fixed) {
-        pool_->UpgradeToWrite(ctx_, h.ref, page_id);
-        h.write_fixed = true;
-      }
-      return &h;
+  Handle* found = nullptr;
+  handles_.ForEach([&](Handle& h) {
+    if (found == nullptr && h.id == page_id) found = &h;
+  });
+  if (found != nullptr) {
+    if (for_write && !found->write_fixed) {
+      pool_->UpgradeToWrite(ctx_, found->ref, page_id);
+      found->write_fixed = true;
     }
+    return found;
   }
   auto ref = pool_->Fetch(ctx_, page_id, for_write);
   if (!ref.ok()) return ref.status();
-  return handles_.Add(Handle{page_id, *ref, for_write, false, 0});
-}
-
-void MiniTransaction::ChargeRead(Handle* h, uint32_t off, uint32_t len) {
-  pool_->TouchRange(ctx_, h->ref, off, len, /*write=*/false);
+  return handles_.Add(&scratch_->arena,
+                      Handle{page_id, *ref, for_write, false, 0});
 }
 
 void MiniTransaction::ReleaseEarly(Handle* h) {
@@ -57,26 +99,18 @@ storage::RedoRecord& MiniTransaction::NewRecord(Handle* h,
   rec.kind = kind;
   rec.mtr_id = mtr_id_;
   rec.txn_id = ctx_.txn_id;
-  records_.push_back(std::move(rec));
-  // Handle storage is not contiguous; locate the handle's index by identity.
-  size_t idx = handles_.size();
-  for (size_t i = 0; i < handles_.size(); i++) {
-    if (&handles_[i] == h) {
-      idx = i;
-      break;
-    }
-  }
-  POLAR_CHECK(idx < handles_.size());
-  record_handle_.push_back(idx);
+  scratch_->records.push_back(std::move(rec));
+  // Handle pointers are stable until clear(), so the back-link is direct.
+  scratch_->record_handle.push_back(h);
   h->dirty = true;
-  return records_.back();
+  return scratch_->records.back();
 }
 
 void MiniTransaction::WriteRaw(Handle* h, uint32_t off, const void* src,
                                uint32_t len) {
   POLAR_CHECK(off + len <= kPageSize);
   std::memcpy(h->ref.data + off, src, len);
-  pool_->TouchRange(ctx_, h->ref, off, len, /*write=*/true);
+  TouchFrame(h, off, len, /*write=*/true);
   storage::RedoRecord& rec = NewRecord(h, storage::RedoKind::kRaw);
   rec.page_off = static_cast<uint16_t>(off);
   rec.len = static_cast<uint16_t>(len);
@@ -88,7 +122,7 @@ void MiniTransaction::FormatPage(Handle* h, uint8_t level,
                                  uint16_t value_size) {
   PageView page(h->ref.data);
   page.Format(h->id, level, value_size);
-  pool_->TouchRange(ctx_, h->ref, 0, kPageHeaderSize, /*write=*/true);
+  TouchFrame(h, 0, kPageHeaderSize, /*write=*/true);
   storage::RedoRecord& rec = NewRecord(h, storage::RedoKind::kFormat);
   rec.data.resize(3);
   rec.data[0] = level;
@@ -104,10 +138,10 @@ void MiniTransaction::InsertEntry(Handle* h, uint64_t key,
   for (uint32_t off : probes) ChargeRead(h, off, kKeySize);
   page.InsertEntryRaw(index, key, value);
   const uint32_t entry_bytes = page.entry_size();
-  pool_->TouchRange(ctx_, h->ref, page.EntryOffset(index),
-                    std::min(entry_bytes + kShiftChargeBytes,
-                             kPageSize - page.EntryOffset(index)),
-                    /*write=*/true);
+  TouchFrame(h, page.EntryOffset(index),
+             std::min(entry_bytes + kShiftChargeBytes,
+                      kPageSize - page.EntryOffset(index)),
+             /*write=*/true);
   storage::RedoRecord& rec = NewRecord(h, storage::RedoKind::kInsertEntry);
   rec.data.resize(kKeySize + page.value_size());
   std::memcpy(rec.data.data(), &key, kKeySize);
@@ -123,10 +157,10 @@ bool MiniTransaction::EraseEntry(Handle* h, uint64_t key) {
   for (uint32_t off : probes) ChargeRead(h, off, kKeySize);
   if (!found) return false;
   page.EraseEntryRaw(index);
-  pool_->TouchRange(ctx_, h->ref, page.EntryOffset(index),
-                    std::min(page.entry_size() + kShiftChargeBytes,
-                             kPageSize - page.EntryOffset(index)),
-                    /*write=*/true);
+  TouchFrame(h, page.EntryOffset(index),
+             std::min(page.entry_size() + kShiftChargeBytes,
+                      kPageSize - page.EntryOffset(index)),
+             /*write=*/true);
   storage::RedoRecord& rec = NewRecord(h, storage::RedoKind::kEraseEntry);
   rec.data.resize(kKeySize);
   std::memcpy(rec.data.data(), &key, kKeySize);
@@ -139,32 +173,31 @@ Lsn MiniTransaction::Commit() {
   committed_ = true;
 
   Lsn end = 0;
-  if (!records_.empty()) {
+  std::vector<storage::RedoRecord>& records = scratch_->records;
+  if (!records.empty()) {
     // Compute per-record end LSNs before handing the batch to the log.
     Lsn cursor = log_->current_lsn();
-    for (size_t i = 0; i < records_.size(); i++) {
-      cursor += records_[i].SizeBytes();
-      Handle& h = handles_[record_handle_[i]];
-      h.last_lsn = cursor;
+    for (size_t i = 0; i < records.size(); i++) {
+      cursor += records[i].SizeBytes();
+      scratch_->record_handle[i]->last_lsn = cursor;
     }
-    end = log_->AppendMtr(std::move(records_));
+    end = log_->AppendMtr(&records);
     POLAR_CHECK(end == cursor);
   }
 
-  for (size_t i = 0; i < handles_.size(); i++) {
-    Handle& h = handles_[i];
-    if (h.id == kInvalidPageId) continue;  // released early
+  handles_.ForEach([&](Handle& h) {
+    if (h.id == kInvalidPageId) return;  // released early
     if (h.dirty) {
       // Stamp the page LSN (recovery replay reproduces this same value).
       PageView page(h.ref.data);
       page.set_lsn(h.last_lsn);
-      pool_->TouchRange(ctx_, h.ref, PageOffsets::kLsn, 8, /*write=*/true);
+      TouchFrame(&h, PageOffsets::kLsn, 8, /*write=*/true);
     }
     pool_->Unfix(ctx_, h.ref, h.id, h.dirty, h.last_lsn);
-  }
+  });
   handles_.clear();
-  records_.clear();
-  record_handle_.clear();
+  ReleaseScratch(scratch_);
+  scratch_ = nullptr;
   return end;
 }
 

@@ -8,14 +8,14 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
-#include <memory>
 #include <vector>
 
 #include "bufferpool/buffer_pool.h"
+#include "common/arena.h"
 #include "common/status.h"
 #include "engine/page.h"
 #include "sim/exec_context.h"
+#include "sim/memory_space.h"
 #include "storage/redo_log.h"
 
 namespace polarcxl::engine {
@@ -42,7 +42,13 @@ class MiniTransaction {
   PageView View(Handle* h) { return PageView(h->ref.data); }
 
   /// Charges a read of [off, off+len) of the page.
-  void ChargeRead(Handle* h, uint32_t off, uint32_t len);
+  ///
+  /// Defined inline: this is the single most-called engine entry point
+  /// (one call per B-tree probe), and the PageRef charge target lets it
+  /// reach MemorySpace::Touch without a virtual TouchRange dispatch.
+  void ChargeRead(Handle* h, uint32_t off, uint32_t len) {
+    TouchFrame(h, off, len, /*write=*/false);
+  }
 
   /// Latch crabbing: releases a clean read fix before commit (interior
   /// nodes during a descent). The handle must not be used afterwards.
@@ -60,45 +66,90 @@ class MiniTransaction {
   Lsn Commit();
 
   sim::ExecContext& ctx() { return ctx_; }
-  size_t num_records() const { return records_.size(); }
+  size_t num_records() const;
   bool committed() const { return committed_; }
 
  private:
+  /// Per-thread recycled scratch backing one in-flight mtr: the redo batch
+  /// under construction, the record -> handle back-pointers, and the arena
+  /// feeding handle-overflow chunks. Acquire/Release keep a thread-local
+  /// free stack, so after warm-up constructing and committing an mtr
+  /// performs no heap allocation (the appended records' payload vectors
+  /// are the one exception — they move into the log and must outlive us).
+  struct Scratch;
+
   /// Stable-pointer handle store. The common mtr (one B-tree operation)
   /// fixes at most tree-height pages, so handles live in an inline array
   /// and constructing an mtr allocates nothing; rare deep mtrs (long leaf
-  /// scans) overflow into a lazily-created deque. Pointers returned by
-  /// Add() stay valid until clear() in both regimes.
+  /// scans) overflow into fixed-size chunks bump-allocated from the
+  /// scratch arena. Pointers returned by Add() stay valid until clear()
+  /// in both regimes.
   class HandleList {
    public:
     size_t size() const { return size_; }
-    Handle& operator[](size_t i) {
-      return i < kInline ? inline_[i] : (*overflow_)[i - kInline];
-    }
-    Handle* Add(Handle h) {
+    Handle* Add(Arena* arena, const Handle& h) {
       if (size_ < kInline) {
-        inline_[size_] = std::move(h);
+        inline_[size_] = h;
         return &inline_[size_++];
       }
-      if (overflow_ == nullptr) {
-        overflow_ = std::make_unique<std::deque<Handle>>();
+      const size_t oi = size_ - kInline;
+      if (oi % kChunk == 0) {
+        Chunk* c = arena->New<Chunk>();
+        c->next = nullptr;
+        if (tail_ != nullptr) tail_->next = c;
+        else head_ = c;
+        tail_ = c;
       }
-      overflow_->push_back(std::move(h));
       size_++;
-      return &overflow_->back();
+      tail_->items[oi % kChunk] = h;
+      return &tail_->items[oi % kChunk];
+    }
+    /// Visits every handle in insertion order (the order Unfix must run).
+    template <typename Fn>
+    void ForEach(Fn&& fn) {
+      const size_t n_inline = size_ < kInline ? size_ : kInline;
+      for (size_t i = 0; i < n_inline; i++) fn(inline_[i]);
+      size_t rem = size_ - n_inline;
+      for (Chunk* c = head_; rem > 0; c = c->next) {
+        const size_t n = rem < kChunk ? rem : kChunk;
+        for (size_t i = 0; i < n; i++) fn(c->items[i]);
+        rem -= n;
+      }
     }
     void clear() {
       for (size_t i = 0; i < size_ && i < kInline; i++) inline_[i] = Handle{};
-      overflow_.reset();
+      head_ = tail_ = nullptr;  // chunk memory is reclaimed by arena reset
       size_ = 0;
     }
 
    private:
     static constexpr size_t kInline = 8;
+    static constexpr size_t kChunk = 16;
+    struct Chunk {
+      Handle items[kChunk];
+      Chunk* next;
+    };
     std::array<Handle, kInline> inline_{};
     size_t size_ = 0;
-    std::unique_ptr<std::deque<Handle>> overflow_;
+    Chunk* head_ = nullptr;
+    Chunk* tail_ = nullptr;
   };
+
+  static std::vector<Scratch*>& FreeScratchList();
+  static Scratch* AcquireScratch();
+  static void ReleaseScratch(Scratch* s);
+
+  /// Charges [off, off+len) of the fixed frame. Equivalent to the pool's
+  /// virtual TouchRange, but goes straight to the frame's MemorySpace when
+  /// the pool resolved one at Fetch time (all built-in pools do).
+  void TouchFrame(Handle* h, uint32_t off, uint32_t len, bool write) {
+    const bufferpool::PageRef& r = h->ref;
+    if (r.space != nullptr) {
+      r.space->Touch(ctx_, r.phys + off, len, write);
+    } else {
+      pool_->TouchRange(ctx_, r, off, len, write);
+    }
+  }
 
   storage::RedoRecord& NewRecord(Handle* h, storage::RedoKind kind);
 
@@ -107,8 +158,7 @@ class MiniTransaction {
   storage::RedoLog* log_;
   uint64_t mtr_id_;
   HandleList handles_;
-  std::vector<storage::RedoRecord> records_;
-  std::vector<size_t> record_handle_;  // records_[i] touches handles_[record_handle_[i]]
+  Scratch* scratch_;
   bool committed_ = false;
 };
 

@@ -25,6 +25,12 @@ uint16_t PageView::LowerBound(uint64_t key, ProbeList* probes) const {
     const uint32_t mid = (lo + hi) / 2;
     const uint32_t off = kPageHeaderSize + mid * es;
     if (probes != nullptr) probes->Add(off);
+    // The next probe depends on the compare below, but its two possible
+    // positions are already known — prefetch both so successive probes'
+    // host-DRAM latency overlaps (frames are far larger than host L2, so
+    // each probe of a cold page is a real memory stall otherwise).
+    __builtin_prefetch(d_ + kPageHeaderSize + ((mid + 1 + hi) / 2) * es);
+    __builtin_prefetch(d_ + kPageHeaderSize + ((lo + mid) / 2) * es);
     if (Load64(off) < key) lo = mid + 1;
     else hi = mid;
   }

@@ -26,6 +26,9 @@ class Table {
   Result<std::string> Get(sim::ExecContext& ctx, uint64_t id) {
     return tree_->Get(ctx, id);
   }
+  Status GetTo(sim::ExecContext& ctx, uint64_t id, std::string* out) {
+    return tree_->GetTo(ctx, id, out);
+  }
   Status Update(sim::ExecContext& ctx, uint64_t id, Slice row) {
     return tree_->Update(ctx, id, row);
   }

@@ -5,23 +5,19 @@
 namespace polarcxl::engine {
 
 std::vector<uint8_t> UndoOp::Serialize() const {
-  std::vector<uint8_t> out(1 + 2 + 4 + 8 + bytes.size());
-  out[0] = static_cast<uint8_t>(kind);
-  std::memcpy(out.data() + 1, &table, sizeof(table));
-  std::memcpy(out.data() + 3, &off, sizeof(off));
-  std::memcpy(out.data() + 7, &key, sizeof(key));
-  std::memcpy(out.data() + 15, bytes.data(), bytes.size());
+  std::vector<uint8_t> out;
+  SerializeInto(&out);
   return out;
 }
 
-UndoOp UndoOp::Deserialize(const std::vector<uint8_t>& data) {
-  POLAR_CHECK(data.size() >= 15);
+UndoOp UndoOp::Deserialize(const uint8_t* data, size_t len) {
+  POLAR_CHECK(len >= 15);
   UndoOp op;
   op.kind = static_cast<Kind>(data[0]);
-  std::memcpy(&op.table, data.data() + 1, sizeof(op.table));
-  std::memcpy(&op.off, data.data() + 3, sizeof(op.off));
-  std::memcpy(&op.key, data.data() + 7, sizeof(op.key));
-  op.bytes.assign(data.begin() + 15, data.end());
+  std::memcpy(&op.table, data + 1, sizeof(op.table));
+  std::memcpy(&op.off, data + 3, sizeof(op.off));
+  std::memcpy(&op.key, data + 7, sizeof(op.key));
+  op.bytes.assign(data + 15, data + len);
   return op;
 }
 
@@ -38,9 +34,8 @@ void TransactionManager::AppendMarker(sim::ExecContext& ctx,
   storage::RedoRecord rec;
   rec.kind = kind;
   rec.txn_id = txn_id;
-  std::vector<storage::RedoRecord> batch;
-  batch.push_back(std::move(rec));
-  db_->log()->AppendMtr(std::move(batch));
+  batch_scratch_.push_back(std::move(rec));
+  db_->log()->AppendMtr(&batch_scratch_);
 }
 
 void TransactionManager::RecordUndo(sim::ExecContext& ctx, Transaction* txn,
@@ -48,11 +43,10 @@ void TransactionManager::RecordUndo(sim::ExecContext& ctx, Transaction* txn,
   storage::RedoRecord rec;
   rec.kind = storage::RedoKind::kUndoInfo;
   rec.txn_id = txn->id();
-  rec.data = op.Serialize();
+  op.SerializeInto(&rec.data);
   rec.len = static_cast<uint16_t>(rec.data.size());
-  std::vector<storage::RedoRecord> batch;
-  batch.push_back(std::move(rec));
-  db_->log()->AppendMtr(std::move(batch));
+  batch_scratch_.push_back(std::move(rec));
+  db_->log()->AppendMtr(&batch_scratch_);
   // Charge the append as log-buffer work (a few cache lines of DRAM).
   ctx.Advance(300);
   txn->undo_.push_back(std::move(op));
@@ -76,14 +70,14 @@ Status TransactionManager::Insert(sim::ExecContext& ctx, Transaction* txn,
 Status TransactionManager::Update(sim::ExecContext& ctx, Transaction* txn,
                                   size_t table, uint64_t key, Slice row) {
   POLAR_CHECK(!txn->finished());
-  auto old = db_->table(table)->Get(ctx, key);
-  if (!old.ok()) return old.status();
+  const Status old = db_->table(table)->GetTo(ctx, key, &old_row_scratch_);
+  if (!old.ok()) return old;
   UndoOp undo;
   undo.kind = UndoOp::Kind::kRestoreBytes;
   undo.table = static_cast<uint16_t>(table);
   undo.key = key;
   undo.off = 0;
-  undo.bytes.assign(old->begin(), old->end());
+  undo.bytes.assign(old_row_scratch_.begin(), old_row_scratch_.end());
   RecordUndo(ctx, txn, std::move(undo));
   ctx.txn_id = txn->id();
   const Status s = db_->table(table)->Update(ctx, key, row);
@@ -97,9 +91,9 @@ Status TransactionManager::UpdateColumn(sim::ExecContext& ctx,
                                         uint64_t key, uint32_t off,
                                         Slice bytes) {
   POLAR_CHECK(!txn->finished());
-  auto old = db_->table(table)->Get(ctx, key);
-  if (!old.ok()) return old.status();
-  if (off + bytes.size() > old->size()) {
+  const Status old = db_->table(table)->GetTo(ctx, key, &old_row_scratch_);
+  if (!old.ok()) return old;
+  if (off + bytes.size() > old_row_scratch_.size()) {
     return Status::InvalidArgument("column update out of bounds");
   }
   UndoOp undo;
@@ -107,7 +101,8 @@ Status TransactionManager::UpdateColumn(sim::ExecContext& ctx,
   undo.table = static_cast<uint16_t>(table);
   undo.key = key;
   undo.off = off;
-  undo.bytes.assign(old->begin() + off, old->begin() + off + bytes.size());
+  undo.bytes.assign(old_row_scratch_.begin() + off,
+                    old_row_scratch_.begin() + off + bytes.size());
   RecordUndo(ctx, txn, std::move(undo));
   ctx.txn_id = txn->id();
   const Status s = db_->table(table)->UpdateColumn(ctx, key, off, bytes);
@@ -119,13 +114,13 @@ Status TransactionManager::UpdateColumn(sim::ExecContext& ctx,
 Status TransactionManager::Delete(sim::ExecContext& ctx, Transaction* txn,
                                   size_t table, uint64_t key) {
   POLAR_CHECK(!txn->finished());
-  auto old = db_->table(table)->Get(ctx, key);
-  if (!old.ok()) return old.status();
+  const Status old = db_->table(table)->GetTo(ctx, key, &old_row_scratch_);
+  if (!old.ok()) return old;
   UndoOp undo;
   undo.kind = UndoOp::Kind::kReinsert;
   undo.table = static_cast<uint16_t>(table);
   undo.key = key;
-  undo.bytes.assign(old->begin(), old->end());
+  undo.bytes.assign(old_row_scratch_.begin(), old_row_scratch_.end());
   RecordUndo(ctx, txn, std::move(undo));
   ctx.txn_id = txn->id();
   const Status s = db_->table(table)->Delete(ctx, key);

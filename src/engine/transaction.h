@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -32,7 +34,25 @@ struct UndoOp {
   std::vector<uint8_t> bytes;
 
   std::vector<uint8_t> Serialize() const;
-  static UndoOp Deserialize(const std::vector<uint8_t>& data);
+  /// In-place form: serializes into `*out` (resized, capacity reused) so
+  /// the WAL record payload is built without an intermediate vector. `Buf`
+  /// is any byte container with the resize/data surface (std::vector,
+  /// storage::PayloadBuf).
+  template <typename Buf>
+  void SerializeInto(Buf* out) const {
+    out->resize(1 + 2 + 4 + 8 + bytes.size());
+    uint8_t* d = out->data();
+    d[0] = static_cast<uint8_t>(kind);
+    std::memcpy(d + 1, &table, sizeof(table));
+    std::memcpy(d + 3, &off, sizeof(off));
+    std::memcpy(d + 7, &key, sizeof(key));
+    std::memcpy(d + 15, bytes.data(), bytes.size());
+  }
+  static UndoOp Deserialize(const uint8_t* data, size_t len);
+  template <typename Buf>
+  static UndoOp Deserialize(const Buf& data) {
+    return Deserialize(data.data(), data.size());
+  }
 };
 
 /// A transaction handle. Obtain via TransactionManager::Begin; finish with
@@ -94,6 +114,11 @@ class TransactionManager {
 
   Database* db_;
   uint64_t next_txn_id_ = 1;
+  // Write-path scratch (managers are used single-threaded, like the rest of
+  // an instance): old-row image for undo capture and the one-record batch
+  // handed to AppendMtr's drain overload. Steady state reuses both.
+  std::string old_row_scratch_;
+  std::vector<storage::RedoRecord> batch_scratch_;
 };
 
 /// Recovery helper: applies one deserialized undo op against a recovered

@@ -1,8 +1,10 @@
 #include "harness/instance_driver.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "bufferpool/tiered_rdma_buffer_pool.h"
+#include "common/prof.h"
 #include "cxl/cxl_memory_manager.h"
 #include "rdma/remote_memory_pool.h"
 #include "storage/disk.h"
@@ -120,7 +122,10 @@ PoolingResult RunPooling(const PoolingConfig& config) {
   struct LaneState {
     workload::SysbenchWorkload* wl;
     RunMetrics* metrics;
-    Nanos window_start = -1;
+    // Sentinel start (max Nanos) makes `start >= window_start` alone gate
+    // recording: before the window opens nothing can reach the sentinel, so
+    // the hot lane lambda needs no separate "window set?" branch.
+    Nanos window_start = std::numeric_limits<Nanos>::max();
     Nanos window_end = -1;
   };
   RunMetrics metrics;
@@ -141,8 +146,8 @@ PoolingResult RunPooling(const PoolingConfig& config) {
           [raw, op](sim::ExecContext& ctx) {
             const Nanos start = ctx.now;
             const uint32_t queries = raw->wl->RunEvent(ctx, op);
-            if (raw->window_start >= 0 && start >= raw->window_start &&
-                ctx.now <= raw->window_end) {
+            if (start >= raw->window_start && ctx.now <= raw->window_end) {
+              POLAR_PROF_SCOPE(kMetrics);
               raw->metrics->queries += queries;
               raw->metrics->events++;
               raw->metrics->latency.Add(ctx.now - start);
@@ -203,6 +208,19 @@ PoolingResult RunPooling(const PoolingConfig& config) {
     result.breakdown.lock += lane.t_lock;
   }
   return result;
+}
+
+PoolingConfig Fig7PoolingConfig(engine::BufferPoolKind kind) {
+  PoolingConfig c;
+  c.kind = kind;
+  c.instances = 8;
+  c.lanes_per_instance = 8;
+  c.op = workload::SysbenchOp::kPointSelect;
+  c.sysbench.tables = 4;
+  c.sysbench.rows_per_table = 8000;
+  c.cpu_cache_bytes = 2ULL << 20;
+  c.lbp_fraction = 0.3;
+  return c;
 }
 
 }  // namespace polarcxl::harness

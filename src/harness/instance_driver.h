@@ -59,6 +59,11 @@ struct PoolingResult {
 /// Runs one pooling experiment end to end (build, load, warm up, measure).
 PoolingResult RunPooling(const PoolingConfig& config);
 
+/// The Figure 7 8-instance sysbench point-select pooling point, shared by
+/// bench_sim_throughput and the bit-identity regression tests so both pin
+/// the same workload. Callers set the warmup/measure windows.
+PoolingConfig Fig7PoolingConfig(engine::BufferPoolKind kind);
+
 /// Estimated page count of one instance's sysbench dataset (pool sizing).
 uint64_t SysbenchDatasetPages(const workload::SysbenchConfig& config);
 

@@ -1,7 +1,9 @@
 #include "harness/sharing_driver.h"
 
 #include <algorithm>
+#include <limits>
 
+#include "common/prof.h"
 #include "harness/instance_driver.h"
 
 namespace polarcxl::harness {
@@ -186,7 +188,9 @@ SharingResult RunSharing(const SharingConfig& config) {
   };
   RunMetrics metrics;
   uint64_t new_orders = 0;
-  Nanos window_start = -1;
+  // Sentinel start (see instance_driver.cc): one comparison gates
+  // recording until the measurement window opens.
+  Nanos window_start = std::numeric_limits<Nanos>::max();
   Nanos window_end = -1;
 
   sim::Executor executor;
@@ -228,8 +232,8 @@ SharingResult RunSharing(const SharingConfig& config) {
             } else {
               queries = raw->tatp->RunTransaction(ctx);
             }
-            if (window_start >= 0 && start >= window_start &&
-                ctx.now <= window_end) {
+            if (start >= window_start && ctx.now <= window_end) {
+              POLAR_PROF_SCOPE(kMetrics);
               metrics.queries += queries;
               metrics.events++;
               new_orders += no;

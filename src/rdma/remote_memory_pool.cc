@@ -1,5 +1,7 @@
 #include "rdma/remote_memory_pool.h"
 
+#include <algorithm>
+
 namespace polarcxl::rdma {
 
 RemoteMemoryPool::RemoteMemoryPool(RdmaNetwork* network, NodeId server_node,
@@ -7,6 +9,10 @@ RemoteMemoryPool::RemoteMemoryPool(RdmaNetwork* network, NodeId server_node,
     : network_(network),
       server_node_(server_node),
       capacity_pages_(capacity_pages) {
+  // The pool fills to capacity during a load, so size the table up front:
+  // incremental rehashes of a hundred-thousand-entry map are pure waste.
+  // Capped so a huge nominal capacity doesn't burn memory on empty buckets.
+  pages_.reserve(std::min<uint64_t>(capacity_pages_, 1u << 20));
   network_->RegisterHost(server_node);
 }
 

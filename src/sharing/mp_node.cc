@@ -68,7 +68,8 @@ Result<bufferpool::PageRef> CxlSharedBufferPool::Fetch(sim::ExecContext& ctx,
   LocalMeta* m = Resolve(ctx, page_id);
   if (for_write) m->write_fixes++;
   else m->read_fixes++;
-  return bufferpool::PageRef{m->slot, acc_->Raw(m->data_off)};
+  return bufferpool::PageRef{m->slot, acc_->Raw(m->data_off), acc_->space(),
+                             acc_->PhysAddr(m->data_off)};
 }
 
 void CxlSharedBufferPool::UpgradeToWrite(sim::ExecContext& ctx,

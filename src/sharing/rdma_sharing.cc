@@ -84,7 +84,7 @@ Result<bufferpool::PageRef> RdmaSharedBufferPool::Fetch(sim::ExecContext& ctx,
     if (for_write) meta_[b].write_fixes++;
     else meta_[b].read_fixes++;
     lru_.MoveToFront(b);
-    return bufferpool::PageRef{b, FrameData(b)};
+    return bufferpool::PageRef{b, FrameData(b), dram_, FrameAddr(b)};
   }
 
   stats_.misses++;
@@ -113,7 +113,7 @@ Result<bufferpool::PageRef> RdmaSharedBufferPool::Fetch(sim::ExecContext& ctx,
   else m.read_fixes = 1;
   page_table_[page_id] = b;
   lru_.PushFront(b);
-  return bufferpool::PageRef{b, FrameData(b)};
+  return bufferpool::PageRef{b, FrameData(b), dram_, FrameAddr(b)};
 }
 
 void RdmaSharedBufferPool::UpgradeToWrite(sim::ExecContext& ctx,

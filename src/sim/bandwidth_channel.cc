@@ -31,6 +31,8 @@ BandwidthChannel::BandwidthChannel(std::string name, uint64_t bytes_per_sec,
       1, static_cast<uint64_t>(
              static_cast<__int128>(bytes_per_sec_) * window_ns_ /
              kNanosPerSec));
+  fd_rate_ = FastDiv64(std::max<uint64_t>(1, bytes_per_sec_));
+  fd_window_ = FastDiv64(static_cast<uint64_t>(window_ns_));
   // Virtual time starts at 0, so no transfer can ever land below window 0;
   // claiming those windows "consumed" is vacuous and lets the prune loop
   // advance from the very first window.
@@ -126,13 +128,29 @@ void BandwidthChannel::StoreUsed(int64_t w, uint64_t used) const {
 
 Nanos BandwidthChannel::Place(Nanos now, uint64_t bytes, bool commit) const {
   if (bytes_per_sec_ == 0 || bytes == 0) return now;
-  int64_t w = now / window_ns_;
+  int64_t w = static_cast<int64_t>(fd_window_.Div(static_cast<uint64_t>(now)));
   // Capacity is tracked at window granularity: a transfer may use any
   // remaining budget of its window regardless of sub-window timing (the
   // completion clamp below keeps time monotonic). Clamping the budget to
   // the elapsed sub-window position instead would re-introduce a FIFO
   // whenever out-of-order lanes land in one window.
   if (w < pruned_end_) w = pruned_end_;  // everything earlier is consumed
+
+  // Fast path for the dominant shape: the window is already tracked in the
+  // ring and the whole transfer fits without filling it. No spill into
+  // later windows, and — because the window stays strictly below budget —
+  // no prune can trigger, so the general ledger machinery is skipped. The
+  // arithmetic is the general loop's first iteration verbatim.
+  if (window_count_ > 0 && w >= base_window_ &&
+      w < base_window_ + static_cast<int64_t>(window_count_)) {
+    const size_t slot =
+        (base_slot_ + static_cast<size_t>(w - base_window_)) & ring_mask_;
+    const uint64_t offset = ring_[slot] + bytes;
+    if (offset < bytes_per_window_) {
+      if (commit) ring_[slot] = offset;
+      return std::max(w * window_ns_ + NsForBytes(offset), now + 1);
+    }
+  }
 
   uint64_t remaining = bytes;
   Nanos completion = now;

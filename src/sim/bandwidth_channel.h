@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fastdiv.h"
 #include "common/types.h"
 
 namespace polarcxl::sim {
@@ -74,10 +75,12 @@ class BandwidthChannel {
 
   /// Exact link time of `b` bytes (b * 1e9 / rate). Window budgets are a few
   /// hundred KB at realistic rates, so the product almost always fits in 64
-  /// bits and the slow 128-bit division is skipped.
+  /// bits and the slow 128-bit division is skipped; the 64-bit divide by the
+  /// run-constant rate is a precomputed magic multiply (exact quotient, so
+  /// completions are bit-identical to the plain division).
   Nanos NsForBytes(uint64_t b) const {
     if (b <= UINT64_MAX / kNanosPerSec) {
-      return static_cast<Nanos>(b * kNanosPerSec / bytes_per_sec_);
+      return static_cast<Nanos>(fd_rate_.Div(b * kNanosPerSec));
     }
     return static_cast<Nanos>(static_cast<__int128>(b) * kNanosPerSec /
                               bytes_per_sec_);
@@ -95,6 +98,10 @@ class BandwidthChannel {
   uint64_t bytes_per_sec_;
   Nanos window_ns_;
   uint64_t bytes_per_window_;
+  // Magic-multiply forms of the two run-constant divisors on the Transfer
+  // hot path (time -> window id, bytes -> ns).
+  FastDiv64 fd_rate_;
+  FastDiv64 fd_window_;
 
   // Ring ledger state (mutable: PeekCompletion shares Place with commit
   // disabled and never mutates observable state).

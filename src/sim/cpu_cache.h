@@ -37,33 +37,54 @@ class CpuCacheSim {
     MemorySpace* evicted_home = nullptr;
   };
 
+  /// Memo-only hit test for the line containing `addr` (the dominant case:
+  /// hot lines — root-page keys, LRU heads, block metadata — repeat
+  /// constantly). On a memo hit this applies exactly the updates the full
+  /// probe path would (tick refresh, dirty bit, hit counter), so callers
+  /// may skip AccessProbe() entirely; on false nothing was touched.
+  ///
+  /// Kept tiny and separate from the probe/evict tail so MemorySpace::Touch
+  /// — one call per simulated line access — inlines whole into its callers;
+  /// see Access().
+  bool AccessFast(uint64_t addr, bool write) {
+    const uint64_t line = addr / kCacheLineSize;
+    const uint64_t tag = line + 1;
+    // Recent-line memo, direct-mapped by line: hot lines repeat far apart
+    // in the access stream, so a keyed table catches them where an MRU
+    // pair would thrash. The tag re-check against the slot makes an entry
+    // self-invalidating if its slot was since evicted; state evolution is
+    // identical to the probed hit path (same tick/dirty/counter updates),
+    // so the memo never alters simulated time.
+    Memo& memo = memo_[static_cast<uint32_t>(line) & (kMemoSize - 1)];
+    if (tag == memo.tag && tags_[memo.slot] == tag) {
+      ticks_[memo.slot] = ++tick_;
+      if (write) dirty_[memo.set] |= memo.bit;
+      hits_++;
+      return true;
+    }
+    return false;
+  }
+
   /// Access the line containing `addr`. On miss the line is installed
   /// (write-allocate) and the victim, if dirty, is reported for writeback
   /// accounting. `home` is remembered for future eviction/flush charging.
   AccessResult Access(uint64_t addr, bool write, MemorySpace* home) {
     AccessResult result;
+    if (AccessFast(addr, write)) {
+      result.hit = true;
+      return result;
+    }
+    return AccessProbe(addr, write, home);
+  }
+
+  /// The probe/evict tail of Access(), taken when the memo misses.
+  /// Out-of-line on purpose: it is large, and keeping it out of Access()
+  /// lets the memo fast path inline at every Touch call site.
+  POLAR_NOINLINE AccessResult AccessProbe(uint64_t addr, bool write,
+                                          MemorySpace* home) {
+    AccessResult result;
     const uint64_t line = addr / kCacheLineSize;
     const uint64_t tag = line + 1;
-    // Recent-line memo: consecutive accesses frequently land on the same
-    // one or two lines (binary-search convergence; buffer pools alternating
-    // between their header line and a block-meta line). The tag re-check
-    // makes a memo entry self-invalidating if its slot was since evicted;
-    // state evolution is identical to the regular hit path below.
-    if (tag == memo_[0].tag && tags_[memo_[0].slot] == tag) {
-      ticks_[memo_[0].slot] = ++tick_;
-      if (write) dirty_[memo_[0].set] |= memo_[0].bit;
-      hits_++;
-      result.hit = true;
-      return result;
-    }
-    if (tag == memo_[1].tag && tags_[memo_[1].slot] == tag) {
-      std::swap(memo_[0], memo_[1]);
-      ticks_[memo_[0].slot] = ++tick_;
-      if (write) dirty_[memo_[0].set] |= memo_[0].bit;
-      hits_++;
-      result.hit = true;
-      return result;
-    }
     const uint32_t set = SetIndex(line);
     const size_t base = static_cast<size_t>(set) * ways_;
     const uint64_t* tags = &tags_[base];
@@ -71,10 +92,7 @@ class CpuCacheSim {
 
     // Branchless probe (no early exit) so the compiler can vectorize the
     // tag compares; a set's tags are contiguous (at most two host lines).
-    uint32_t match = ways_;
-    for (uint32_t w = 0; w < ways_; w++) {
-      if (tags[w] == tag) match = w;
-    }
+    const uint32_t match = ProbeWays(tags, tag);
     if (match != ways_) {
       ticks_[base + match] = tick_;
       if (write) dirty_[set] |= 1ULL << match;
@@ -119,6 +137,119 @@ class CpuCacheSim {
     return result;
   }
 
+  /// Batched access to `count` consecutive lines (count <= 64), equivalent
+  /// to calling Access() once per line in ascending order — the resulting
+  /// cache state (tags/ticks/valid/dirty/counters) is bit-identical. Bit i
+  /// of `hit_mask` reports a hit for line `first_line + i`; dirty evictions
+  /// are recorded in line order with the index of the miss that caused
+  /// them, so the caller can replay timing charges in the original order.
+  struct RangeResult {
+    uint64_t hit_mask;
+    uint32_t num_evictions;
+    struct Eviction {
+      uint32_t index;          // which line of the range evicted it
+      uint64_t addr;           // line-aligned byte address of the victim
+      MemorySpace* home;
+    };
+    Eviction evictions[64];
+  };
+
+  /// Faster than per-line Access() for ranges: each line first consults
+  /// the recent-line memo (distinct lines use distinct slots, so re-read
+  /// rows hit per line), and whole-set misses are classified with one
+  /// `valid_` bitmask test instead of a 16-way tag probe. The memo never
+  /// influences simulated state — memo and probed hit paths apply the
+  /// same tick/dirty updates — so all of this is exact.
+  void TouchRange(uint64_t first_line, uint32_t count, bool write,
+                  MemorySpace* home, RangeResult* out) {
+    out->hit_mask = 0;
+    out->num_evictions = 0;
+    // Hash every line's set up front (pure arithmetic) and prefetch the
+    // tag rows: the multiplicative hash scatters consecutive lines across
+    // a tags_ array much larger than host L2, so the serial loop below
+    // would otherwise stall on each row. The main loop reuses the
+    // precomputed indices, so the hash is not paid twice.
+    uint32_t sets[64];
+    for (uint32_t i = 0; i < count; i++) {
+      sets[i] = SetIndex(first_line + i);
+      __builtin_prefetch(&tags_[static_cast<size_t>(sets[i]) * ways_]);
+    }
+    for (uint32_t i = 0; i < count; i++) {
+      const uint64_t line = first_line + i;
+      const uint64_t tag = line + 1;
+      // Distinct lines occupy distinct memo slots, so a re-read of a
+      // recently touched multi-line row hits per line here without any
+      // probing; the updates AccessFast applies are identical to the
+      // probed hit path below.
+      if (AccessFast(line * kCacheLineSize, write)) {
+        out->hit_mask |= 1ULL << i;
+        continue;
+      }
+      const uint32_t set = sets[i];
+      const size_t base = static_cast<size_t>(set) * ways_;
+      tick_++;
+      const uint64_t valid = valid_[set];
+      if (valid == 0) {
+        // Empty set: installs into way 0 without probing any tags.
+        misses_++;
+        valid_[set] = 1;
+        live_lines_++;
+        tags_[base] = tag;
+        homes_[base] = home;
+        ticks_[base] = tick_;
+        if (write) {
+          dirty_[set] |= 1;
+        } else {
+          dirty_[set] &= ~1ULL;
+        }
+        SetMemo(tag, base, set, 0);
+        continue;
+      }
+      const uint64_t* tags = &tags_[base];
+      const uint32_t match = ProbeWays(tags, tag);
+      if (match != ways_) {
+        ticks_[base + match] = tick_;
+        if (write) dirty_[set] |= 1ULL << match;
+        hits_++;
+        out->hit_mask |= 1ULL << i;
+        SetMemo(tag, base + match, set, match);
+        continue;
+      }
+      misses_++;
+      uint32_t victim;
+      if (valid != full_set_mask_) {
+        victim = static_cast<uint32_t>(
+            __builtin_ctzll(~valid & full_set_mask_));
+        valid_[set] = valid | (1ULL << victim);
+        live_lines_++;
+      } else {
+        victim = 0;
+        uint32_t best = ticks_[base];
+        for (uint32_t w = 1; w < ways_; w++) {
+          if (ticks_[base + w] < best) {
+            best = ticks_[base + w];
+            victim = w;
+          }
+        }
+        if ((dirty_[set] >> victim) & 1) {
+          RangeResult::Eviction& ev = out->evictions[out->num_evictions++];
+          ev.index = i;
+          ev.addr = (tags[victim] - 1) * kCacheLineSize;
+          ev.home = homes_[base + victim];
+        }
+      }
+      tags_[base + victim] = tag;
+      homes_[base + victim] = home;
+      ticks_[base + victim] = tick_;
+      if (write) {
+        dirty_[set] |= 1ULL << victim;
+      } else {
+        dirty_[set] &= ~(1ULL << victim);
+      }
+      SetMemo(tag, base + victim, set, victim);
+    }
+  }
+
   /// True if the line containing addr is resident.
   bool Contains(uint64_t addr) const;
 
@@ -143,9 +274,31 @@ class CpuCacheSim {
   uint64_t live_lines() const { return live_lines_; }
 
  private:
+  /// Way index holding `tag`, or ways_ if absent. A tag lives in at most
+  /// one way of its set (installs happen only on miss), so accumulating an
+  /// equality bitmask and taking ctz is exact — and the mask formulation
+  /// compiles to packed 64-bit compares + movemask under AVX2, where the
+  /// select-last-index loop form does not vectorize. The 16-way layout (two
+  /// host cache lines) is by far the common configuration, so it gets a
+  /// fixed-trip-count specialization.
+  uint32_t ProbeWays(const uint64_t* tags, uint64_t tag) const {
+    uint32_t mask = 0;
+    if (ways_ == 16) {
+      for (uint32_t w = 0; w < 16; w++) {
+        mask |= static_cast<uint32_t>(tags[w] == tag) << w;
+      }
+    } else {
+      for (uint32_t w = 0; w < ways_; w++) {
+        mask |= static_cast<uint32_t>(tags[w] == tag) << w;
+      }
+    }
+    return mask != 0 ? static_cast<uint32_t>(__builtin_ctz(mask)) : ways_;
+  }
+
   void SetMemo(uint64_t tag, size_t slot, uint32_t set, uint32_t way) {
-    memo_[1] = memo_[0];
-    memo_[0] = Memo{tag, slot, set, 1ULL << way};
+    // tag is line + 1, so (tag - 1) recovers the memo index key.
+    memo_[static_cast<uint32_t>(tag - 1) & (kMemoSize - 1)] =
+        Memo{tag, slot, set, 1ULL << way};
   }
 
   uint32_t SetIndex(uint64_t line_addr) const {
@@ -162,15 +315,18 @@ class CpuCacheSim {
   uint64_t full_set_mask_;   // low `ways_` bits set
   uint32_t tick_ = 0;
   uint64_t live_lines_ = 0;
-  // Recent-hit memo (see Access). tag == 0 means empty; a stale entry is
-  // harmless because the slot's tag is re-checked before use.
+  // Recent-hit memo (see Access), direct-mapped by line address. tag == 0
+  // means empty; a stale entry is harmless because the slot's tag is
+  // re-checked before use. 256 entries x 32 bytes stays within host L1
+  // while catching well over half of single-line accesses.
+  static constexpr uint32_t kMemoSize = 256;
   struct Memo {
     uint64_t tag = 0;
     size_t slot = 0;
     uint32_t set = 0;
     uint64_t bit = 0;
   };
-  Memo memo_[2];
+  Memo memo_[kMemoSize];
   // Structure-of-arrays slot state, row-major by set: the probe loop only
   // touches tags_; ticks_/homes_ are visited on hit-refresh/eviction.
   std::vector<uint64_t> tags_;       // (line_addr + 1); 0 == empty

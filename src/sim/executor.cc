@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/prof.h"
+
 namespace polarcxl::sim {
 
 void Executor::ReserveLanes(size_t n) {
@@ -86,6 +88,7 @@ bool Executor::SettleTop() {
 }
 
 bool Executor::StepOne() {
+  POLAR_PROF_SCOPE(kExecutor);
   if (!SettleTop()) return false;
   const HeapEntry top = heap_[0];
   LaneRec& rec = lanes_[top.id];

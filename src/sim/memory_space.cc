@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "common/prof.h"
+
 namespace polarcxl::sim {
 
 Nanos MemorySpace::ChargeChannels(Nanos now, uint64_t bytes) {
+  POLAR_PROF_SCOPE(kChannels);
   Nanos done = now;
   if (opt_.link != nullptr) done = opt_.link->Transfer(now, bytes);
   if (opt_.pool != nullptr) {
@@ -13,44 +16,87 @@ Nanos MemorySpace::ChargeChannels(Nanos now, uint64_t bytes) {
   return done;
 }
 
-void MemorySpace::Touch(ExecContext& ctx, uint64_t addr, uint32_t len,
-                        bool write) {
-  if (len == 0) return;
+void MemorySpace::ChargeMiss(ExecContext& ctx, uint32_t miss_idx,
+                             bool write) {
+  ctx.mem_line_misses++;
+  demand_bytes_ += kCacheLineSize;
+  const Nanos queued_done = ChargeChannels(ctx.now, kCacheLineSize);
+  if (queued_done > ctx.now + 1) queue_delay_ += queued_done - ctx.now - 1;
+  // First miss of the call pays full latency; later misses overlap and
+  // pay only the pipelined slope (memory-level parallelism).
+  const Nanos service =
+      miss_idx == 0
+          ? opt_.line_latency
+          : static_cast<Nanos>(write ? opt_.stream_write.per_line_ns
+                                     : opt_.stream_read.per_line_ns);
+  ctx.now = std::max(ctx.now + service, queued_done + service - 1);
+}
+
+void MemorySpace::TouchSingleMiss(ExecContext& ctx,
+                                  const CpuCacheSim::AccessResult& r,
+                                  bool write) {
   const Nanos entry = ctx.now;
-  const uint64_t first = addr / kCacheLineSize;
-  const uint64_t last = (addr + len - 1) / kCacheLineSize;
+  if (r.evicted_dirty && r.evicted_home != nullptr) {
+    // Posted writeback: consumes the victim's home bandwidth but does
+    // not stall the lane.
+    r.evicted_home->ChargeChannels(ctx.now, kCacheLineSize);
+    r.evicted_home->writeback_bytes_ += kCacheLineSize;
+  }
+  ChargeMiss(ctx, 0, write);
+  ctx.t_mem += ctx.now - entry;
+}
+
+void MemorySpace::TouchMulti(ExecContext& ctx, uint64_t first, uint64_t last,
+                             bool write) {
+  const Nanos entry = ctx.now;
   uint32_t miss_idx = 0;
-  for (uint64_t line = first; line <= last; line++) {
-    const uint64_t line_addr = line * kCacheLineSize;
-    bool miss = true;
-    if (opt_.cacheable && ctx.cache != nullptr) {
-      auto r = ctx.cache->Access(line_addr, write, this);
-      miss = !r.hit;
-      if (r.evicted_dirty && r.evicted_home != nullptr) {
-        // Posted writeback: consumes the victim's home bandwidth but does
-        // not stall the lane.
-        r.evicted_home->ChargeChannels(ctx.now, kCacheLineSize);
-        r.evicted_home->writeback_bytes_ += kCacheLineSize;
-      }
-    }
-    if (miss) {
-      ctx.mem_line_misses++;
-      demand_bytes_ += kCacheLineSize;
-      const Nanos queued_done = ChargeChannels(ctx.now, kCacheLineSize);
-      if (queued_done > ctx.now + 1) queue_delay_ += queued_done - ctx.now - 1;
-      // First miss of the call pays full latency; later misses overlap and
-      // pay only the pipelined slope (memory-level parallelism).
-      const Nanos service =
-          miss_idx == 0
-              ? opt_.line_latency
-              : static_cast<Nanos>(write ? opt_.stream_write.per_line_ns
-                                         : opt_.stream_read.per_line_ns);
-      ctx.now = std::max(ctx.now + service, queued_done + service - 1);
+  if (!opt_.cacheable || ctx.cache == nullptr) {
+    // Uncacheable domain: every line is a demand miss.
+    for (uint64_t line = first; line <= last; line++) {
+      ChargeMiss(ctx, miss_idx, write);
       miss_idx++;
-    } else {
-      ctx.mem_line_hits++;
-      ctx.now += 4;  // blended CPU cache hit cost
     }
+    ctx.t_mem += ctx.now - entry;
+    return;
+  }
+  // Let the cache sim classify up to 64 lines per call, then replay the
+  // timing charges in the original line order. Hits only advance the clock
+  // (+4 ns each, no channel traffic), so a run of consecutive hits is
+  // applied as one multiplication; misses and dirty evictions must replay
+  // one by one because each channel Transfer both depends on and advances
+  // ctx.now.
+  CpuCacheSim::RangeResult rr;
+  for (uint64_t line = first; line <= last;) {
+    const uint32_t chunk = static_cast<uint32_t>(
+        std::min<uint64_t>(64, last - line + 1));
+    ctx.cache->TouchRange(line, chunk, write, this, &rr);
+    uint32_t ev = 0;
+    uint32_t i = 0;
+    while (i < chunk) {
+      const uint64_t rest = rr.hit_mask >> i;
+      if (rest & 1) {
+        // Length of the consecutive-hit run starting at i.
+        const uint32_t run =
+            ~rest == 0 ? 64 - i
+                       : static_cast<uint32_t>(__builtin_ctzll(~rest));
+        ctx.mem_line_hits += run;
+        ctx.now += 4 * static_cast<Nanos>(run);
+        i += run;
+        continue;
+      }
+      if (ev < rr.num_evictions && rr.evictions[ev].index == i) {
+        MemorySpace* home = rr.evictions[ev].home;
+        if (home != nullptr) {
+          home->ChargeChannels(ctx.now, kCacheLineSize);
+          home->writeback_bytes_ += kCacheLineSize;
+        }
+        ev++;
+      }
+      ChargeMiss(ctx, miss_idx, write);
+      miss_idx++;
+      i++;
+    }
+    line += chunk;
   }
   ctx.t_mem += ctx.now - entry;
 }
@@ -58,6 +104,7 @@ void MemorySpace::Touch(ExecContext& ctx, uint64_t addr, uint32_t len,
 void MemorySpace::Stream(ExecContext& ctx, uint64_t addr, uint32_t len,
                          bool write) {
   if (len == 0) return;
+  POLAR_PROF_SCOPE(kCacheSim);
   const Nanos entry = ctx.now;
   const uint32_t lines = (len + kCacheLineSize - 1) / kCacheLineSize;
   const StreamCost& sc = write ? opt_.stream_write : opt_.stream_read;
@@ -74,6 +121,7 @@ void MemorySpace::Stream(ExecContext& ctx, uint64_t addr, uint32_t len,
 void MemorySpace::TouchUncached(ExecContext& ctx, uint64_t addr,
                                 uint32_t len, bool write) {
   if (len == 0) return;
+  POLAR_PROF_SCOPE(kCacheSim);
   const Nanos entry = ctx.now;
   const uint64_t first = addr / kCacheLineSize;
   const uint64_t last = (addr + len - 1) / kCacheLineSize;
@@ -92,6 +140,7 @@ void MemorySpace::TouchUncached(ExecContext& ctx, uint64_t addr,
 }
 
 uint32_t MemorySpace::Flush(ExecContext& ctx, uint64_t addr, uint32_t len) {
+  POLAR_PROF_SCOPE(kCacheSim);
   const Nanos entry = ctx.now;
   uint32_t dirty = 0;
   uint32_t clean = 0;
@@ -111,6 +160,7 @@ uint32_t MemorySpace::Flush(ExecContext& ctx, uint64_t addr, uint32_t len) {
 }
 
 void MemorySpace::Invalidate(ExecContext& ctx, uint64_t addr, uint32_t len) {
+  POLAR_PROF_SCOPE(kCacheSim);
   const Nanos entry = ctx.now;
   uint32_t dirty = 0;
   uint32_t clean = 0;

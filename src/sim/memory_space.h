@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/prof.h"
 #include "common/types.h"
 #include "sim/bandwidth_channel.h"
 #include "sim/cpu_cache.h"
@@ -46,7 +47,38 @@ class MemorySpace {
   /// Access `len` bytes at `addr` with CPU-cache semantics, charging
   /// ctx.now. Within one call, the first miss pays full latency and further
   /// misses pay the pipelined streaming slope (models MLP).
-  void Touch(ExecContext& ctx, uint64_t addr, uint32_t len, bool write);
+  ///
+  /// Defined here so the dominant call shape — a single line, hitting in
+  /// cache (b-tree probes, header reads) — inlines into callers; ranges and
+  /// uncacheable domains take the out-of-line path.
+  void Touch(ExecContext& ctx, uint64_t addr, uint32_t len, bool write) {
+    if (len == 0) return;
+    POLAR_PROF_SCOPE(kCacheSim);
+    const uint64_t first = addr / kCacheLineSize;
+    const uint64_t last = (addr + len - 1) / kCacheLineSize;
+    if (first == last && opt_.cacheable && ctx.cache != nullptr) {
+      const uint64_t line_addr = first * kCacheLineSize;
+      // Memo-hit check first: it applies the full hit-path state updates
+      // itself, so the (large, out-of-line) probe is skipped entirely for
+      // the hot repeating lines.
+      if (ctx.cache->AccessFast(line_addr, write)) {
+        ctx.mem_line_hits++;
+        ctx.now += 4;  // blended CPU cache hit cost
+        ctx.t_mem += 4;
+        return;
+      }
+      const auto r = ctx.cache->AccessProbe(line_addr, write, this);
+      if (r.hit) {
+        ctx.mem_line_hits++;
+        ctx.now += 4;  // blended CPU cache hit cost
+        ctx.t_mem += 4;
+        return;
+      }
+      TouchSingleMiss(ctx, r, write);
+      return;
+    }
+    TouchMulti(ctx, first, last, write);
+  }
 
   /// Bulk copy of `len` bytes (page transfer / memcpy) at streaming cost;
   /// bypasses the CPU cache model.
@@ -81,6 +113,18 @@ class MemorySpace {
   /// Charge the channels for `bytes` moving between host and device at time
   /// `now`; returns the (possibly queued) completion time.
   Nanos ChargeChannels(Nanos now, uint64_t bytes);
+
+  /// Charge one demand-miss line at ctx.now: channel traffic plus service
+  /// latency (full line latency for the first miss of a call, pipelined
+  /// streaming slope for the rest — memory-level parallelism).
+  void ChargeMiss(ExecContext& ctx, uint32_t miss_idx, bool write);
+
+  /// Out-of-line halves of Touch(): the miss/eviction tail of a single-line
+  /// access, and the chunked multi-line / uncacheable path.
+  void TouchSingleMiss(ExecContext& ctx, const CpuCacheSim::AccessResult& r,
+                       bool write);
+  void TouchMulti(ExecContext& ctx, uint64_t first, uint64_t last,
+                  bool write);
 
   Options opt_;
   uint64_t demand_bytes_ = 0;     // demand miss + stream traffic

@@ -7,11 +7,10 @@ namespace polarcxl::storage {
 void PageStore::ReadPage(sim::ExecContext& ctx, PageId page_id, void* dst) {
   disk_->Read(ctx, kPageSize);
   ctx.pages_read_io++;
-  const auto it = pages_.find(page_id);
-  if (it == pages_.end()) {
-    std::memset(dst, 0, kPageSize);
+  if (Contains(page_id)) {
+    std::memcpy(dst, pages_[page_id]->data(), kPageSize);
   } else {
-    std::memcpy(dst, it->second->data(), kPageSize);
+    std::memset(dst, 0, kPageSize);
   }
 }
 
@@ -19,16 +18,17 @@ void PageStore::WritePage(sim::ExecContext& ctx, PageId page_id,
                           const void* src) {
   disk_->Write(ctx, kPageSize);
   ctx.pages_written_io++;
-  auto it = pages_.find(page_id);
-  if (it == pages_.end()) {
-    it = pages_.emplace(page_id, std::make_unique<PageImage>()).first;
+  if (page_id >= pages_.size()) pages_.resize(page_id + 1);
+  std::unique_ptr<PageImage>& slot = pages_[page_id];
+  if (slot == nullptr) {
+    slot = std::make_unique<PageImage>();
+    num_pages_++;
   }
-  std::memcpy(it->second->data(), src, kPageSize);
+  std::memcpy(slot->data(), src, kPageSize);
 }
 
 const uint8_t* PageStore::RawPage(PageId page_id) const {
-  const auto it = pages_.find(page_id);
-  return it == pages_.end() ? nullptr : it->second->data();
+  return Contains(page_id) ? pages_[page_id]->data() : nullptr;
 }
 
 }  // namespace polarcxl::storage

@@ -7,7 +7,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
 #include "common/macros.h"
 #include "common/status.h"
@@ -29,17 +29,24 @@ class PageStore {
   void WritePage(sim::ExecContext& ctx, PageId page_id, const void* src);
 
   /// Direct (uncharged) access for checkpointer bookkeeping and tests.
-  bool Contains(PageId page_id) const { return pages_.count(page_id) > 0; }
+  bool Contains(PageId page_id) const {
+    return page_id < pages_.size() && pages_[page_id] != nullptr;
+  }
   const uint8_t* RawPage(PageId page_id) const;
 
-  uint64_t num_pages() const { return pages_.size(); }
+  uint64_t num_pages() const { return num_pages_; }
   SimDisk* disk() { return disk_; }
 
  private:
   using PageImage = std::array<uint8_t, kPageSize>;
 
   SimDisk* disk_;
-  std::unordered_map<PageId, std::unique_ptr<PageImage>> pages_;
+  // Direct-indexed by PageId: ids are bump-allocated from the superblock
+  // counter, so the id space is dense and a flat vector beats a hash table
+  // on every checkpoint/recovery access (no hashing, no rehash growth).
+  // Holes (never-written ids) cost one null pointer each.
+  std::vector<std::unique_ptr<PageImage>> pages_;
+  uint64_t num_pages_ = 0;  // non-null entries
 };
 
 }  // namespace polarcxl::storage

@@ -1,22 +1,37 @@
 #include "storage/redo_log.h"
 
+#include <algorithm>
+
 namespace polarcxl::storage {
 
 Lsn RedoLog::AppendMtr(std::vector<RedoRecord> records) {
-  for (RedoRecord& rec : records) {
+  return AppendMtr(&records);
+}
+
+Lsn RedoLog::AppendMtr(std::vector<RedoRecord>* records) {
+  for (RedoRecord& rec : *records) {
     rec.lsn = next_lsn_;
     next_lsn_ += rec.SizeBytes();
     buffer_.push_back(std::move(rec));
   }
+  records->clear();
   return next_lsn_;
+}
+
+void RedoLog::SealBuffer() {
+  const size_t n = buffer_.size();
+  durable_segs_.emplace_back();
+  durable_segs_.back().swap(buffer_);
+  // The next fill resembles the last one, so pre-size the fresh buffer to
+  // skip its geometric-growth element moves.
+  buffer_.reserve(n);
 }
 
 Lsn RedoLog::Flush(sim::ExecContext& ctx) {
   if (buffer_.empty()) return flushed_lsn_;
   const uint64_t bytes = next_lsn_ - flushed_lsn_;
   disk_->Write(ctx, bytes);
-  for (RedoRecord& rec : buffer_) durable_.push_back(std::move(rec));
-  buffer_.clear();
+  SealBuffer();
   flushed_lsn_ = next_lsn_;
   return flushed_lsn_;
 }
@@ -31,8 +46,7 @@ Lsn RedoLog::GroupCommit(sim::ExecContext& ctx, Nanos window) {
     const Nanos entry = ctx.now;
     const uint64_t bytes = next_lsn_ - flushed_lsn_;
     disk_->channel().Transfer(ctx.now, bytes);
-    for (RedoRecord& rec : buffer_) durable_.push_back(std::move(rec));
-    buffer_.clear();
+    SealBuffer();
     flushed_lsn_ = next_lsn_;
     ctx.now = last_batch_completion_;
     ctx.t_io += ctx.now - entry;
@@ -53,15 +67,20 @@ void RedoLog::LoseUnflushedTail() {
 
 std::vector<const RedoRecord*> RedoLog::DurableRecordsFrom(Lsn from) const {
   std::vector<const RedoRecord*> out;
-  // durable_ is LSN-ordered; binary search the start.
-  size_t lo = 0;
-  size_t hi = durable_.size();
-  while (lo < hi) {
-    const size_t mid = (lo + hi) / 2;
-    if (durable_[mid].lsn + durable_[mid].SizeBytes() <= from) lo = mid + 1;
-    else hi = mid;
+  // Segments and the records within each are LSN-ordered (sealed segments
+  // are never empty), so binary search the first segment reaching past
+  // `from`, then the start record within each remaining segment.
+  auto seg = std::partition_point(
+      durable_segs_.begin(), durable_segs_.end(),
+      [from](const std::vector<RedoRecord>& s) {
+        return s.back().end_lsn() <= from;
+      });
+  for (; seg != durable_segs_.end(); ++seg) {
+    auto it = std::partition_point(
+        seg->begin(), seg->end(),
+        [from](const RedoRecord& r) { return r.end_lsn() <= from; });
+    for (; it != seg->end(); ++it) out.push_back(&*it);
   }
-  for (size_t i = lo; i < durable_.size(); i++) out.push_back(&durable_[i]);
   return out;
 }
 

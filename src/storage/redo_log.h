@@ -5,7 +5,10 @@
 // PolarRecv's "too-new page" LSN check exists for.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
+#include <initializer_list>
 #include <vector>
 
 #include "common/macros.h"
@@ -13,6 +16,92 @@
 #include "storage/disk.h"
 
 namespace polarcxl::storage {
+
+/// Payload bytes of a redo record. Small-buffer container: every hot
+/// payload shape — a row insert (8-byte key + row) and a serialized
+/// one-row undo op — fits in the inline buffer, so building a record and
+/// moving it through the log buffer performs no heap allocation. Oversized
+/// payloads (wide TPC-C warehouse/district rows) spill to the heap. Only
+/// the slice of std::vector<uint8_t>'s surface the log's users need.
+class PayloadBuf {
+ public:
+  static constexpr uint32_t kInline = 200;
+
+  PayloadBuf() = default;
+  PayloadBuf(const PayloadBuf& o) { assign(o.data(), o.data() + o.size_); }
+  PayloadBuf(PayloadBuf&& o) noexcept { StealFrom(&o); }
+  PayloadBuf& operator=(const PayloadBuf& o) {
+    if (this != &o) assign(o.data(), o.data() + o.size_);
+    return *this;
+  }
+  PayloadBuf& operator=(PayloadBuf&& o) noexcept {
+    if (this != &o) {
+      delete[] heap_;
+      StealFrom(&o);
+    }
+    return *this;
+  }
+  PayloadBuf& operator=(std::initializer_list<uint8_t> init) {
+    assign(init.begin(), init.end());
+    return *this;
+  }
+  ~PayloadBuf() { delete[] heap_; }
+
+  uint8_t* data() { return heap_ != nullptr ? heap_ : inline_; }
+  const uint8_t* data() const { return heap_ != nullptr ? heap_ : inline_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  uint8_t& operator[](size_t i) { return data()[i]; }
+  uint8_t operator[](size_t i) const { return data()[i]; }
+  const uint8_t* begin() const { return data(); }
+  const uint8_t* end() const { return data() + size_; }
+
+  /// Grows/shrinks to `n` bytes; appended bytes are `fill`-initialized
+  /// (vector-compatible: plain resize zero-fills).
+  void resize(size_t n, uint8_t fill = 0) {
+    Reserve(n);
+    if (n > size_) std::memset(data() + size_, fill, n - size_);
+    size_ = static_cast<uint32_t>(n);
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    const size_t n = static_cast<size_t>(last - first);
+    Reserve(n);
+    size_ = static_cast<uint32_t>(n);
+    std::copy(first, last, data());
+  }
+
+ private:
+  /// Ensures capacity for `n` bytes, preserving current contents.
+  void Reserve(size_t n) {
+    if (n <= kInline && heap_ == nullptr) return;
+    if (heap_ != nullptr && n <= heap_cap_) return;
+    POLAR_CHECK(n <= UINT32_MAX);
+    // Exact-size growth: payload sizes are known up front (one resize or
+    // assign per record), so geometric over-allocation buys nothing.
+    uint8_t* grown = new uint8_t[n];
+    std::memcpy(grown, data(), size_);
+    delete[] heap_;
+    heap_ = grown;
+    heap_cap_ = static_cast<uint32_t>(n);
+  }
+
+  void StealFrom(PayloadBuf* o) {
+    heap_ = o->heap_;
+    heap_cap_ = o->heap_cap_;
+    size_ = o->size_;
+    if (heap_ == nullptr && size_ > 0) std::memcpy(inline_, o->inline_, size_);
+    o->heap_ = nullptr;
+    o->heap_cap_ = 0;
+    o->size_ = 0;
+  }
+
+  uint8_t inline_[kInline];
+  uint8_t* heap_ = nullptr;   // null while inline
+  uint32_t heap_cap_ = 0;
+  uint32_t size_ = 0;
+};
 
 /// Redo record kinds. kRaw is pure physical redo; the entry kinds are
 /// physiological (page-local logical) records, keeping per-row log volume
@@ -38,7 +127,7 @@ struct RedoRecord {
   uint16_t len = 0;
   uint64_t mtr_id = 0;
   uint64_t txn_id = 0;  // 0 = auto-commit / non-transactional
-  std::vector<uint8_t> data;
+  PayloadBuf data;
 
   Lsn end_lsn() const { return lsn + SizeBytes(); }
 
@@ -59,6 +148,11 @@ class RedoLog {
   /// Appends one mini-transaction's records to the volatile buffer
   /// atomically. Records receive consecutive LSNs. Returns the end LSN.
   Lsn AppendMtr(std::vector<RedoRecord> records);
+
+  /// Drain form for reusable scratch batches: moves the records out and
+  /// leaves `*records` empty with its capacity retained, so a recycled
+  /// per-thread batch vector never reallocates in steady state.
+  Lsn AppendMtr(std::vector<RedoRecord>* records);
 
   /// Durably flush the buffer up to its current end. Charges the disk for
   /// the flushed bytes (one I/O per call).
@@ -98,8 +192,18 @@ class RedoLog {
   SimDisk* disk() { return disk_; }
 
  private:
+  /// Moves the whole buffer into the durable portion as one sealed segment
+  /// (O(1): a vector swap, no per-record moves or mega-vector regrowth).
+  void SealBuffer();
+
   SimDisk* disk_;
-  std::vector<RedoRecord> durable_;
+  // Durable records, stored as the sequence of flushed buffer segments.
+  // Segments (and records within each) are LSN-ordered, so readers binary
+  // search at segment granularity first. Compared to one flat vector this
+  // never re-moves a record after it lands: a flush retires the buffer by
+  // swapping it in, instead of pushing ~240-byte records one at a time
+  // into a vector whose geometric regrowth re-copies the whole log.
+  std::vector<std::vector<RedoRecord>> durable_segs_;
   std::vector<RedoRecord> buffer_;  // volatile tail (local DRAM)
   Lsn next_lsn_ = 0;
   Lsn flushed_lsn_ = 0;

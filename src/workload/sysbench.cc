@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/prof.h"
+
 namespace polarcxl::workload {
 
 namespace {
@@ -12,13 +14,15 @@ constexpr uint32_t kKLen = 4;
 constexpr uint32_t kCOff = 4;      // c CHAR(120)
 constexpr uint32_t kCLen = 120;
 
-std::string MakeRow(const SysbenchConfig& config, uint64_t id, Rng* rng) {
-  std::string row(config.row_size, 0);
+// Builds the row into a caller-owned scratch buffer so bulk loads and
+// delete/insert loops reuse one allocation instead of one per row.
+void FillRow(const SysbenchConfig& config, uint64_t id, Rng* rng,
+             std::string* row) {
+  row->assign(config.row_size, '\0');
   const uint32_t k = static_cast<uint32_t>(rng->Uniform(config.rows_per_table));
-  std::memcpy(row.data() + kKOff, &k, sizeof(k));
-  std::snprintf(row.data() + kCOff, kCLen, "%llu-sysbench-c-pad",
+  std::memcpy(row->data() + kKOff, &k, sizeof(k));
+  std::snprintf(row->data() + kCOff, kCLen, "%llu-sysbench-c-pad",
                 static_cast<unsigned long long>(id));
-  return row;
 }
 }  // namespace
 
@@ -43,13 +47,14 @@ const char* SysbenchOpName(SysbenchOp op) {
 Status LoadSysbenchTables(sim::ExecContext& ctx, engine::Database* db,
                           const SysbenchConfig& config) {
   Rng rng(0xB0B0);
+  std::string row;
   for (uint32_t t = 0; t < config.TotalTables(); t++) {
     auto table =
         db->CreateTable(ctx, "sbtest" + std::to_string(t), config.row_size);
     if (!table.ok()) return table.status();
     for (uint64_t id = 1; id <= config.rows_per_table; id++) {
-      POLAR_RETURN_IF_ERROR(
-          (*table)->Insert(ctx, id, MakeRow(config, id, &rng)));
+      FillRow(config, id, &rng, &row);
+      POLAR_RETURN_IF_ERROR((*table)->Insert(ctx, id, row));
     }
   }
   db->CommitTransaction(ctx);
@@ -65,7 +70,11 @@ SysbenchWorkload::SysbenchWorkload(engine::Database* db,
       config_(config),
       node_(node),
       rng_(seed ^ (0x5151ULL + node)),
-      client_net_(client_net) {
+      client_net_(client_net),
+      fd_rows_(config_.rows_per_table),
+      fd_tables_(config_.tables),
+      fd_range_start_(std::max<uint64_t>(
+          1, config_.rows_per_table - config_.range_size)) {
   if (config_.distribution == KeyDistribution::kZipfian) {
     zipf_ = std::make_unique<ZipfRng>(seed ^ 0x21Full,
                                       config_.rows_per_table,
@@ -75,7 +84,7 @@ SysbenchWorkload::SysbenchWorkload(engine::Database* db,
 
 uint64_t SysbenchWorkload::PickRow() {
   if (zipf_ != nullptr) return 1 + zipf_->Next();
-  return 1 + rng_.Uniform(config_.rows_per_table);
+  return 1 + fd_rows_.Mod(rng_.Next());
 }
 
 engine::Table* SysbenchWorkload::PickTable(bool* is_shared) {
@@ -90,7 +99,7 @@ engine::Table* SysbenchWorkload::PickTable(bool* is_shared) {
     group = node_;  // this node's private group
   }
   const uint32_t base = config_.num_nodes == 1 ? 0 : group * config_.tables;
-  const uint32_t t = base + static_cast<uint32_t>(rng_.Uniform(config_.tables));
+  const uint32_t t = base + static_cast<uint32_t>(fd_tables_.Mod(rng_.Next()));
   if (is_shared != nullptr) *is_shared = shared;
   shared_queries_ += shared ? 1 : 0;
   return db_->table(static_cast<size_t>(t));
@@ -106,7 +115,7 @@ void SysbenchWorkload::ChargeClient(sim::ExecContext& ctx, uint64_t bytes) {
 void SysbenchWorkload::PointSelect(sim::ExecContext& ctx) {
   engine::Table* t = PickTable(nullptr);
   ctx.Advance(db_->costs().point_query_base);
-  auto got = t->Get(ctx, PickRow());
+  const Status got = t->GetTo(ctx, PickRow(), &row_scratch_);
   POLAR_CHECK_MSG(got.ok(), "sysbench row missing");
   ChargeClient(ctx, 64 + config_.row_size);
   total_queries_++;
@@ -115,9 +124,7 @@ void SysbenchWorkload::PointSelect(sim::ExecContext& ctx) {
 void SysbenchWorkload::RangeSelect(sim::ExecContext& ctx) {
   engine::Table* t = PickTable(nullptr);
   ctx.Advance(db_->costs().range_query_base);
-  const uint64_t from =
-      1 + rng_.Uniform(std::max<uint64_t>(
-              1, config_.rows_per_table - config_.range_size));
+  const uint64_t from = 1 + fd_range_start_.Mod(rng_.Next());
   auto n = t->Scan(ctx, from, config_.range_size, nullptr);
   POLAR_CHECK(n.ok());
   ChargeClient(ctx, 64 + *n * config_.row_size);
@@ -154,7 +161,8 @@ void SysbenchWorkload::DeleteInsert(sim::ExecContext& ctx) {
   total_queries_++;
   ctx.Advance(db_->costs().write_query_base);
   if (del.ok()) {
-    POLAR_CHECK(t->Insert(ctx, id, MakeRow(config_, id, &rng_)).ok());
+    FillRow(config_, id, &rng_, &row_scratch_);
+    POLAR_CHECK(t->Insert(ctx, id, row_scratch_).ok());
   }
   total_queries_++;
   ChargeClient(ctx, 128);
@@ -172,6 +180,7 @@ void SysbenchWorkload::PointUpdate(sim::ExecContext& ctx) {
 }
 
 uint32_t SysbenchWorkload::RunEvent(sim::ExecContext& ctx, SysbenchOp op) {
+  POLAR_PROF_SCOPE(kWorkload);
   const uint64_t before = total_queries_;
   switch (op) {
     case SysbenchOp::kPointSelect:

@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "common/fastdiv.h"
 #include "common/rng.h"
 #include "engine/database.h"
 #include "sim/bandwidth_channel.h"
@@ -92,6 +93,15 @@ class SysbenchWorkload {
   sim::BandwidthChannel* client_net_;
   uint64_t total_queries_ = 0;
   uint64_t shared_queries_ = 0;
+  // Key-distribution tables, precomputed from the (fixed) config so the
+  // per-op path replaces `% divisor` with a magic-number multiply. The
+  // draw sequence and every picked key are bit-identical to Rng::Uniform.
+  FastDiv64 fd_rows_;        // rows_per_table
+  FastDiv64 fd_tables_;      // tables per group
+  FastDiv64 fd_range_start_; // valid range-scan start positions
+  // Reused across point selects / re-inserts; steady state allocates
+  // nothing.
+  std::string row_scratch_;
 };
 
 }  // namespace polarcxl::workload

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "common/prof.h"
+
 namespace polarcxl::workload {
 
 namespace {
@@ -16,7 +18,14 @@ uint64_t CallForwardingKey(uint64_t sid, uint64_t sf, uint64_t start_hr) {
   return SpecialFacilityKey(sid, sf) * 24 + start_hr;
 }
 
-std::string Filled(uint16_t size, char c) { return std::string(size, c); }
+// One template per fill character (sizes are fixed per character);
+// thread_local because sweep experiments run on concurrent threads.
+const std::string& Filled(uint16_t size, char c) {
+  static thread_local std::string cache[256];
+  std::string& s = cache[static_cast<unsigned char>(c)];
+  if (s.size() != size) s.assign(size, c);
+  return s;
+}
 }  // namespace
 
 Status LoadTatpTables(sim::ExecContext& ctx, engine::Database* db,
@@ -65,15 +74,17 @@ TatpWorkload::TatpWorkload(engine::Database* db, TatpConfig config,
     : db_(db),
       config_(config),
       node_(node),
-      rng_(seed ^ (0x7A7AULL + node)) {}
+      rng_(seed ^ (0x7A7AULL + node)),
+      fd_per_node_(std::max<uint64_t>(1, config_.SubscribersPerNode())) {}
 
 uint64_t TatpWorkload::PickSubscriber() {
-  const uint64_t per_node = std::max<uint64_t>(1, config_.SubscribersPerNode());
-  const uint64_t base = static_cast<uint64_t>(node_) * per_node;
-  return 1 + base + rng_.Uniform(per_node);
+  const uint64_t base =
+      static_cast<uint64_t>(node_) * fd_per_node_.divisor();
+  return 1 + base + fd_per_node_.Mod(rng_.Next());
 }
 
 uint32_t TatpWorkload::RunTransaction(sim::ExecContext& ctx) {
+  POLAR_PROF_SCOPE(kWorkload);
   const auto& costs = db_->costs();
   const uint64_t sid = PickSubscriber();
   const uint64_t pick = rng_.Uniform(100);
@@ -81,20 +92,25 @@ uint32_t TatpWorkload::RunTransaction(sim::ExecContext& ctx) {
 
   if (pick < 35) {  // GET_SUBSCRIBER_DATA
     ctx.Advance(costs.point_query_base);
-    POLAR_CHECK(db_->table(TatpTables::kSubscriber)->Get(ctx, sid).ok());
+    POLAR_CHECK(db_->table(TatpTables::kSubscriber)
+                    ->GetTo(ctx, sid, &row_scratch_)
+                    .ok());
     stats_.reads++;
     queries = 1;
     db_->FinishReadOnly(ctx);
   } else if (pick < 45) {  // GET_NEW_DESTINATION
     ctx.Advance(costs.point_query_base);
     const uint64_t sf = rng_.Uniform(4);
-    auto fac = db_->table(TatpTables::kSpecialFacility)
-                   ->Get(ctx, SpecialFacilityKey(sid, sf));
+    const Status fac = db_->table(TatpTables::kSpecialFacility)
+                           ->GetTo(ctx, SpecialFacilityKey(sid, sf),
+                                   &row_scratch_);
     queries = 1;
     if (fac.ok()) {
       ctx.Advance(costs.point_query_base);
-      auto cf = db_->table(TatpTables::kCallForwarding)
-                    ->Get(ctx, CallForwardingKey(sid, sf, rng_.Uniform(24)));
+      const Status cf =
+          db_->table(TatpTables::kCallForwarding)
+              ->GetTo(ctx, CallForwardingKey(sid, sf, rng_.Uniform(24)),
+                      &row_scratch_);
       if (!cf.ok()) stats_.not_found++;
       queries++;
     } else {
@@ -104,8 +120,9 @@ uint32_t TatpWorkload::RunTransaction(sim::ExecContext& ctx) {
     db_->FinishReadOnly(ctx);
   } else if (pick < 80) {  // GET_ACCESS_DATA
     ctx.Advance(costs.point_query_base);
-    auto ai = db_->table(TatpTables::kAccessInfo)
-                  ->Get(ctx, AccessInfoKey(sid, rng_.Uniform(4)));
+    const Status ai =
+        db_->table(TatpTables::kAccessInfo)
+            ->GetTo(ctx, AccessInfoKey(sid, rng_.Uniform(4)), &row_scratch_);
     if (!ai.ok()) stats_.not_found++;
     stats_.reads++;
     queries = 1;
@@ -144,7 +161,7 @@ uint32_t TatpWorkload::RunTransaction(sim::ExecContext& ctx) {
     ctx.Advance(costs.point_query_base);
     const uint64_t sf = rng_.Uniform(4);
     db_->table(TatpTables::kSpecialFacility)
-        ->Get(ctx, SpecialFacilityKey(sid, sf))
+        ->GetTo(ctx, SpecialFacilityKey(sid, sf), &row_scratch_)
         .ok();
     ctx.Advance(costs.write_query_base);
     const Status ins =

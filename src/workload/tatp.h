@@ -6,7 +6,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
+#include "common/fastdiv.h"
 #include "common/rng.h"
 #include "engine/database.h"
 
@@ -61,6 +63,12 @@ class TatpWorkload {
   NodeId node_;
   Rng rng_;
   TatpStats stats_;
+  // Precomputed divisor for the per-node subscriber range (the only
+  // config-dependent modulo on the per-transaction path); identical draws
+  // to Rng::Uniform.
+  FastDiv64 fd_per_node_;
+  // Reused Get target; steady-state transactions allocate nothing.
+  std::string row_scratch_;
 };
 
 }  // namespace polarcxl::workload

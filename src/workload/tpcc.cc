@@ -3,6 +3,8 @@
 #include <cstring>
 #include <string>
 
+#include "common/prof.h"
+
 namespace polarcxl::workload {
 
 namespace {
@@ -24,7 +26,16 @@ uint64_t CustomerKey(uint64_t w, uint64_t d, uint64_t c) {
 }
 uint64_t StockKey(uint64_t w, uint64_t item) { return w * 100000 + item; }
 
-std::string Filled(uint16_t size, char c) { return std::string(size, c); }
+// Row contents are constant per (size, fill) pair, so each template string
+// is built once and inserts pass a view of it — no allocation per row.
+// thread_local because sweep experiments (and their workloads) run on
+// concurrent threads; each fill character maps to one fixed size.
+const std::string& Filled(uint16_t size, char c) {
+  static thread_local std::string cache[256];
+  std::string& s = cache[static_cast<unsigned char>(c)];
+  if (s.size() != size) s.assign(size, c);
+  return s;
+}
 }  // namespace
 
 Status LoadTpccTables(sim::ExecContext& ctx, engine::Database* db,
@@ -103,22 +114,27 @@ TpccWorkload::TpccWorkload(engine::Database* db, TpccConfig config,
       // bits, a seed-derived lane tag below (lanes of one node must not
       // collide either).
       next_order_id_((static_cast<uint64_t>(node) << 44) +
-                     ((seed * 0x9E3779B97F4A7C15ULL >> 44) << 24) + 1) {}
+                     ((seed * 0x9E3779B97F4A7C15ULL >> 44) << 24) + 1),
+      fd_warehouses_(config_.warehouses),
+      fd_per_node_(std::max(1u, config_.WarehousesPerNode())),
+      fd_districts_(config_.districts_per_wh),
+      fd_customers_(config_.customers_per_district),
+      fd_items_(config_.items) {}
 
 uint64_t TpccWorkload::HomeWarehouse() {
-  const uint32_t per_node = std::max(1u, config_.WarehousesPerNode());
-  const uint64_t base = static_cast<uint64_t>(node_) * per_node;
-  return 1 + base + rng_.Uniform(per_node);
+  const uint64_t base =
+      static_cast<uint64_t>(node_) * fd_per_node_.divisor();
+  return 1 + base + fd_per_node_.Mod(rng_.Next());
 }
 
 void TpccWorkload::NewOrder(sim::ExecContext& ctx) {
   const uint64_t w = HomeWarehouse();
-  const uint64_t d = 1 + rng_.Uniform(config_.districts_per_wh);
-  const uint64_t c = 1 + rng_.Uniform(config_.customers_per_district);
+  const uint64_t d = 1 + fd_districts_.Mod(rng_.Next());
+  const uint64_t c = 1 + fd_customers_.Mod(rng_.Next());
   const auto& costs = db_->costs();
 
   ctx.Advance(costs.point_query_base);
-  POLAR_CHECK(db_->table(TpccTables::kWarehouse)->Get(ctx, w).ok());
+  POLAR_CHECK(db_->table(TpccTables::kWarehouse)->GetTo(ctx, w, &row_scratch_).ok());
   ctx.Advance(costs.write_query_base);
   const uint32_t bump = 1;
   POLAR_CHECK(db_->table(TpccTables::kDistrict)
@@ -128,12 +144,14 @@ void TpccWorkload::NewOrder(sim::ExecContext& ctx) {
                   .ok());
   ctx.Advance(costs.point_query_base);
   POLAR_CHECK(
-      db_->table(TpccTables::kCustomer)->Get(ctx, CustomerKey(w, d, c)).ok());
+      db_->table(TpccTables::kCustomer)
+          ->GetTo(ctx, CustomerKey(w, d, c), &row_scratch_)
+          .ok());
 
   const uint64_t order_id = next_order_id_++;
   const uint32_t lines = 5 + static_cast<uint32_t>(rng_.Uniform(11));
   for (uint32_t l = 0; l < lines; l++) {
-    const uint64_t item = 1 + rng_.Uniform(config_.items);
+    const uint64_t item = 1 + fd_items_.Mod(rng_.Next());
     // ~1% of lines hit a remote warehouse => ~10% of transactions do.
     uint64_t supply_w = w;
     if (config_.warehouses > 1 && rng_.Chance(0.01)) {
@@ -142,7 +160,8 @@ void TpccWorkload::NewOrder(sim::ExecContext& ctx) {
       stats_.remote_accesses++;
     }
     ctx.Advance(costs.point_query_base);
-    POLAR_CHECK(db_->table(TpccTables::kItem)->Get(ctx, item).ok());
+    POLAR_CHECK(
+        db_->table(TpccTables::kItem)->GetTo(ctx, item, &row_scratch_).ok());
     ctx.Advance(costs.write_query_base);
     const uint32_t qty = static_cast<uint32_t>(rng_.Uniform(10)) + 1;
     POLAR_CHECK(db_->table(TpccTables::kStock)
@@ -166,7 +185,7 @@ void TpccWorkload::NewOrder(sim::ExecContext& ctx) {
 
 void TpccWorkload::Payment(sim::ExecContext& ctx) {
   const uint64_t w = HomeWarehouse();
-  const uint64_t d = 1 + rng_.Uniform(config_.districts_per_wh);
+  const uint64_t d = 1 + fd_districts_.Mod(rng_.Next());
   const auto& costs = db_->costs();
 
   ctx.Advance(costs.write_query_base);
@@ -188,7 +207,7 @@ void TpccWorkload::Payment(sim::ExecContext& ctx) {
     }
     stats_.remote_accesses++;
   }
-  const uint64_t c = 1 + rng_.Uniform(config_.customers_per_district);
+  const uint64_t c = 1 + fd_customers_.Mod(rng_.Next());
   ctx.Advance(costs.write_query_base);
   POLAR_CHECK(db_->table(TpccTables::kCustomer)
                   ->UpdateColumn(ctx, CustomerKey(cust_w, d, c), 8,
@@ -205,17 +224,19 @@ void TpccWorkload::Payment(sim::ExecContext& ctx) {
 
 void TpccWorkload::OrderStatus(sim::ExecContext& ctx) {
   const uint64_t w = HomeWarehouse();
-  const uint64_t d = 1 + rng_.Uniform(config_.districts_per_wh);
-  const uint64_t c = 1 + rng_.Uniform(config_.customers_per_district);
+  const uint64_t d = 1 + fd_districts_.Mod(rng_.Next());
+  const uint64_t c = 1 + fd_customers_.Mod(rng_.Next());
   const auto& costs = db_->costs();
   ctx.Advance(costs.point_query_base);
   POLAR_CHECK(
-      db_->table(TpccTables::kCustomer)->Get(ctx, CustomerKey(w, d, c)).ok());
+      db_->table(TpccTables::kCustomer)
+          ->GetTo(ctx, CustomerKey(w, d, c), &row_scratch_)
+          .ok());
   if (recent_pos_ > 0) {
     const uint64_t order_id =
         recent_orders_[rng_.Uniform(std::min(recent_pos_, kRecentOrders))];
     ctx.Advance(costs.point_query_base);
-    db_->table(TpccTables::kOrder)->Get(ctx, order_id).ok();
+    db_->table(TpccTables::kOrder)->GetTo(ctx, order_id, &row_scratch_).ok();
     ctx.Advance(costs.range_query_base);
     db_->table(TpccTables::kOrderLine)
         ->Scan(ctx, order_id * 16, 15, nullptr)
@@ -240,8 +261,8 @@ void TpccWorkload::Delivery(sim::ExecContext& ctx) {
         .ok();
   }
   const uint64_t w = HomeWarehouse();
-  const uint64_t d = 1 + rng_.Uniform(config_.districts_per_wh);
-  const uint64_t c = 1 + rng_.Uniform(config_.customers_per_district);
+  const uint64_t d = 1 + fd_districts_.Mod(rng_.Next());
+  const uint64_t c = 1 + fd_customers_.Mod(rng_.Next());
   ctx.Advance(costs.write_query_base);
   const uint32_t bump = 1;
   POLAR_CHECK(db_->table(TpccTables::kCustomer)
@@ -258,18 +279,19 @@ void TpccWorkload::StockLevel(sim::ExecContext& ctx) {
   const auto& costs = db_->costs();
   ctx.Advance(costs.point_query_base);
   POLAR_CHECK(db_->table(TpccTables::kDistrict)
-                  ->Get(ctx, DistrictKey(w, 1 + rng_.Uniform(
-                                                    config_.districts_per_wh)))
+                  ->GetTo(ctx, DistrictKey(w, 1 + fd_districts_.Mod(rng_.Next())),
+                          &row_scratch_)
                   .ok());
   // Examine the stock of ~20 consecutive items.
   ctx.Advance(costs.range_query_base);
-  const uint64_t item = 1 + rng_.Uniform(config_.items);
+  const uint64_t item = 1 + fd_items_.Mod(rng_.Next());
   db_->table(TpccTables::kStock)->Scan(ctx, StockKey(w, item), 20, nullptr).ok();
   db_->FinishReadOnly(ctx);
   stats_.stock_levels++;
 }
 
 uint32_t TpccWorkload::RunTransaction(sim::ExecContext& ctx) {
+  POLAR_PROF_SCOPE(kWorkload);
   const uint64_t pick = rng_.Uniform(100);
   if (pick < 45) {
     NewOrder(ctx);

@@ -8,7 +8,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 
+#include "common/fastdiv.h"
 #include "common/rng.h"
 #include "engine/database.h"
 
@@ -68,7 +70,7 @@ class TpccWorkload {
 
  private:
   uint64_t HomeWarehouse();
-  uint64_t AnyWarehouse() { return 1 + rng_.Uniform(config_.warehouses); }
+  uint64_t AnyWarehouse() { return 1 + fd_warehouses_.Mod(rng_.Next()); }
 
   void NewOrder(sim::ExecContext& ctx);
   void Payment(sim::ExecContext& ctx);
@@ -82,6 +84,17 @@ class TpccWorkload {
   Rng rng_;
   TpccStats stats_;
   uint64_t next_order_id_;
+  // Precomputed key-distribution tables for the config-dependent divisors
+  // (compile-time-constant ones like the mix percentages stay plain `%`).
+  // Draw-for-draw identical to Rng::Uniform on the same divisor.
+  FastDiv64 fd_warehouses_;
+  FastDiv64 fd_per_node_;
+  FastDiv64 fd_districts_;
+  FastDiv64 fd_customers_;
+  FastDiv64 fd_items_;
+  // Point-select scratch: Get results in TPC-C are existence checks, so
+  // rows land here and the buffer is recycled.
+  std::string row_scratch_;
 
   // Ring of recently inserted orders (feeds OrderStatus/Delivery).
   static constexpr uint64_t kRecentOrders = 256;

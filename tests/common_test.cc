@@ -1,10 +1,13 @@
 // Tests for src/common: Status/Result, Slice, Rng/ZipfRng, Histogram,
-// TimeSeries.
+// TimeSeries, FastDiv64, Arena, PageMap.
 #include <gtest/gtest.h>
 
 #include <set>
 #include <vector>
 
+#include "common/arena.h"
+#include "common/fastdiv.h"
+#include "common/flat_map.h"
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "common/slice.h"
@@ -158,6 +161,216 @@ TEST(TypesTest, DurationHelpers) {
   EXPECT_EQ(Millis(2), 2000000);
   EXPECT_EQ(Secs(1), kNanosPerSec);
   EXPECT_EQ(kLinesPerPage, 256u);
+}
+
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0);
+  EXPECT_EQ(h.Percentile(100), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(12345);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 12345);
+  EXPECT_EQ(h.max(), 12345);
+  EXPECT_DOUBLE_EQ(h.Mean(), 12345.0);
+  // Percentiles interpolate within the log bucket (< 2% relative error)
+  // and cap at the recorded max.
+  EXPECT_GE(h.Percentile(50), 12345 * 98 / 100);
+  EXPECT_LE(h.Percentile(50), 12345);
+  EXPECT_EQ(h.Percentile(100), 12345);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.Add(-5);
+  h.Add(-1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, SmallValuesBucketExactly) {
+  // For v < 128 the bucket is the value itself, so percentiles over a small
+  // range are exact (not just within log-bucket relative error).
+  Histogram h;
+  for (Nanos v = 0; v < 128; v++) h.Add(v);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 127);
+  const Nanos p50 = h.Percentile(50);
+  EXPECT_GE(p50, 63);
+  EXPECT_LE(p50, 65);
+}
+
+TEST(HistogramTest, MergeDisjointRanges) {
+  Histogram lo;
+  Histogram hi;
+  for (int i = 0; i < 1000; i++) lo.Add(100 + i % 10);
+  for (int i = 0; i < 1000; i++) hi.Add(1000000 + i % 10);
+  lo.Merge(hi);
+  EXPECT_EQ(lo.count(), 2000u);
+  EXPECT_EQ(lo.min(), 100);
+  EXPECT_EQ(lo.max(), 1000009);
+  // Half the mass is near 100, half near 1e6.
+  EXPECT_LT(lo.Percentile(25), 200);
+  EXPECT_GT(lo.Percentile(75), 900000);
+  // Merging an empty histogram changes nothing.
+  Histogram empty;
+  const Nanos before = lo.Percentile(50);
+  lo.Merge(empty);
+  EXPECT_EQ(lo.count(), 2000u);
+  EXPECT_EQ(lo.Percentile(50), before);
+}
+
+TEST(TimeSeriesTest, NegativeTimestampsLandInFirstBucket) {
+  TimeSeries ts(1000);
+  ts.Add(-50);
+  ts.Add(-1, 3);
+  EXPECT_EQ(ts.num_buckets(), 1u);
+  EXPECT_EQ(ts.bucket(0), 4u);
+}
+
+TEST(TimeSeriesTest, HugeTimestampSaturatesIntoLastBucket) {
+  TimeSeries ts(1);
+  // Would previously try to resize to ~9e18 buckets and die; now saturates.
+  ts.Add(Nanos{1} << 62);
+  ts.Add(Nanos{1} << 62, 2);
+  EXPECT_EQ(ts.num_buckets(), TimeSeries::kMaxBuckets);
+  EXPECT_EQ(ts.bucket(TimeSeries::kMaxBuckets - 1), 3u);
+  // Normal adds still work after saturation.
+  ts.Add(5);
+  EXPECT_EQ(ts.bucket(5), 1u);
+}
+
+TEST(FastDivTest, MatchesHardwareDivisionExhaustiveDivisors) {
+  // Every divisor shape: 1, powers of two, odd, even non-power-of-two, and
+  // the add-fixup path (magic needing 65 bits, e.g. 7, 14, 19, ...).
+  std::vector<uint64_t> divisors = {1, 2, 3, 4, 5, 6, 7, 10, 19, 25, 100,
+                                    127, 128, 641, 25000, 1u << 20};
+  divisors.push_back(0xFFFFFFFFFFFFFFFFull);
+  divisors.push_back(0x8000000000000000ull);
+  Rng rng(42);
+  for (uint64_t d : divisors) {
+    FastDiv64 fd(d);
+    // Edge dividends plus random ones.
+    std::vector<uint64_t> xs = {0, 1, d - 1, d, d + 1, 2 * d,
+                                0xFFFFFFFFFFFFFFFFull};
+    for (int i = 0; i < 1000; i++) xs.push_back(rng.Next());
+    for (uint64_t x : xs) {
+      ASSERT_EQ(fd.Div(x), x / d) << "d=" << d << " x=" << x;
+      ASSERT_EQ(fd.Mod(x), x % d) << "d=" << d << " x=" << x;
+    }
+  }
+}
+
+TEST(FastDivTest, ModMatchesRngUniformDrawForDraw) {
+  // The workload generators replace rng.Uniform(n) (== Next() % n) with
+  // fd.Mod(rng.Next()); the sequences must be bit-identical.
+  for (uint64_t n : {3u, 10u, 26u, 120u, 25000u}) {
+    Rng a(7);
+    Rng b(7);
+    FastDiv64 fd(n);
+    for (int i = 0; i < 200; i++) {
+      ASSERT_EQ(a.Uniform(n), fd.Mod(b.Next()));
+    }
+  }
+}
+
+TEST(ArenaTest, AllocAlignAndReset) {
+  Arena arena(64);  // tiny first chunk to force growth
+  void* p1 = arena.Alloc(10, 8);
+  void* p2 = arena.Alloc(100, 16);
+  void* p3 = arena.Alloc(1000, 64);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p1) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p2) % 16, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p3) % 64, 0u);
+  EXPECT_GE(arena.bytes_used(), 1110u);
+  EXPECT_GT(arena.num_chunks(), 1u);
+  arena.Reset();
+  // Reset keeps only the newest (largest) chunk and rewinds it.
+  EXPECT_EQ(arena.num_chunks(), 1u);
+  // A warmed arena satisfies the same demand without growing again.
+  arena.Alloc(1000, 64);
+  EXPECT_EQ(arena.num_chunks(), 1u);
+}
+
+TEST(ArenaTest, NewConstructsInPlace) {
+  struct Point {
+    int x;
+    int y;
+  };
+  Arena arena;
+  Point* p = arena.New<Point>(Point{3, 4});
+  EXPECT_EQ(p->x, 3);
+  EXPECT_EQ(p->y, 4);
+  int* xs = arena.AllocArray<int>(100);
+  for (int i = 0; i < 100; i++) xs[i] = i;
+  EXPECT_EQ(xs[99], 99);
+}
+
+TEST(PageMapTest, PutFindErase) {
+  PageMap map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(42), PageMap::kNotFound);
+  map.Put(42, 7);
+  EXPECT_EQ(map.Find(42), 7u);
+  map.Put(42, 8);  // overwrite
+  EXPECT_EQ(map.Find(42), 8u);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_TRUE(map.Erase(42));
+  EXPECT_FALSE(map.Erase(42));
+  EXPECT_EQ(map.Find(42), PageMap::kNotFound);
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(PageMapTest, GrowsAndMatchesReference) {
+  PageMap map(4);
+  std::set<PageId> reference;
+  Rng rng(99);
+  for (int i = 0; i < 20000; i++) {
+    const PageId key = static_cast<PageId>(rng.Uniform(5000));
+    if (rng.Chance(0.6)) {
+      map.Put(key, key * 2);
+      reference.insert(key);
+    } else {
+      EXPECT_EQ(map.Erase(key), reference.erase(key) > 0);
+    }
+  }
+  EXPECT_EQ(map.size(), reference.size());
+  for (PageId k = 0; k < 5000; k++) {
+    if (reference.count(k) > 0) {
+      EXPECT_EQ(map.Find(k), k * 2);
+    } else {
+      EXPECT_EQ(map.Find(k), PageMap::kNotFound);
+    }
+  }
+}
+
+TEST(PageMapTest, TombstoneReuseKeepsLookupCorrect) {
+  // Hammer one small key set with put/erase cycles: tombstone slots must be
+  // reused and rehashing must purge them without losing live entries.
+  PageMap map(4);
+  for (int round = 0; round < 1000; round++) {
+    for (PageId k = 0; k < 8; k++) map.Put(k, round);
+    for (PageId k = 0; k < 8; k += 2) map.Erase(k);
+  }
+  for (PageId k = 0; k < 8; k++) {
+    if (k % 2 == 0) {
+      EXPECT_EQ(map.Find(k), PageMap::kNotFound);
+    } else {
+      EXPECT_EQ(map.Find(k), 999u);
+    }
+  }
+  map.Clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(1), PageMap::kNotFound);
 }
 
 }  // namespace

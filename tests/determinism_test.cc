@@ -121,6 +121,26 @@ TEST(DeterminismTest, SerialLoopMatchesParallelSweepAtAnyThreadCount) {
   }
 }
 
+TEST(DeterminismTest, Fig7QuickScaleLaneStepsArePinned) {
+  // Pins the exact lane_steps of the bench_sim_throughput workload at quick
+  // scale (the POLAR_BENCH_SCALE=0.1 windows: 4 ms warmup, 12 ms measure).
+  // lane_steps is pure virtual-time output — host speed cannot move it, so
+  // any drift here is a semantic change to the simulation (RNG draw order,
+  // latency arithmetic, cache state machine, eviction order, ...). Such a
+  // change may be intentional, but it must never be an accident: update
+  // these constants (and tools/check.sh) only alongside an explanation of
+  // what changed the simulated execution.
+  PoolingConfig cxl = Fig7PoolingConfig(engine::BufferPoolKind::kCxl);
+  cxl.warmup = Millis(4);
+  cxl.measure = Millis(12);
+  EXPECT_EQ(RunPooling(cxl).lane_steps, 22105u);
+
+  PoolingConfig rdma = Fig7PoolingConfig(engine::BufferPoolKind::kTieredRdma);
+  rdma.warmup = Millis(4);
+  rdma.measure = Millis(12);
+  EXPECT_EQ(RunPooling(rdma).lane_steps, 17460u);
+}
+
 TEST(DeterminismTest, SeedChangesResultsButNotValidity) {
   PoolingConfig c = SmallPooling(engine::BufferPoolKind::kCxl);
   PoolingResult a = RunPooling(c);

@@ -74,7 +74,7 @@ class RedoLogTest : public ::testing::Test {
     r.page_id = page;
     r.page_off = off;
     r.len = static_cast<uint16_t>(data.size());
-    r.data = std::move(data);
+    r.data.assign(data.begin(), data.end());
     r.mtr_id = mtr;
     return r;
   }

@@ -5,10 +5,17 @@
 #
 #   tools/check.sh           # tier-1 + sanitizer pass
 #   tools/check.sh --fast    # tier-1 only
+#   tools/check.sh --bench   # tier-1 + quick-scale bench bit-identity gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
+
+# Quick-scale (POLAR_BENCH_SCALE=0.1) lane_steps for the fig7 bench point.
+# Pure virtual-time output: immune to host speed, moved only by semantic
+# changes to the simulation. Keep in sync with the pinned constants in
+# tests/determinism_test.cc (Fig7QuickScaleLaneStepsArePinned).
+BENCH_EXPECT_QUICK="22105,17460"
 
 echo "==> tier-1: configure + build + ctest"
 cmake -B build -S . >/dev/null
@@ -17,6 +24,17 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 
 if [[ "${1:-}" == "--fast" ]]; then
   echo "==> OK (fast mode: sanitizer pass skipped)"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--bench" ]]; then
+  echo "==> bench: quick-scale sim-throughput bit-identity gate"
+  # Fails on lane_steps drift (POLAR_BENCH_EXPECT); the wall-clock numbers
+  # it prints are informational only — quick scale is too short to gate on.
+  POLAR_BENCH_SCALE=0.1 POLAR_BENCH_REPS=1 \
+    POLAR_BENCH_EXPECT="$BENCH_EXPECT_QUICK" \
+    build/bench/bench_sim_throughput
+  echo "==> OK (bench mode: sanitizer pass skipped)"
   exit 0
 fi
 
