@@ -47,6 +47,10 @@ struct BufferPoolStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t dirty_writebacks = 0;
+  // ---- fault-injection / graceful-degradation accounting ----
+  uint64_t degraded_fetches = 0;   // served from a fallback tier mid-fault
+  uint64_t fault_rejections = 0;   // fetches refused with a fault Status
+  uint64_t fault_retries = 0;      // verbs ops retried after a fault error
 
   double HitRate() const {
     return fetches == 0 ? 0.0
@@ -77,11 +81,14 @@ class BufferPool {
 
   /// Upgrades an existing fix from read to write mode (re-latching). Pools
   /// that track durable lock state or distributed locks override this.
-  virtual void UpgradeToWrite(sim::ExecContext& ctx, const PageRef& ref,
-                              PageId page_id) {
+  /// Fails when the fix cannot be promoted — e.g. a degraded-mode fallback
+  /// frame held while the pool's memory tier is faulted out.
+  virtual Status UpgradeToWrite(sim::ExecContext& ctx, const PageRef& ref,
+                                PageId page_id) {
     (void)ctx;
     (void)ref;
     (void)page_id;
+    return Status::OK();
   }
 
   /// Writes every dirty page back to the page store (checkpoint path).

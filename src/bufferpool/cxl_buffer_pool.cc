@@ -189,6 +189,12 @@ uint32_t CxlBufferPool::EvictTail(sim::ExecContext& ctx) {
 
 Result<PageRef> CxlBufferPool::Fetch(sim::ExecContext& ctx, PageId page_id,
                                      bool for_write) {
+  if (acc_->HasFaultInjector()) {
+    Status fault = acc_->CheckFault(ctx);
+    if (!fault.ok()) {
+      return FetchDegraded(ctx, page_id, for_write, std::move(fault));
+    }
+  }
   stats_.fetches++;
   const uint32_t found = page_table_.Find(page_id);
   if (found != PageMap::kNotFound) {
@@ -235,10 +241,53 @@ Result<PageRef> CxlBufferPool::Fetch(sim::ExecContext& ctx, PageId page_id,
   return PageRef{b, FrameRaw(b), acc_->space(), acc_->PhysAddr(FrameOff(b))};
 }
 
+Result<PageRef> CxlBufferPool::FetchDegraded(sim::ExecContext& ctx,
+                                             PageId page_id, bool for_write,
+                                             Status cause) {
+  stats_.fetches++;
+  // Writes cannot proceed: the durable frame and its CXL-resident lock
+  // state are unreachable, and accepting the write elsewhere would break
+  // PolarRecv's crash contract. Same for a cached *dirty* page — its only
+  // fresh image is the unreachable frame.
+  if (for_write) {
+    stats_.fault_rejections++;
+    return cause;
+  }
+  const uint32_t found = page_table_.Find(page_id);
+  if (found != PageMap::kNotFound && dirty_[found] != 0) {
+    stats_.fault_rejections++;
+    return cause;
+  }
+  // Clean or uncached: storage holds the page's latest durable image, so
+  // the read is served from disk through a local scratch frame.
+  if (emergency_.empty()) emergency_.resize(kEmergencyFrames);
+  for (uint32_t i = 0; i < emergency_.size(); i++) {
+    EmergencyFrame& e = emergency_[i];
+    if (e.fix_count != 0) continue;
+    if (e.data == nullptr) e.data = std::make_unique<uint8_t[]>(kPageSize);
+    store_->ReadPage(ctx, page_id, e.data.get());
+    e.page_id = page_id;
+    e.fix_count = 1;
+    stats_.degraded_fetches++;
+    // space/phys stay null so TouchRange keeps the virtual path (the frame
+    // is node-local scratch DRAM, not a charged simulated tier).
+    return PageRef{num_blocks() + i, e.data.get(), nullptr, 0};
+  }
+  stats_.fault_rejections++;
+  return Status::Busy("all degraded-mode fallback frames fixed");
+}
+
 void CxlBufferPool::Unfix(sim::ExecContext& ctx, const PageRef& ref,
                           PageId page_id, bool dirty, Lsn new_lsn) {
   (void)page_id;
   const uint32_t b = ref.block;
+  if (b >= num_blocks()) {
+    EmergencyFrame& e = emergency_[b - num_blocks()];
+    POLAR_CHECK_MSG(!dirty, "degraded fallback frame released dirty");
+    POLAR_CHECK(e.fix_count > 0);
+    e.fix_count--;
+    return;
+  }
   POLAR_CHECK(fix_count_[b] > 0);
   fix_count_[b]--;
   CxlBlockMeta m = LoadMeta(ctx, b);
@@ -250,20 +299,32 @@ void CxlBufferPool::Unfix(sim::ExecContext& ctx, const PageRef& ref,
   StoreMeta(ctx, b, m);
 }
 
-void CxlBufferPool::UpgradeToWrite(sim::ExecContext& ctx, const PageRef& ref,
-                                   PageId page_id) {
+Status CxlBufferPool::UpgradeToWrite(sim::ExecContext& ctx,
+                                     const PageRef& ref, PageId page_id) {
   (void)page_id;
+  if (ref.block >= num_blocks()) {
+    // A degraded read fix cannot be promoted: writes need the real frame.
+    stats_.fault_rejections++;
+    return Status::IOError("cxl device down: cannot upgrade fallback frame");
+  }
   CxlBlockMeta m = LoadMeta(ctx, ref.block);
   m.lock_state = 1;
   StoreMeta(ctx, ref.block, m);
+  return Status::OK();
 }
 
 void CxlBufferPool::TouchRange(sim::ExecContext& ctx, const PageRef& ref,
                                uint32_t off, uint32_t len, bool write) {
+  if (ref.block >= num_blocks()) return;  // local scratch frame: uncharged
   acc_->Touch(ctx, FrameOff(ref.block) + off, len, write);
 }
 
 void CxlBufferPool::FlushDirtyPages(sim::ExecContext& ctx) {
+  if (acc_->HasFaultInjector() && !acc_->CheckFault(ctx).ok()) {
+    // Checkpoint deferred: the frames are unreachable mid-fault. The redo
+    // for every dirty page stays in the WAL, so durability is unaffected.
+    return;
+  }
   for (uint32_t b = 0; b < num_blocks(); b++) {
     if (dirty_[b] == 0) continue;
     const CxlBlockMeta m = LoadMeta(ctx, b);

@@ -77,8 +77,8 @@ class CxlBufferPool final : public BufferPool {
                         bool for_write) override;
   void Unfix(sim::ExecContext& ctx, const PageRef& ref, PageId page_id,
              bool dirty, Lsn new_lsn) override;
-  void UpgradeToWrite(sim::ExecContext& ctx, const PageRef& ref,
-                      PageId page_id) override;
+  Status UpgradeToWrite(sim::ExecContext& ctx, const PageRef& ref,
+                        PageId page_id) override;
   void TouchRange(sim::ExecContext& ctx, const PageRef& ref, uint32_t off,
                   uint32_t len, bool write) override;
   void FlushDirtyPages(sim::ExecContext& ctx) override;
@@ -125,9 +125,27 @@ class CxlBufferPool final : public BufferPool {
   storage::PageStore* store() { return store_; }
   NodeId tenant() const { return opt_.tenant; }
 
+  /// Number of local scratch frames used to keep serving clean reads from
+  /// storage while the CXL device is unreachable (graceful degradation).
+  static constexpr uint32_t kEmergencyFrames = 8;
+
  private:
   CxlBufferPool(Options options, MemOffset region, cxl::CxlAccessor* accessor,
                 storage::PageStore* store);
+
+  /// A transient DRAM frame serving one degraded read. Lives outside the
+  /// block index space (ref.block >= num_blocks() marks a fallback fix).
+  struct EmergencyFrame {
+    PageId page_id = kInvalidPageId;
+    uint32_t fix_count = 0;
+    std::unique_ptr<uint8_t[]> data;
+  };
+
+  /// Fallback taken when CheckFault rejects a fetch: writes and dirty
+  /// cached pages propagate the fault Status; clean reads are re-read from
+  /// storage into an emergency frame.
+  Result<PageRef> FetchDegraded(sim::ExecContext& ctx, PageId page_id,
+                                bool for_write, Status cause);
 
   MemOffset HeaderOff() const { return region_; }
   MemOffset MetaOff(uint32_t block) const {
@@ -157,6 +175,7 @@ class CxlBufferPool final : public BufferPool {
   PageMap page_table_;  // DRAM; lost on crash
   std::vector<uint32_t> fix_count_;                  // DRAM; lost on crash
   std::vector<uint8_t> dirty_;                       // DRAM; lost on crash
+  std::vector<EmergencyFrame> emergency_;  // lazily sized, degraded mode only
   BufferPoolStats stats_;
 };
 

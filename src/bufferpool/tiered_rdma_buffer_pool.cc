@@ -1,5 +1,7 @@
 #include "bufferpool/tiered_rdma_buffer_pool.h"
 
+#include <algorithm>
+
 namespace polarcxl::bufferpool {
 
 TieredRdmaBufferPool::TieredRdmaBufferPool(Options options,
@@ -21,6 +23,34 @@ TieredRdmaBufferPool::TieredRdmaBufferPool(Options options,
   }
 }
 
+Status TieredRdmaBufferPool::RemoteReadRetry(sim::ExecContext& ctx,
+                                             PageId page_id, void* dst) {
+  Nanos backoff = kVerbsBackoffBase;
+  for (int attempt = 1;; attempt++) {
+    Status s = remote_->ReadPage(ctx, opt_.node, opt_.tenant, page_id, dst);
+    if (s.ok() || !s.IsIOError() || attempt == kVerbsAttempts) return s;
+    stats_.fault_retries++;
+    ctx.t_net += backoff;
+    ctx.Advance(backoff);
+    backoff = std::min(backoff * 2, kVerbsBackoffCap);
+  }
+}
+
+Status TieredRdmaBufferPool::RemoteWriteRetry(sim::ExecContext& ctx,
+                                              PageId page_id,
+                                              const void* data) {
+  Nanos backoff = kVerbsBackoffBase;
+  for (int attempt = 1;; attempt++) {
+    Status s =
+        remote_->WritePage(ctx, opt_.node, opt_.tenant, page_id, data);
+    if (s.ok() || !s.IsIOError() || attempt == kVerbsAttempts) return s;
+    stats_.fault_retries++;
+    ctx.t_net += backoff;
+    ctx.Advance(backoff);
+    backoff = std::min(backoff * 2, kVerbsBackoffCap);
+  }
+}
+
 uint32_t TieredRdmaBufferPool::AllocBlock(sim::ExecContext& ctx) {
   if (!free_list_.empty()) {
     const uint32_t b = free_list_.back();
@@ -35,10 +65,10 @@ uint32_t TieredRdmaBufferPool::AllocBlock(sim::ExecContext& ctx) {
       // the write amplification of tiered designs.
       dram_->Stream(ctx, FrameAddr(b), kPageSize, /*write=*/false);
       EnsureWalDurable(ctx, FrameData(b));
-      const Status s = remote_->WritePage(ctx, opt_.node, opt_.tenant,
-                                          m.page_id, FrameData(b));
+      const Status s = RemoteWriteRetry(ctx, m.page_id, FrameData(b));
       if (!s.ok()) {
-        // Remote pool full: fall back to storage.
+        // Remote pool full or NIC still down after retries: fall back to
+        // storage so the dirty page is never lost.
         store_->WritePage(ctx, m.page_id, FrameData(b));
       }
       stats_.dirty_writebacks++;
@@ -70,15 +100,18 @@ Result<PageRef> TieredRdmaBufferPool::Fetch(sim::ExecContext& ctx,
   if (b == kInvalidBlock) return Status::Busy("all LBP frames fixed");
 
   // Miss path: remote memory first (full 16 KB RDMA READ), then storage.
-  Status s = remote_->ReadPage(ctx, opt_.node, opt_.tenant, page_id,
-                               FrameData(b));
+  Status s = RemoteReadRetry(ctx, page_id, FrameData(b));
   if (s.ok()) {
     remote_hits_++;
+  } else if (s.IsIOError()) {
+    // NIC still down after the retry budget: serve from storage and skip
+    // the remote populate (it would only burn more retries).
+    stats_.degraded_fetches++;
+    store_->ReadPage(ctx, page_id, FrameData(b));
   } else {
     store_->ReadPage(ctx, page_id, FrameData(b));
     // Populate the remote tier so the next crash/miss finds it there.
-    remote_->WritePage(ctx, opt_.node, opt_.tenant, page_id, FrameData(b))
-        .ok();
+    RemoteWriteRetry(ctx, page_id, FrameData(b)).ok();
   }
   dram_->Stream(ctx, FrameAddr(b), kPageSize, /*write=*/true);
 
@@ -118,10 +151,9 @@ void TieredRdmaBufferPool::FlushDirtyPages(sim::ExecContext& ctx) {
       dram_->Stream(ctx, FrameAddr(b), kPageSize, /*write=*/false);
       EnsureWalDurable(ctx, FrameData(b));
       store_->WritePage(ctx, m.page_id, FrameData(b));
-      // Keep the remote tier coherent with the checkpoint.
-      remote_->WritePage(ctx, opt_.node, opt_.tenant, m.page_id,
-                         FrameData(b))
-          .ok();
+      // Keep the remote tier coherent with the checkpoint. Storage already
+      // holds the page, so giving up after the retry budget is safe.
+      RemoteWriteRetry(ctx, m.page_id, FrameData(b)).ok();
       m.dirty = false;
     }
   }

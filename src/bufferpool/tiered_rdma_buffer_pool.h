@@ -53,7 +53,19 @@ class TieredRdmaBufferPool final : public BufferPool {
   uint64_t remote_hits() const { return remote_hits_; }
   rdma::RemoteMemoryPool* remote() { return remote_; }
 
+  // Transient verbs failures (injected NIC faults) are retried with capped
+  // exponential backoff in virtual time before falling back to storage.
+  static constexpr int kVerbsAttempts = 4;
+  static constexpr Nanos kVerbsBackoffBase = 2'000;  // 2 us, doubling
+  static constexpr Nanos kVerbsBackoffCap = 16'000;
+
  private:
+  /// remote_->ReadPage/WritePage with the retry/backoff policy. Only
+  /// IOError (a faulted NIC / dropped verbs op) is retried; NotFound and
+  /// OutOfMemory are semantic outcomes and return immediately.
+  Status RemoteReadRetry(sim::ExecContext& ctx, PageId page_id, void* dst);
+  Status RemoteWriteRetry(sim::ExecContext& ctx, PageId page_id,
+                          const void* data);
   struct BlockMeta {
     PageId page_id = kInvalidPageId;
     bool in_use = false;

@@ -82,12 +82,18 @@ void CxlFabric::CopyInSlow(MemOffset off, const void* src, uint64_t len) {
 
 void CxlAccessor::StreamRead(sim::ExecContext& ctx, MemOffset off, void* dst,
                              uint32_t len) {
+  if (faults::FaultInjector* f = fabric_->fault_injector()) {
+    f->OnCxlTransfer(ctx, node_, len);
+  }
   space_->Stream(ctx, PhysAddr(off), len, /*write=*/false);
   fabric_->CopyOut(off, dst, len);
 }
 
 void CxlAccessor::StreamWrite(sim::ExecContext& ctx, MemOffset off,
                               const void* src, uint32_t len) {
+  if (faults::FaultInjector* f = fabric_->fault_injector()) {
+    f->OnCxlTransfer(ctx, node_, len);
+  }
   space_->Stream(ctx, PhysAddr(off), len, /*write=*/true);
   fabric_->CopyIn(off, src, len);
 }
@@ -116,6 +122,9 @@ void CxlAccessor::InvalidateCache(sim::ExecContext& ctx, MemOffset off,
 
 void CxlAccessor::StreamTouch(sim::ExecContext& ctx, MemOffset off,
                               uint32_t len, bool write) {
+  if (faults::FaultInjector* f = fabric_->fault_injector()) {
+    f->OnCxlTransfer(ctx, node_, len);
+  }
   space_->Stream(ctx, PhysAddr(off), len, write);
 }
 

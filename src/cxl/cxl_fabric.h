@@ -16,6 +16,7 @@
 #include "common/types.h"
 #include "cxl/cxl_device.h"
 #include "cxl/cxl_switch.h"
+#include "faults/fault_injector.h"
 #include "sim/exec_context.h"
 #include "sim/latency_model.h"
 #include "sim/memory_space.h"
@@ -112,6 +113,15 @@ class CxlAccessor {
   sim::MemorySpace* space() { return space_.get(); }
   NodeId node() const { return node_; }
 
+  /// True when a fault injector is wired into the fabric (single pointer
+  /// compare — callers gate their fault paths on this so the common case
+  /// stays branch-only).
+  bool HasFaultInjector() const;
+  /// Fault hook: asks the fabric's injector whether this host can reach
+  /// the devices right now. OK when no injector is set or none applies;
+  /// otherwise propagates the injected failure and charges degrade latency.
+  Status CheckFault(sim::ExecContext& ctx);
+
   /// Simulated physical address of fabric offset `off` in this host's
   /// address map (used as CPU-cache key; identical across hosts so that a
   /// page has one cache footprint per host cache).
@@ -188,6 +198,12 @@ class CxlFabric {
 
   CxlSwitch& cxl_switch() { return switch_; }
   const sim::LatencyModel& latency() const { return lat_; }
+
+  /// Fault-injection hook point (nullable; null = zero-cost pass-through).
+  void set_fault_injector(faults::FaultInjector* injector) {
+    faults_ = injector;
+  }
+  faults::FaultInjector* fault_injector() { return faults_; }
   size_t num_devices() const { return devices_.size(); }
   size_t num_hosts() const { return hosts_.size(); }
   CxlAccessor* host(size_t i) { return hosts_[i].get(); }
@@ -209,6 +225,7 @@ class CxlFabric {
   /// Backing bytes when exactly one device serves the fabric (else null).
   uint8_t* single_device_data_ = nullptr;
   std::vector<std::unique_ptr<CxlAccessor>> hosts_;
+  faults::FaultInjector* faults_ = nullptr;
 };
 
 // ---- CxlAccessor hot-path definitions (need the CxlFabric body) ----
@@ -236,6 +253,16 @@ inline void CxlAccessor::Store(sim::ExecContext& ctx, MemOffset off,
 inline void CxlAccessor::Touch(sim::ExecContext& ctx, MemOffset off,
                                uint32_t len, bool write) {
   space_->Touch(ctx, PhysAddr(off), len, write);
+}
+
+inline bool CxlAccessor::HasFaultInjector() const {
+  return fabric_->fault_injector() != nullptr;
+}
+
+inline Status CxlAccessor::CheckFault(sim::ExecContext& ctx) {
+  faults::FaultInjector* f = fabric_->fault_injector();
+  if (f == nullptr) return Status::OK();
+  return f->OnCxlAccess(ctx, node_);
 }
 
 }  // namespace polarcxl::cxl

@@ -12,6 +12,9 @@ CxlMemoryManager::CxlMemoryManager(uint64_t capacity, Nanos rpc_round_trip)
 Result<MemOffset> CxlMemoryManager::Allocate(sim::ExecContext& ctx,
                                              NodeId client, uint64_t size) {
   ctx.Advance(rpc_round_trip_);
+  if (faults_ != nullptr && faults_->AllocShouldFail(ctx.now)) {
+    return Status::OutOfMemory("allocation failed (injected fault window)");
+  }
   if (size == 0) return Status::InvalidArgument("zero-size allocation");
   size = AlignUp(size, kPageSize);
 

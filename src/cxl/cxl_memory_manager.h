@@ -14,6 +14,7 @@
 #include "common/macros.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "faults/fault_injector.h"
 #include "sim/exec_context.h"
 #include "sim/latency_model.h"
 
@@ -54,9 +55,15 @@ class CxlMemoryManager {
   std::vector<Region> RegionsOf(NodeId client) const;
   size_t num_regions() const { return regions_.size(); }
 
+  /// Fault-injection hook point (nullable; allocation-failure windows).
+  void set_fault_injector(faults::FaultInjector* injector) {
+    faults_ = injector;
+  }
+
  private:
   uint64_t capacity_;
   Nanos rpc_round_trip_;
+  faults::FaultInjector* faults_ = nullptr;
   uint64_t allocated_ = 0;
   // Keyed by offset; non-overlapping by construction.
   std::map<MemOffset, Region> regions_;

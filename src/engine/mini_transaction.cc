@@ -72,7 +72,7 @@ Result<MiniTransaction::Handle*> MiniTransaction::GetPage(PageId page_id,
   });
   if (found != nullptr) {
     if (for_write && !found->write_fixed) {
-      pool_->UpgradeToWrite(ctx_, found->ref, page_id);
+      POLAR_RETURN_IF_ERROR(pool_->UpgradeToWrite(ctx_, found->ref, page_id));
       found->write_fixed = true;
     }
     return found;

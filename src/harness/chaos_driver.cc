@@ -1,0 +1,279 @@
+#include "harness/chaos_driver.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bufferpool/cxl_buffer_pool.h"
+#include "common/rng.h"
+#include "common/slice.h"
+#include "cxl/cxl_memory_manager.h"
+#include "harness/instance_driver.h"
+#include "rdma/remote_memory_pool.h"
+#include "sim/executor.h"
+#include "sim/latency_model.h"
+#include "storage/disk.h"
+
+namespace polarcxl::harness {
+
+namespace {
+constexpr NodeId kHostNode = 0;
+constexpr NodeId kMemoryServerNode = 100;
+constexpr NodeId kInstanceNode = 1;  // tenant / crash-target identity
+}  // namespace
+
+const char* ChaosPoolName(engine::BufferPoolKind kind) {
+  switch (kind) {
+    case engine::BufferPoolKind::kDram:
+      return "dram";
+    case engine::BufferPoolKind::kCxl:
+      return "cxl";
+    case engine::BufferPoolKind::kTieredRdma:
+      return "tiered_rdma";
+  }
+  return "?";
+}
+
+faults::FaultPlan CanonicalChaosPlan(Nanos measure) {
+  using faults::FaultEvent;
+  using faults::FaultKind;
+  const double m = static_cast<double>(measure);
+  const auto frac = [m](double f) { return static_cast<Nanos>(m * f); };
+
+  faults::FaultPlan plan;
+  plan.seed = 7;
+  // Full CXL outage: the CXL pool must degrade to storage reads, not crash.
+  plan.Add({FaultKind::kCxlDown, frac(0.20), frac(0.35)});
+  // NIC brownout overlapping the tail of the outage: the tiered baseline
+  // loses its remote tier, the verbs retry path kicks in.
+  plan.Add({FaultKind::kNicDown, frac(0.30), frac(0.40)});
+  // Transient flakiness: seeded probability window, exercises per-lane
+  // draw determinism.
+  {
+    FaultEvent e{FaultKind::kCxlFlaky, frac(0.45), frac(0.55)};
+    e.probability = 0.2;
+    plan.Add(e);
+  }
+  // Link degradation: latency adder + per-KB tax, throughput dips but no
+  // failures.
+  {
+    FaultEvent e{FaultKind::kNicDegrade, frac(0.55), frac(0.70)};
+    e.extra_latency = Micros(4);
+    e.per_kb_ns = 40.0;
+    plan.Add(e);
+  }
+  {
+    FaultEvent e{FaultKind::kCxlDegrade, frac(0.58), frac(0.66)};
+    e.extra_latency = 300;
+    e.per_kb_ns = 25.0;
+    plan.Add(e);
+  }
+  // Disk stall at the end: hits every pool's storage fallback path.
+  {
+    FaultEvent e{FaultKind::kDiskStall, frac(0.75), frac(0.85)};
+    e.extra_latency = Micros(300);
+    plan.Add(e);
+  }
+  plan.Normalize();
+  return plan;
+}
+
+ChaosResult RunChaos(const ChaosConfig& config) {
+  const uint64_t dataset_pages = SysbenchDatasetPages(config.sysbench);
+  const uint64_t pool_pages =
+      config.kind == engine::BufferPoolKind::kTieredRdma
+          ? std::max<uint64_t>(
+                64, static_cast<uint64_t>(static_cast<double>(dataset_pages) *
+                                          config.lbp_fraction))
+          : dataset_pages;
+
+  // ---- world (mirrors RunPooling, single instance) ----
+  faults::FaultInjector injector;  // disarmed through setup and warmup
+
+  sim::BandwidthModel bw;
+  cxl::CxlFabric fabric;
+  const uint64_t fabric_bytes =
+      bufferpool::CxlBufferPool::RegionBytes(dataset_pages) + (16 << 20);
+  POLAR_CHECK(
+      fabric.AddDevice((fabric_bytes + kPageSize) / kPageSize * kPageSize)
+          .ok());
+  auto host_acc = fabric.AttachHost(kHostNode);
+  POLAR_CHECK(host_acc.ok());
+  fabric.set_fault_injector(&injector);
+  cxl::CxlMemoryManager manager(fabric.capacity());
+  manager.set_fault_injector(&injector);
+
+  rdma::RdmaNetwork net;
+  net.RegisterHost(kHostNode);
+  rdma::RdmaNic::Options server_nic;
+  server_nic.bandwidth_bps = 4 * bw.rdma_nic_bps;
+  server_nic.iops = 4 * 8ULL * 1000 * 1000;
+  net.RegisterHost(kMemoryServerNode, server_nic);
+  net.set_fault_injector(&injector);
+  rdma::RemoteMemoryPool remote(&net, kMemoryServerNode, dataset_pages + 1024);
+
+  storage::SimDisk::Options disk_opt;
+  disk_opt.bandwidth_bps = 8ULL * 1000 * 1000 * 1000;
+  disk_opt.iops = 150'000;
+  storage::SimDisk disk("polarfs", disk_opt);
+  disk.set_fault_injector(&injector);
+
+  storage::PageStore store(&disk);
+  storage::RedoLog log(&disk);
+
+  engine::DatabaseEnv env;
+  env.store = &store;
+  env.log = &log;
+  env.cxl = *host_acc;
+  env.cxl_manager = &manager;
+  env.remote = &remote;
+
+  engine::DatabaseOptions opt;
+  opt.node = kInstanceNode;
+  opt.rdma_host_node = kHostNode;
+  opt.pool_kind = config.kind;
+  opt.pool_pages = pool_pages;
+  opt.cpu_cache_bytes = config.cpu_cache_bytes;
+
+  sim::ExecContext setup_ctx;
+  auto db = engine::Database::Create(setup_ctx, env, opt);
+  POLAR_CHECK(db.ok());
+  setup_ctx.cache = (*db)->cache();
+  POLAR_CHECK(
+      workload::LoadSysbenchTables(setup_ctx, db->get(), config.sysbench)
+          .ok());
+  const Nanos setup_end = setup_ctx.now;
+
+  // ---- lanes ----
+  // The sysbench workload driver POLAR_CHECKs on write failures (correct
+  // for fault-free figures), so chaos lanes run their own error-tolerant
+  // loop over the Status-returning table surface.
+  ChaosResult result;
+  result.ok = TimeSeries(config.bucket);
+  result.failed = TimeSeries(config.bucket);
+  result.window = config.measure;
+
+  struct LaneState {
+    engine::Database* db;
+    Rng rng{0};
+    uint32_t tables;
+    uint32_t rows;
+    double write_fraction;
+    Nanos error_backoff;
+    ChaosResult* result;
+    // Sentinel start (max Nanos): before the window opens nothing reaches
+    // the sentinel, so the lane lambda needs no "window set?" branch.
+    Nanos window_start = std::numeric_limits<Nanos>::max();
+    Nanos window_end = -1;
+    std::string scratch;
+  };
+
+  sim::Executor executor;
+  executor.ReserveLanes(config.lanes);
+  std::vector<std::unique_ptr<LaneState>> lane_states;
+  for (uint32_t l = 0; l < config.lanes; l++) {
+    auto state = std::make_unique<LaneState>();
+    state->db = db->get();
+    state->rng = Rng(config.seed + l);
+    state->tables = static_cast<uint32_t>((*db)->num_tables());
+    state->rows = config.sysbench.rows_per_table;
+    state->write_fraction = config.write_fraction;
+    state->error_backoff = config.error_backoff;
+    state->result = &result;
+    LaneState* raw = state.get();
+    lane_states.push_back(std::move(state));
+    executor.AddLane(
+        [raw](sim::ExecContext& ctx) {
+          const Nanos start = ctx.now;
+          engine::Table* t =
+              raw->db->table(raw->rng.Uniform(raw->tables));
+          const uint64_t id = 1 + raw->rng.Uniform(raw->rows);
+          Status s;
+          if (raw->rng.Chance(raw->write_fraction)) {
+            const uint32_t k = static_cast<uint32_t>(raw->rng.Next());
+            s = t->UpdateColumn(
+                ctx, id, 4,
+                Slice(reinterpret_cast<const char*>(&k), sizeof(k)));
+            if (s.ok()) raw->db->CommitTransaction(ctx);
+          } else {
+            s = t->GetTo(ctx, id, &raw->scratch);
+            raw->db->FinishReadOnly(ctx);
+          }
+          if (start >= raw->window_start && ctx.now <= raw->window_end) {
+            if (s.ok()) {
+              raw->result->ok.Add(ctx.now - raw->window_start);
+              raw->result->ok_ops++;
+            } else {
+              raw->result->failed.Add(ctx.now - raw->window_start);
+              raw->result->failed_ops++;
+            }
+          }
+          if (!s.ok()) ctx.Advance(raw->error_backoff);
+          return true;
+        },
+        kInstanceNode, (*db)->cache(), setup_end);
+  }
+
+  // Dedicated checkpoint lane: periodically flushes dirty pages so the
+  // degraded read path has clean pages to serve from storage (a database
+  // that never checkpoints has nothing to fall back on). Lanes release
+  // every page fix before yielding, so the flush never sees a fixed page.
+  if (config.checkpoint_interval > 0) {
+    const Nanos interval = config.checkpoint_interval;
+    engine::Database* raw_db = db->get();
+    executor.AddLane(
+        [raw_db, interval](sim::ExecContext& ctx) {
+          raw_db->Checkpoint(ctx);
+          ctx.Advance(interval);
+          return true;
+        },
+        kInstanceNode, (*db)->cache(), setup_end + interval);
+  }
+
+  // ---- warm up (fault-free), then arm and measure ----
+  executor.RunUntil(setup_end + config.warmup);
+  const Nanos t0 = executor.MinClock(setup_end + config.warmup);
+  const Nanos t1 = t0 + config.measure;
+  for (auto& state : lane_states) {
+    state->window_start = t0;
+    state->window_end = t1;
+  }
+
+  faults::FaultPlan armed = config.plan;
+  armed.ShiftBy(t0);
+  POLAR_CHECK(injector.Arm(std::move(armed)).ok());
+
+  // Node-crash windows freeze every lane (the whole instance is gone);
+  // lanes thaw at the window end, modelling a fast process failover.
+  std::vector<faults::FaultEvent> crashes =
+      injector.EventsOfKind(faults::FaultKind::kNodeCrash);
+  crashes.erase(std::remove_if(crashes.begin(), crashes.end(),
+                               [](const faults::FaultEvent& e) {
+                                 return !e.Matches(kInstanceNode);
+                               }),
+                crashes.end());
+  for (const faults::FaultEvent& crash : crashes) {
+    if (crash.at >= t1) break;  // plan is normalized (sorted by `at`)
+    executor.RunUntil(crash.at);
+    for (uint32_t l = 0; l < static_cast<uint32_t>(executor.num_lanes());
+         l++) {
+      executor.ParkLane(l);
+      const Nanos now = executor.context(l).now;
+      executor.ResumeLane(l, std::max(now, crash.until));
+    }
+  }
+  executor.RunUntil(t1);
+  injector.Disarm();
+
+  result.degraded_fetches = (*db)->pool()->stats().degraded_fetches;
+  result.fault_rejections = (*db)->pool()->stats().fault_rejections;
+  result.fault_retries = (*db)->pool()->stats().fault_retries;
+  result.injected = injector.stats();
+  result.lane_steps = executor.total_steps();
+  result.virtual_end = executor.MaxClock();
+  return result;
+}
+
+}  // namespace polarcxl::harness

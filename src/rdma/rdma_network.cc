@@ -26,6 +26,7 @@ RdmaNic* RdmaNetwork::nic(NodeId node) {
 Nanos RdmaNetwork::OneSided(sim::ExecContext& ctx, NodeId src, NodeId dst,
                             uint64_t bytes, bool is_read) {
   const Nanos entry = ctx.now;
+  if (faults_ != nullptr) faults_->OnVerbsTransfer(ctx, src, dst, bytes);
   RdmaNic* s = nic(src);
   RdmaNic* d = nic(dst);
   total_ops_++;
@@ -57,6 +58,9 @@ Nanos RdmaNetwork::Write(sim::ExecContext& ctx, NodeId src, NodeId dst,
 Nanos RdmaNetwork::Rpc(sim::ExecContext& ctx, NodeId src, NodeId dst,
                        uint64_t req_bytes, uint64_t resp_bytes) {
   const Nanos entry = ctx.now;
+  if (faults_ != nullptr) {
+    faults_->OnVerbsTransfer(ctx, src, dst, req_bytes + resp_bytes);
+  }
   RdmaNic* s = nic(src);
   RdmaNic* d = nic(dst);
   total_ops_ += 2;

@@ -11,6 +11,7 @@
 #include "common/macros.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "faults/fault_injector.h"
 #include "rdma/rdma_nic.h"
 #include "sim/exec_context.h"
 #include "sim/latency_model.h"
@@ -25,6 +26,21 @@ class RdmaNetwork {
   /// Registers a host (or memory server) NIC. Idempotent per node.
   RdmaNic* RegisterHost(NodeId node, RdmaNic::Options options = {});
   RdmaNic* nic(NodeId node);
+
+  /// Fault hook: whether a verbs op from `src` to `dst` can be posted at
+  /// all right now (NIC brownout / flaky windows). Callers that can
+  /// degrade gracefully check this before Read/Write/Rpc and propagate the
+  /// Status instead of charging a transfer that would never complete.
+  Status Precheck(sim::ExecContext& ctx, NodeId src, NodeId dst) {
+    if (faults_ == nullptr) return Status::OK();
+    return faults_->OnVerbsOp(ctx, src, dst);
+  }
+
+  /// Fault-injection hook point (nullable; null = zero-cost pass-through).
+  void set_fault_injector(faults::FaultInjector* injector) {
+    faults_ = injector;
+  }
+  faults::FaultInjector* fault_injector() { return faults_; }
 
   /// One-sided RDMA READ of `bytes` from `dst`'s memory into `src`'s local
   /// DRAM. Advances ctx.now; returns completion time.
@@ -49,6 +65,7 @@ class RdmaNetwork {
 
   sim::LatencyModel lat_;
   std::unordered_map<NodeId, std::unique_ptr<RdmaNic>> nics_;
+  faults::FaultInjector* faults_ = nullptr;
   uint64_t total_ops_ = 0;
   uint64_t total_bytes_ = 0;
 };

@@ -19,6 +19,7 @@ RemoteMemoryPool::RemoteMemoryPool(RdmaNetwork* network, NodeId server_node,
 Status RemoteMemoryPool::WritePage(sim::ExecContext& ctx, NodeId client,
                                    NodeId tenant, PageId page_id,
                                    const void* data) {
+  POLAR_RETURN_IF_ERROR(network_->Precheck(ctx, client, server_node_));
   const PoolPageKey key{tenant, page_id};
   auto it = pages_.find(key);
   if (it == pages_.end()) {
@@ -34,6 +35,7 @@ Status RemoteMemoryPool::WritePage(sim::ExecContext& ctx, NodeId client,
 
 Status RemoteMemoryPool::ReadPage(sim::ExecContext& ctx, NodeId client,
                                   NodeId tenant, PageId page_id, void* dst) {
+  POLAR_RETURN_IF_ERROR(network_->Precheck(ctx, client, server_node_));
   const auto it = pages_.find(PoolPageKey{tenant, page_id});
   if (it == pages_.end()) return Status::NotFound("page not in pool");
   network_->Read(ctx, client, server_node_, kPageSize);

@@ -72,9 +72,9 @@ Result<bufferpool::PageRef> CxlSharedBufferPool::Fetch(sim::ExecContext& ctx,
                              acc_->PhysAddr(m->data_off)};
 }
 
-void CxlSharedBufferPool::UpgradeToWrite(sim::ExecContext& ctx,
-                                         const bufferpool::PageRef& ref,
-                                         PageId page_id) {
+Status CxlSharedBufferPool::UpgradeToWrite(sim::ExecContext& ctx,
+                                           const bufferpool::PageRef& ref,
+                                           PageId page_id) {
   (void)ref;
   auto it = local_.find(page_id);
   POLAR_CHECK(it != local_.end());
@@ -82,6 +82,7 @@ void CxlSharedBufferPool::UpgradeToWrite(sim::ExecContext& ctx,
   POLAR_CHECK(it->second.read_fixes > 0);
   it->second.read_fixes--;
   it->second.write_fixes++;
+  return Status::OK();
 }
 
 void CxlSharedBufferPool::Unfix(sim::ExecContext& ctx,

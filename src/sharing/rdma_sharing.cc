@@ -116,14 +116,15 @@ Result<bufferpool::PageRef> RdmaSharedBufferPool::Fetch(sim::ExecContext& ctx,
   return bufferpool::PageRef{b, FrameData(b), dram_, FrameAddr(b)};
 }
 
-void RdmaSharedBufferPool::UpgradeToWrite(sim::ExecContext& ctx,
-                                          const bufferpool::PageRef& ref,
-                                          PageId page_id) {
+Status RdmaSharedBufferPool::UpgradeToWrite(sim::ExecContext& ctx,
+                                            const bufferpool::PageRef& ref,
+                                            PageId page_id) {
   group_->locks().AcquireExclusive(ctx, opt_.node, page_id);
   BlockMeta& m = meta_[ref.block];
   POLAR_CHECK(m.read_fixes > 0);
   m.read_fixes--;
   m.write_fixes++;
+  return Status::OK();
 }
 
 void RdmaSharedBufferPool::Unfix(sim::ExecContext& ctx,

@@ -8,6 +8,7 @@ Nanos SimDisk::Read(sim::ExecContext& ctx, uint64_t bytes) {
   read_bytes_ += bytes;
   read_ops_++;
   const Nanos entry = ctx.now;
+  if (faults_ != nullptr) faults_->OnDiskOp(ctx);
   const Nanos queued = std::max(channel_.Transfer(ctx.now, bytes),
                                 ops_.Transfer(ctx.now, 1));
   ctx.now = std::max(ctx.now + opt_.read_latency, queued + opt_.read_latency / 2);
@@ -19,6 +20,7 @@ Nanos SimDisk::Write(sim::ExecContext& ctx, uint64_t bytes) {
   write_bytes_ += bytes;
   write_ops_++;
   const Nanos entry = ctx.now;
+  if (faults_ != nullptr) faults_->OnDiskOp(ctx);
   const Nanos queued = std::max(channel_.Transfer(ctx.now, bytes),
                                 ops_.Transfer(ctx.now, 1));
   ctx.now =

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/types.h"
+#include "faults/fault_injector.h"
 #include "sim/bandwidth_channel.h"
 #include "sim/exec_context.h"
 
@@ -38,6 +39,12 @@ class SimDisk {
   Nanos Write(sim::ExecContext& ctx, uint64_t bytes);
 
   sim::BandwidthChannel& channel() { return channel_; }
+
+  /// Fault-injection hook point (nullable; disk-stall windows).
+  void set_fault_injector(faults::FaultInjector* injector) {
+    faults_ = injector;
+  }
+
   uint64_t read_bytes() const { return read_bytes_; }
   uint64_t write_bytes() const { return write_bytes_; }
   uint64_t read_ops() const { return read_ops_; }
@@ -47,6 +54,7 @@ class SimDisk {
  private:
   std::string name_;
   Options opt_;
+  faults::FaultInjector* faults_ = nullptr;
   sim::BandwidthChannel channel_;
   sim::BandwidthChannel ops_;  // "bytes" are operations
   uint64_t read_bytes_ = 0;

@@ -10,6 +10,7 @@
 #include "engine/database.h"
 #include "recovery/polar_recv.h"
 #include "recovery/recovery.h"
+#include "tests/test_world.h"
 
 namespace polarcxl {
 namespace {
@@ -21,36 +22,12 @@ using engine::DatabaseEnv;
 using engine::DatabaseOptions;
 using sim::ExecContext;
 
-struct World {
-  World() : disk("disk"), store(&disk), log(&disk) {
-    POLAR_CHECK(fabric.AddDevice(128 << 20).ok());
-    acc = *fabric.AttachHost(0);
-    manager = std::make_unique<cxl::CxlMemoryManager>(fabric.capacity());
-  }
-
-  DatabaseEnv Env() {
-    DatabaseEnv env;
-    env.store = &store;
-    env.log = &log;
-    env.cxl = acc;
-    env.cxl_manager = manager.get();
-    return env;
-  }
-
-  storage::SimDisk disk;
-  storage::PageStore store;
-  storage::RedoLog log;
-  cxl::CxlFabric fabric;
-  cxl::CxlAccessor* acc = nullptr;
-  std::unique_ptr<cxl::CxlMemoryManager> manager;
-};
-
 /// Crash after `ops_before_crash` random operations; recover with PolarRecv
 /// and check against the committed reference.
 class CrashPointTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(CrashPointTest, PolarRecvRestoresCommittedStateAtAnyCrashPoint) {
-  World world;
+  TestWorld world;
   DatabaseOptions opt;
   opt.pool_kind = BufferPoolKind::kCxl;
   opt.pool_pages = 512;
@@ -115,7 +92,7 @@ INSTANTIATE_TEST_SUITE_P(CrashPoints, CrashPointTest,
 /// A second crash immediately after (or during) recovery must be harmless:
 /// PolarRecv is idempotent over an already-recovered region.
 TEST(DoubleCrashTest, PolarRecvIsIdempotent) {
-  World world;
+  TestWorld world;
   DatabaseOptions opt;
   opt.pool_kind = BufferPoolKind::kCxl;
   opt.pool_pages = 256;
@@ -159,7 +136,7 @@ TEST(DoubleCrashTest, PolarRecvIsIdempotent) {
 /// PolarRecv with a pool smaller than the dataset: evicted pages live only
 /// in storage; surviving in-use blocks are reused; the union is complete.
 TEST(SmallPoolTest, PolarRecvWithEvictionsRestoresEverything) {
-  World world;
+  TestWorld world;
   DatabaseOptions opt;
   opt.pool_kind = BufferPoolKind::kCxl;
   opt.pool_pages = 16;  // dataset needs ~25 pages: constant eviction
@@ -207,7 +184,7 @@ TEST(SmallPoolTest, PolarRecvWithEvictionsRestoresEverything) {
 // ---------- capacity exhaustion & fallback paths ----------
 
 TEST(ExhaustionTest, CxlPoolCreationFailsWhenFabricFull) {
-  World world;
+  TestWorld world;
   DatabaseOptions opt;
   opt.pool_kind = BufferPoolKind::kCxl;
   opt.pool_pages = 1 << 20;  // far beyond the 128 MiB device
@@ -218,7 +195,7 @@ TEST(ExhaustionTest, CxlPoolCreationFailsWhenFabricFull) {
 }
 
 TEST(ExhaustionTest, FetchFailsWhenEveryFrameIsFixed) {
-  World world;
+  TestWorld world;
   DatabaseOptions opt;
   opt.pool_kind = BufferPoolKind::kCxl;
   opt.pool_pages = 4;
@@ -239,7 +216,7 @@ TEST(ExhaustionTest, FetchFailsWhenEveryFrameIsFixed) {
 }
 
 TEST(ExhaustionTest, TieredPoolFallsBackToStorageWhenRemoteFull) {
-  World world;
+  TestWorld world;
   rdma::RdmaNetwork net;
   net.RegisterHost(0);
   rdma::RemoteMemoryPool remote(&net, 99, /*capacity_pages=*/4);
@@ -265,7 +242,7 @@ TEST(ExhaustionTest, TieredPoolFallsBackToStorageWhenRemoteFull) {
 }
 
 TEST(ExhaustionTest, CatalogFullReported) {
-  World world;
+  TestWorld world;
   DatabaseOptions opt;
   opt.pool_kind = BufferPoolKind::kDram;
   opt.pool_pages = 4096;
@@ -290,7 +267,7 @@ TEST(WalRuleTest, PageNeverReachesStorageAheadOfItsRedo) {
   // A tiny pool forces evictions while the log buffer is unflushed; the
   // WAL rule must flush the log before each page write-back, so at every
   // point in time: store page LSN <= flushed LSN.
-  World world;
+  TestWorld world;
   DatabaseOptions opt;
   opt.pool_kind = BufferPoolKind::kCxl;
   opt.pool_pages = 8;
@@ -318,7 +295,7 @@ TEST(WalRuleTest, PageNeverReachesStorageAheadOfItsRedo) {
 // ---------- wrong-region / corruption paths ----------
 
 TEST(CorruptionTest, AttachToForeignRegionFailsCleanly) {
-  World world;
+  TestWorld world;
   ExecContext ctx;
   // A region that was never formatted as a pool.
   auto raw = world.manager->Allocate(ctx, 9, CxlBufferPool::RegionBytes(16));
@@ -330,7 +307,7 @@ TEST(CorruptionTest, AttachToForeignRegionFailsCleanly) {
 }
 
 TEST(CorruptionTest, AttachWithWrongCapacityRejected) {
-  World world;
+  TestWorld world;
   ExecContext ctx;
   CxlBufferPool::Options po;
   po.capacity_pages = 16;

@@ -13,6 +13,7 @@
 #include "engine/database.h"
 #include "recovery/polar_recv.h"
 #include "recovery/recovery.h"
+#include "tests/test_world.h"
 
 namespace polarcxl::recovery {
 namespace {
@@ -35,38 +36,6 @@ std::string Row(uint64_t key, char tag) {
                 static_cast<unsigned long long>(key), tag);
   return row;
 }
-
-/// Durable + shared infrastructure that outlives database instances.
-struct DurableWorld {
-  DurableWorld()
-      : disk("disk"), store(&disk), log(&disk), remote(&net, 99, 1 << 14) {
-    POLAR_CHECK(fabric.AddDevice(128 << 20).ok());
-    auto host = fabric.AttachHost(0);
-    POLAR_CHECK(host.ok());
-    cxl_acc = *host;
-    manager = std::make_unique<cxl::CxlMemoryManager>(fabric.capacity());
-    net.RegisterHost(0);
-  }
-
-  DatabaseEnv MakeDbEnv() {
-    DatabaseEnv env;
-    env.store = &store;
-    env.log = &log;
-    env.cxl = cxl_acc;
-    env.cxl_manager = manager.get();
-    env.remote = &remote;
-    return env;
-  }
-
-  storage::SimDisk disk;
-  storage::PageStore store;
-  storage::RedoLog log;
-  rdma::RdmaNetwork net;
-  rdma::RemoteMemoryPool remote;
-  cxl::CxlFabric fabric;
-  cxl::CxlAccessor* cxl_acc = nullptr;
-  std::unique_ptr<cxl::CxlMemoryManager> manager;
-};
 
 // ---------- ApplyRecord ----------
 
@@ -142,7 +111,7 @@ class CrashScenario {
     DatabaseOptions opt;
     opt.pool_kind = kind;
     opt.pool_pages = 256;
-    auto db = Database::Create(ctx_, world_.MakeDbEnv(), opt);
+    auto db = Database::Create(ctx_, world_.Env(), opt);
     POLAR_CHECK(db.ok());
     db_ = std::move(*db);
     auto t = db_->CreateTable(ctx_, "t", kRowSize);
@@ -245,7 +214,7 @@ class CrashScenario {
     }
   }
 
-  DurableWorld world_;
+  TestWorld world_;
   ExecContext ctx_;
   BufferPoolKind kind_;
   std::unique_ptr<Database> db_;
@@ -282,7 +251,7 @@ TEST(AriesRecoveryTest, VanillaEndToEnd) {
   auto stats = RecoverAries(ctx, pool.get(), &s.world_.log, opt.costs);
   EXPECT_GT(stats.records_applied, 0u);
 
-  auto db = Database::OpenWithPool(ctx, s.world_.MakeDbEnv(), opt,
+  auto db = Database::OpenWithPool(ctx, s.world_.Env(), opt,
                                    std::move(pool));
   ASSERT_TRUE(db.ok());
   s.ExpectMatchesReference(db->get());
@@ -313,7 +282,7 @@ TEST(AriesRecoveryTest, TieredPoolUsesSurvivingRemoteMemory) {
   EXPECT_GT(remote_hits, 0u);  // bases came over RDMA, not storage
   (void)disk_reads_before;
 
-  auto db = Database::OpenWithPool(ctx, s.world_.MakeDbEnv(), opt,
+  auto db = Database::OpenWithPool(ctx, s.world_.Env(), opt,
                                    std::move(pool));
   ASSERT_TRUE(db.ok());
   s.ExpectMatchesReference(db->get());
@@ -331,7 +300,7 @@ class PolarRecvTest : public ::testing::Test {
     CxlBufferPool::Options po;
     po.capacity_pages = 256;
     po.tenant = 0;
-    auto pool = CxlBufferPool::Attach(ctx, po, region, s.world_.cxl_acc,
+    auto pool = CxlBufferPool::Attach(ctx, po, region, s.world_.acc,
                                       &s.world_.store);
     POLAR_CHECK(pool.ok());
     (*pool)->SetWal(&s.world_.log);
@@ -339,7 +308,7 @@ class PolarRecvTest : public ::testing::Test {
         PolarRecv(ctx, pool->get(), &s.world_.log, sim::CpuCostModel{});
     if (stats_out != nullptr) *stats_out = stats;
     auto db = Database::OpenWithPool(
-        ctx, s.world_.MakeDbEnv(), RestartOptions(BufferPoolKind::kCxl),
+        ctx, s.world_.Env(), RestartOptions(BufferPoolKind::kCxl),
         std::move(*pool));
     POLAR_CHECK(db.ok());
     return std::move(*db);
@@ -437,13 +406,13 @@ TEST(RecoveryEquivalenceTest, PolarRecvMatchesAriesByteForByte) {
   CxlBufferPool::Options po;
   po.capacity_pages = 256;
   po.tenant = 0;
-  auto pool = CxlBufferPool::Attach(ctx, po, region, cxl_s.world_.cxl_acc,
+  auto pool = CxlBufferPool::Attach(ctx, po, region, cxl_s.world_.acc,
                                     &cxl_s.world_.store);
   ASSERT_TRUE(pool.ok());
   (*pool)->SetWal(&cxl_s.world_.log);
   PolarRecv(ctx, pool->get(), &cxl_s.world_.log, sim::CpuCostModel{});
   auto cxl_db = Database::OpenWithPool(
-      ctx, cxl_s.world_.MakeDbEnv(), RestartOptions(BufferPoolKind::kCxl),
+      ctx, cxl_s.world_.Env(), RestartOptions(BufferPoolKind::kCxl),
       std::move(*pool));
   ASSERT_TRUE(cxl_db.ok());
 
@@ -460,7 +429,7 @@ TEST(RecoveryEquivalenceTest, PolarRecvMatchesAriesByteForByte) {
   dpool->SetWal(&dram_s.world_.log);
   RecoverAries(dctx, dpool.get(), &dram_s.world_.log, sim::CpuCostModel{});
   auto dram_db = Database::OpenWithPool(
-      dctx, dram_s.world_.MakeDbEnv(), RestartOptions(BufferPoolKind::kDram),
+      dctx, dram_s.world_.Env(), RestartOptions(BufferPoolKind::kDram),
       std::move(dpool));
   ASSERT_TRUE(dram_db.ok());
 
@@ -501,13 +470,13 @@ TEST_P(RecoveryPropertyTest, RandomHistoryRecoversToCommittedState) {
   CxlBufferPool::Options po;
   po.capacity_pages = 256;
   po.tenant = 0;
-  auto pool = CxlBufferPool::Attach(rctx, po, region, s.world_.cxl_acc,
+  auto pool = CxlBufferPool::Attach(rctx, po, region, s.world_.acc,
                                     &s.world_.store);
   ASSERT_TRUE(pool.ok());
   (*pool)->SetWal(&s.world_.log);
   PolarRecv(rctx, pool->get(), &s.world_.log, sim::CpuCostModel{});
   auto db = Database::OpenWithPool(
-      rctx, s.world_.MakeDbEnv(), RestartOptions(BufferPoolKind::kCxl),
+      rctx, s.world_.Env(), RestartOptions(BufferPoolKind::kCxl),
       std::move(*pool));
   ASSERT_TRUE(db.ok());
   s.ExpectMatchesReference(db->get());

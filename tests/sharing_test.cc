@@ -9,6 +9,7 @@
 #include "sharing/buffer_fusion.h"
 #include "sharing/mp_node.h"
 #include "sharing/rdma_sharing.h"
+#include "tests/test_world.h"
 
 namespace polarcxl::sharing {
 namespace {
@@ -65,29 +66,19 @@ TEST(DistLockTest, RdmaTransportConsumesNic) {
 
 // ---------- shared world fixture ----------
 
-struct MpWorld {
-  MpWorld() : disk("disk"), store(&disk), log(&disk) {
-    POLAR_CHECK(fabric.AddDevice(256 << 20).ok());
-    manager = std::make_unique<cxl::CxlMemoryManager>(fabric.capacity());
-    net.RegisterHost(0);
-    net.RegisterHost(1);
-    rdma::RdmaNic::Options server_nic;
-    server_nic.bandwidth_bps = 48ULL * 1000 * 1000 * 1000;
-    net.RegisterHost(200, server_nic);
+/// The multi-primary cluster shape of TestWorld: bigger CXL device, NIC
+/// hosts 0/1/200 (200 = fat memory-server NIC), and no eager host-0 fabric
+/// attachment — each test attaches the nodes it wants so switch-port
+/// numbering stays under its control.
+struct MpWorld : TestWorld {
+  static Options MpOptions() {
+    Options o;
+    o.cxl_device_bytes = 256ull << 20;
+    o.attach_host0 = false;
+    o.mp_hosts = true;
+    return o;
   }
-
-  cxl::CxlAccessor* Attach(NodeId node) {
-    auto acc = fabric.AttachHost(node);
-    POLAR_CHECK(acc.ok());
-    return *acc;
-  }
-
-  storage::SimDisk disk;
-  storage::PageStore store;
-  storage::RedoLog log;
-  cxl::CxlFabric fabric;
-  std::unique_ptr<cxl::CxlMemoryManager> manager;
-  rdma::RdmaNetwork net;
+  MpWorld() : TestWorld(MpOptions()) {}
 };
 
 // ---------- CoherencyFlagTable ----------

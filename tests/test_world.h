@@ -1,0 +1,84 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// Shared test fixture: the durable + shared infrastructure (disk, page
+// store, redo log, CXL fabric, RDMA network, remote memory pool) that
+// outlives database instances across a simulated crash. One fixture serves
+// the failure-injection, recovery, sharing and fault-subsystem suites;
+// flavor differences (device size, which NIC hosts exist, eager host-0
+// attachment) are Options so each suite keeps its original world shape.
+#pragma once
+
+#include <memory>
+
+#include "engine/database.h"
+#include "rdma/remote_memory_pool.h"
+#include "storage/disk.h"
+
+namespace polarcxl {
+
+struct TestWorld {
+  /// NodeId the remote memory pool's server answers on (never registered
+  /// as a NIC host: the server side is modelled by the pool itself).
+  static constexpr NodeId kRemoteServer = 99;
+
+  struct Options {
+    uint64_t cxl_device_bytes = 128ull << 20;
+    uint64_t remote_capacity_pages = 1 << 14;
+    /// Attach host 0 to the fabric eagerly and expose it as `acc`. Off for
+    /// multi-primary suites: AttachHost binds a switch port per call, so
+    /// eager attachment would shift port numbering for tests that attach
+    /// their own set of nodes.
+    bool attach_host0 = true;
+    /// Register NIC hosts 1 and 200 (200 with a fat memory-server NIC) in
+    /// addition to host 0 — the multi-primary cluster shape.
+    bool mp_hosts = false;
+  };
+
+  TestWorld() : TestWorld(Options{}) {}
+
+  explicit TestWorld(const Options& o)
+      : disk("disk"),
+        store(&disk),
+        log(&disk),
+        remote(&net, kRemoteServer, o.remote_capacity_pages) {
+    POLAR_CHECK(fabric.AddDevice(o.cxl_device_bytes).ok());
+    manager = std::make_unique<cxl::CxlMemoryManager>(fabric.capacity());
+    net.RegisterHost(0);
+    if (o.mp_hosts) {
+      net.RegisterHost(1);
+      rdma::RdmaNic::Options server_nic;
+      server_nic.bandwidth_bps = 48ULL * 1000 * 1000 * 1000;
+      net.RegisterHost(200, server_nic);
+    }
+    if (o.attach_host0) acc = Attach(0);
+  }
+
+  cxl::CxlAccessor* Attach(NodeId node) {
+    auto a = fabric.AttachHost(node);
+    POLAR_CHECK(a.ok());
+    return *a;
+  }
+
+  /// Environment for a database instance on this world. `remote` is set
+  /// unconditionally; pools that don't use it ignore it, and tests with a
+  /// custom remote pool override the field.
+  engine::DatabaseEnv Env() {
+    engine::DatabaseEnv env;
+    env.store = &store;
+    env.log = &log;
+    env.cxl = acc;
+    env.cxl_manager = manager.get();
+    env.remote = &remote;
+    return env;
+  }
+
+  storage::SimDisk disk;
+  storage::PageStore store;
+  storage::RedoLog log;
+  rdma::RdmaNetwork net;
+  rdma::RemoteMemoryPool remote;
+  cxl::CxlFabric fabric;
+  cxl::CxlAccessor* acc = nullptr;  // host 0 (when attach_host0)
+  std::unique_ptr<cxl::CxlMemoryManager> manager;
+};
+
+}  // namespace polarcxl

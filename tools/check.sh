@@ -6,6 +6,7 @@
 #   tools/check.sh           # tier-1 + sanitizer pass
 #   tools/check.sh --fast    # tier-1 only
 #   tools/check.sh --bench   # tier-1 + quick-scale bench bit-identity gate
+#   tools/check.sh --faults  # tier-1 + sanitized fault suite + chaos gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,6 +17,11 @@ JOBS="${JOBS:-$(nproc)}"
 # changes to the simulation. Keep in sync with the pinned constants in
 # tests/determinism_test.cc (Fig7QuickScaleLaneStepsArePinned).
 BENCH_EXPECT_QUICK="22105,17460"
+
+# Quick-scale lane_steps for the fig14 chaos bench (cxl,dram,tiered_rdma
+# under the canonical fault schedule). Keep in sync with the pinned
+# constants in tests/faults_test.cc (CanonicalScheduleLaneStepsPinned).
+CHAOS_EXPECT_QUICK="27857,35212,25375"
 
 echo "==> tier-1: configure + build + ctest"
 cmake -B build -S . >/dev/null
@@ -35,6 +41,29 @@ if [[ "${1:-}" == "--bench" ]]; then
     POLAR_BENCH_EXPECT="$BENCH_EXPECT_QUICK" \
     build/bench/bench_sim_throughput
   echo "==> OK (bench mode: sanitizer pass skipped)"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--faults" ]]; then
+  echo "==> faults: ASan+UBSan build of the fault suite"
+  cmake -B build-asan -S . -DPOLAR_SANITIZE=ON -DPOLAR_LTO=OFF >/dev/null
+  cmake --build build-asan -j "$JOBS" \
+    --target faults_test failure_injection_test >/dev/null
+  for t in faults_test failure_injection_test; do
+    echo "==> build-asan/tests/$t"
+    "build-asan/tests/$t"
+  done
+  echo "==> faults: quick-scale chaos bit-identity gate (threads 1 vs many)"
+  # Same canonical schedule, serial and parallel sweeps: lane_steps must
+  # match the pinned values either way (POLAR_CHAOS_EXPECT exits 1 on
+  # drift). Wall-clock throughput at quick scale is informational only.
+  POLAR_BENCH_SCALE=0.1 POLAR_BENCH_REPS=1 POLAR_SWEEP_THREADS=1 \
+    POLAR_CHAOS_EXPECT="$CHAOS_EXPECT_QUICK" \
+    build/bench/bench_fig14_fault_resilience >/dev/null
+  POLAR_BENCH_SCALE=0.1 POLAR_BENCH_REPS=1 \
+    POLAR_CHAOS_EXPECT="$CHAOS_EXPECT_QUICK" \
+    build/bench/bench_fig14_fault_resilience
+  echo "==> OK (faults mode)"
   exit 0
 fi
 
