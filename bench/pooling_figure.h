@@ -8,6 +8,8 @@
 // bit-identical at any thread count (see harness/sweep_runner.h).
 #pragma once
 
+#include <algorithm>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -42,10 +44,28 @@ inline void RunPoolingFigure(const char* figure, const char* paper_summary,
     }
   }
 
+  // POLAR_BENCH_REPS > 1 repeats each sweep point: rep 1 builds the world
+  // cold and snapshots it, later reps fork the snapshot. Forked reps must be
+  // bit-identical to the cold rep — this doubles as an in-binary
+  // cold-vs-fork determinism check. The cache is scoped per point so a long
+  // sweep never holds more than the in-flight points' worlds.
+  const char* reps_env = std::getenv("POLAR_BENCH_REPS");
+  const int reps = reps_env != nullptr ? std::max(1, std::atoi(reps_env)) : 1;
   const auto results =
       harness::RunSweep<harness::PoolingConfig, harness::PoolingResult>(
-          configs, [](const harness::PoolingConfig& c) {
-            return harness::RunPooling(c);
+          configs, [reps](const harness::PoolingConfig& c) {
+            if (reps <= 1) return harness::RunPooling(c);
+            harness::WorldCache cache;
+            harness::PoolingResult cold = harness::RunPooling(c, &cache);
+            for (int i = 1; i < reps; i++) {
+              harness::PoolingResult fork = harness::RunPooling(c, &cache);
+              POLAR_CHECK_MSG(fork.lane_steps == cold.lane_steps &&
+                                  fork.virtual_end == cold.virtual_end &&
+                                  fork.metrics.queries == cold.metrics.queries,
+                              "forked world diverged from cold build");
+              cold = fork;
+            }
+            return cold;
           });
 
   harness::ReportTable table(

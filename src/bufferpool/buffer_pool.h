@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "common/macros.h"
@@ -59,6 +60,12 @@ struct BufferPoolStats {
   }
 };
 
+/// Opaque pool-private state blob for world snapshot/restore (each pool
+/// subclass derives its own).
+struct PoolSnapshot {
+  virtual ~PoolSnapshot() = default;
+};
+
 class BufferPool {
  public:
   virtual ~BufferPool() = default;
@@ -108,6 +115,19 @@ class BufferPool {
   /// Wires the write-ahead log so page write-backs can honor the WAL rule
   /// (flush redo up to the page's LSN before externalizing the page).
   void SetWal(storage::RedoLog* wal) { wal_ = wal; }
+
+  /// World snapshot/restore of the pool's mutable state (frames, page
+  /// table, replacement order, stats). Pools used by the snapshotting
+  /// drivers override both; the default refuses, so a pool that silently
+  /// lacks support can never produce a divergent fork.
+  virtual std::unique_ptr<PoolSnapshot> CaptureState() const {
+    POLAR_CHECK_MSG(false, "buffer pool does not support snapshots");
+    return nullptr;
+  }
+  virtual void RestoreState(const PoolSnapshot& s) {
+    (void)s;
+    POLAR_CHECK_MSG(false, "buffer pool does not support snapshots");
+  }
 
  protected:
   /// Page-LSN convention: bytes [8,16) of every frame hold the page LSN.

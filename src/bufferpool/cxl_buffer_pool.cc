@@ -408,4 +408,58 @@ void CxlBufferPool::FinishRecoveryScanned(
   StoreHeader(ctx, h);
 }
 
+/// DRAM-side pool state. Emergency frames are deep-copied (each holds a
+/// heap page image); the CXL-resident part of the pool needs nothing here.
+struct CxlPoolSnapshot : PoolSnapshot {
+  PageMap page_table;
+  std::vector<uint32_t> fix_count;
+  std::vector<uint8_t> dirty;
+  struct EmergencyImage {
+    PageId page_id = kInvalidPageId;
+    uint32_t fix_count = 0;
+    bool has_data = false;
+    std::vector<uint8_t> data;
+  };
+  std::vector<EmergencyImage> emergency;
+  BufferPoolStats stats;
+};
+
+std::unique_ptr<PoolSnapshot> CxlBufferPool::CaptureState() const {
+  auto s = std::make_unique<CxlPoolSnapshot>();
+  s->page_table = page_table_;
+  s->fix_count = fix_count_;
+  s->dirty = dirty_;
+  s->emergency.reserve(emergency_.size());
+  for (const EmergencyFrame& f : emergency_) {
+    CxlPoolSnapshot::EmergencyImage img;
+    img.page_id = f.page_id;
+    img.fix_count = f.fix_count;
+    img.has_data = f.data != nullptr;
+    if (img.has_data) img.data.assign(f.data.get(), f.data.get() + kPageSize);
+    s->emergency.push_back(std::move(img));
+  }
+  s->stats = stats_;
+  return s;
+}
+
+void CxlBufferPool::RestoreState(const PoolSnapshot& base) {
+  const auto& s = static_cast<const CxlPoolSnapshot&>(base);
+  page_table_ = s.page_table;
+  fix_count_ = s.fix_count;
+  dirty_ = s.dirty;
+  emergency_.clear();
+  emergency_.reserve(s.emergency.size());
+  for (const auto& img : s.emergency) {
+    EmergencyFrame f;
+    f.page_id = img.page_id;
+    f.fix_count = img.fix_count;
+    if (img.has_data) {
+      f.data = std::make_unique<uint8_t[]>(kPageSize);
+      std::memcpy(f.data.get(), img.data.data(), kPageSize);
+    }
+    emergency_.push_back(std::move(f));
+  }
+  stats_ = s.stats;
+}
+
 }  // namespace polarcxl::bufferpool

@@ -129,7 +129,14 @@ class CxlBufferPool final : public BufferPool {
   /// storage while the CXL device is unreachable (graceful degradation).
   static constexpr uint32_t kEmergencyFrames = 8;
 
+  /// DRAM-side state only: the CXL-resident header/meta/frames live in
+  /// fabric device memory, which the world snapshot captures wholesale.
+  std::unique_ptr<PoolSnapshot> CaptureState() const override;
+  void RestoreState(const PoolSnapshot& s) override;
+
  private:
+  friend struct CxlPoolSnapshot;
+
   CxlBufferPool(Options options, MemOffset region, cxl::CxlAccessor* accessor,
                 storage::PageStore* store);
 

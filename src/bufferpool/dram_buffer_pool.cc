@@ -107,4 +107,38 @@ bool DramBufferPool::Cached(PageId page_id) const {
   return page_table_.Contains(page_id);
 }
 
+/// Deep copy of everything Fetch/Unfix/Flush mutate. Frames are plain local
+/// DRAM bytes, so CoW buys nothing here — one memcpy-able vector copy is
+/// already the cheap path.
+struct DramPoolSnapshot : PoolSnapshot {
+  std::vector<uint8_t> frames;
+  std::vector<DramBufferPool::BlockMeta> meta;
+  std::vector<uint32_t> free_list;
+  LruList lru{0};
+  PageMap page_table;
+  BufferPoolStats stats;
+};
+
+std::unique_ptr<PoolSnapshot> DramBufferPool::CaptureState() const {
+  auto s = std::make_unique<DramPoolSnapshot>();
+  s->frames = frames_;
+  s->meta = meta_;
+  s->free_list = free_list_;
+  s->lru = lru_;
+  s->page_table = page_table_;
+  s->stats = stats_;
+  return s;
+}
+
+void DramBufferPool::RestoreState(const PoolSnapshot& base) {
+  const auto& s = static_cast<const DramPoolSnapshot&>(base);
+  POLAR_CHECK(s.frames.size() == frames_.size());
+  frames_ = s.frames;
+  meta_ = s.meta;
+  free_list_ = s.free_list;
+  lru_ = s.lru;
+  page_table_ = s.page_table;
+  stats_ = s.stats;
+}
+
 }  // namespace polarcxl::bufferpool

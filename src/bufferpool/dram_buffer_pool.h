@@ -43,7 +43,11 @@ class DramBufferPool final : public BufferPool {
     return opt_.capacity_pages * kPageSize;
   }
 
+  std::unique_ptr<PoolSnapshot> CaptureState() const override;
+  void RestoreState(const PoolSnapshot& s) override;
+
  private:
+  friend struct DramPoolSnapshot;
   struct BlockMeta {
     PageId page_id = kInvalidPageId;
     bool in_use = false;

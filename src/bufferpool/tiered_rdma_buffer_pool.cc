@@ -163,4 +163,40 @@ bool TieredRdmaBufferPool::Cached(PageId page_id) const {
   return page_table_.Contains(page_id);
 }
 
+/// Deep copy of the LBP (the remote tier snapshots itself via
+/// RemoteMemoryPool::Capture).
+struct TieredPoolSnapshot : PoolSnapshot {
+  std::vector<uint8_t> frames;
+  std::vector<TieredRdmaBufferPool::BlockMeta> meta;
+  std::vector<uint32_t> free_list;
+  LruList lru{0};
+  PageMap page_table;
+  BufferPoolStats stats;
+  uint64_t remote_hits = 0;
+};
+
+std::unique_ptr<PoolSnapshot> TieredRdmaBufferPool::CaptureState() const {
+  auto s = std::make_unique<TieredPoolSnapshot>();
+  s->frames = frames_;
+  s->meta = meta_;
+  s->free_list = free_list_;
+  s->lru = lru_;
+  s->page_table = page_table_;
+  s->stats = stats_;
+  s->remote_hits = remote_hits_;
+  return s;
+}
+
+void TieredRdmaBufferPool::RestoreState(const PoolSnapshot& base) {
+  const auto& s = static_cast<const TieredPoolSnapshot&>(base);
+  POLAR_CHECK(s.frames.size() == frames_.size());
+  frames_ = s.frames;
+  meta_ = s.meta;
+  free_list_ = s.free_list;
+  lru_ = s.lru;
+  page_table_ = s.page_table;
+  stats_ = s.stats;
+  remote_hits_ = s.remote_hits;
+}
+
 }  // namespace polarcxl::bufferpool

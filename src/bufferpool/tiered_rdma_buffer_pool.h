@@ -53,6 +53,9 @@ class TieredRdmaBufferPool final : public BufferPool {
   uint64_t remote_hits() const { return remote_hits_; }
   rdma::RemoteMemoryPool* remote() { return remote_; }
 
+  std::unique_ptr<PoolSnapshot> CaptureState() const override;
+  void RestoreState(const PoolSnapshot& s) override;
+
   // Transient verbs failures (injected NIC faults) are retried with capped
   // exponential backoff in virtual time before falling back to storage.
   static constexpr int kVerbsAttempts = 4;
@@ -60,6 +63,8 @@ class TieredRdmaBufferPool final : public BufferPool {
   static constexpr Nanos kVerbsBackoffCap = 16'000;
 
  private:
+  friend struct TieredPoolSnapshot;
+
   /// remote_->ReadPage/WritePage with the retry/backoff policy. Only
   /// IOError (a faulted NIC / dropped verbs op) is retried; NotFound and
   /// OutOfMemory are semantic outcomes and return immediately.

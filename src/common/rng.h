@@ -42,6 +42,12 @@ class Rng {
   /// Uniform double in [0, 1).
   double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
 
+  /// Raw stream position, for world snapshot/restore. The value already
+  /// includes the seeding gamma, so it must round-trip through
+  /// set_raw_state(), never through the constructor.
+  uint64_t raw_state() const { return state_; }
+  void set_raw_state(uint64_t s) { state_ = s; }
+
  private:
   uint64_t state_;
 };
@@ -74,6 +80,11 @@ class ZipfRng {
     uint64_t r = static_cast<uint64_t>(v);
     return r >= n_ ? n_ - 1 : r;
   }
+
+  /// Underlying uniform stream position (the zeta/alpha constants are pure
+  /// functions of (n, theta), so the stream is the only mutable state).
+  uint64_t raw_state() const { return rng_.raw_state(); }
+  void set_raw_state(uint64_t s) { rng_.set_raw_state(s); }
 
  private:
   static double FastPow(double base, double exp);

@@ -55,6 +55,28 @@ class CxlSwitch {
   uint32_t max_ports() const { return opt_.total_lanes / opt_.lanes_per_port; }
   const std::string& name() const { return name_; }
 
+  /// Channel ledgers of every port plus the shared fabric channel. Ports
+  /// are bound only during world construction, so the port count at
+  /// capture and restore must match.
+  struct State {
+    std::vector<sim::BandwidthChannel::State> ports;
+    sim::BandwidthChannel::State fabric;
+  };
+  State Capture() const {
+    State s;
+    s.ports.reserve(ports_.size());
+    for (const Port& p : ports_) s.ports.push_back(p.channel->Capture());
+    s.fabric = fabric_channel_.Capture();
+    return s;
+  }
+  void Restore(const State& s) {
+    POLAR_CHECK(s.ports.size() == ports_.size());
+    for (size_t i = 0; i < ports_.size(); i++) {
+      ports_[i].channel->Restore(s.ports[i]);
+    }
+    fabric_channel_.Restore(s.fabric);
+  }
+
  private:
   struct Port {
     PortKind kind;

@@ -84,6 +84,9 @@ class BTree {
 
   PageId root() const { return root_; }
   uint16_t value_size() const { return value_size_; }
+  /// Restores the cached root page id (world snapshot/restore; the
+  /// superblock copy is restored separately through the page state).
+  void set_root(PageId root) { root_ = root; }
 
   /// Installs a root provider (see RootProviderFn).
   void set_root_provider(RootProviderFn fn) { root_provider_ = std::move(fn); }

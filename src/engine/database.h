@@ -130,6 +130,36 @@ class Database : public PageAllocator {
   /// re-Attach after a crash.
   MemOffset cxl_region() const;
 
+  /// Instance-private simulated resources, exposed for world snapshotting
+  /// (the channel ledger and memory-space counters must round-trip too).
+  sim::BandwidthChannel* dram_channel() { return dram_channel_.get(); }
+  sim::MemorySpace* dram_space() { return dram_space_.get(); }
+
+  /// Engine-level mutable state beyond the pool: the page-id allocation
+  /// batch and each tree's cached root. The catalog structure (table names,
+  /// value sizes) is fixed after load, so only the roots are captured.
+  struct EngineState {
+    uint64_t alloc_next = 0;
+    uint64_t alloc_end = 0;
+    std::vector<PageId> roots;
+  };
+  EngineState CaptureEngineState() const {
+    EngineState s;
+    s.alloc_next = alloc_cache_next_;
+    s.alloc_end = alloc_cache_end_;
+    s.roots.reserve(tables_.size());
+    for (const auto& t : tables_) s.roots.push_back(t->tree()->root());
+    return s;
+  }
+  void RestoreEngineState(const EngineState& s) {
+    POLAR_CHECK(s.roots.size() == tables_.size());
+    alloc_cache_next_ = s.alloc_next;
+    alloc_cache_end_ = s.alloc_end;
+    for (size_t i = 0; i < tables_.size(); i++) {
+      tables_[i]->tree()->set_root(s.roots[i]);
+    }
+  }
+
  private:
   Database(DatabaseEnv env, DatabaseOptions options);
 

@@ -3,25 +3,145 @@
 #include <algorithm>
 #include <limits>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
-#include "bufferpool/cxl_buffer_pool.h"
 #include "common/rng.h"
 #include "common/slice.h"
-#include "cxl/cxl_memory_manager.h"
 #include "harness/instance_driver.h"
-#include "rdma/remote_memory_pool.h"
 #include "sim/executor.h"
-#include "sim/latency_model.h"
-#include "storage/disk.h"
 
 namespace polarcxl::harness {
 
 namespace {
-constexpr NodeId kHostNode = 0;
-constexpr NodeId kMemoryServerNode = 100;
 constexpr NodeId kInstanceNode = 1;  // tenant / crash-target identity
+
+/// Lane bookkeeping referenced by the executor lambdas; heap-stable because
+/// a cached world outlives every run that forks it.
+/// The sysbench workload driver POLAR_CHECKs on write failures (correct for
+/// fault-free figures), so chaos lanes run their own error-tolerant loop
+/// over the Status-returning table surface.
+struct ChaosLaneState {
+  engine::Database* db;
+  Rng rng{0};
+  uint32_t tables;
+  uint32_t rows;
+  double write_fraction;
+  Nanos error_backoff;
+  ChaosResult* result;
+  // Sentinel start (max Nanos): before the window opens nothing reaches
+  // the sentinel, so the lane lambda needs no "window set?" branch.
+  Nanos window_start = std::numeric_limits<Nanos>::max();
+  Nanos window_end = -1;
+  std::string scratch;
+};
+
+/// A chaos world parked in a WorldCache: the simulated host (fault injector
+/// wired but disarmed), lanes, and the post-warmup lane RNG states.
+struct ChaosWorld : CachedWorld {
+  explicit ChaosWorld(const SimWorld::Spec& spec) : world(spec) {}
+  SimWorld world;
+  std::vector<std::unique_ptr<ChaosLaneState>> lane_states;
+  ChaosResult result;  // lane lambdas point here; re-initialized per run
+  std::vector<uint64_t> rng_states;  // post-warmup
+};
+
+SimWorld::Spec SpecFor(const ChaosConfig& config) {
+  SimWorld::Spec spec;
+  spec.kind = config.kind;
+  spec.instances = 1;
+  spec.sysbench = config.sysbench;
+  spec.lbp_fraction = config.lbp_fraction;
+  spec.cpu_cache_bytes = config.cpu_cache_bytes;
+  spec.wire_faults = true;  // injector wired but disarmed through warmup
+  return spec;
+}
+
+/// Setup key: everything that shapes the world before the plan is armed.
+/// The plan, measure window and timeline bucket are per-run.
+std::string ChaosKey(const ChaosConfig& c) {
+  std::ostringstream os;
+  os << "chaos:" << static_cast<int>(c.kind) << ':' << c.lanes << ':'
+     << c.sysbench.tables << ':' << c.sysbench.rows_per_table << ':'
+     << c.sysbench.range_size << ':' << c.sysbench.row_size << ':'
+     << static_cast<int>(c.sysbench.distribution) << ':'
+     << c.sysbench.zipf_theta << ':' << c.sysbench.num_nodes << ':'
+     << c.sysbench.shared_fraction << ':' << c.write_fraction << ':'
+     << c.lbp_fraction << ':' << c.cpu_cache_bytes << ':' << c.warmup << ':'
+     << c.error_backoff << ':' << c.checkpoint_interval << ':' << c.seed;
+  return os.str();
+}
+
+std::unique_ptr<ChaosWorld> BuildChaosWorld(const ChaosConfig& config) {
+  auto cw = std::make_unique<ChaosWorld>(SpecFor(config));
+  SimWorld& world = cw->world;
+  sim::Executor& executor = world.executor();
+  executor.ReserveLanes(config.lanes);
+  const Nanos setup_end = world.setup_end();
+  engine::Database* db = world.db(0);
+
+  for (uint32_t l = 0; l < config.lanes; l++) {
+    auto state = std::make_unique<ChaosLaneState>();
+    state->db = db;
+    state->rng = Rng(config.seed + l);
+    state->tables = static_cast<uint32_t>(db->num_tables());
+    state->rows = config.sysbench.rows_per_table;
+    state->write_fraction = config.write_fraction;
+    state->error_backoff = config.error_backoff;
+    state->result = &cw->result;
+    ChaosLaneState* raw = state.get();
+    cw->lane_states.push_back(std::move(state));
+    executor.AddLane(
+        [raw](sim::ExecContext& ctx) {
+          const Nanos start = ctx.now;
+          engine::Table* t = raw->db->table(raw->rng.Uniform(raw->tables));
+          const uint64_t id = 1 + raw->rng.Uniform(raw->rows);
+          Status s;
+          if (raw->rng.Chance(raw->write_fraction)) {
+            const uint32_t k = static_cast<uint32_t>(raw->rng.Next());
+            s = t->UpdateColumn(
+                ctx, id, 4,
+                Slice(reinterpret_cast<const char*>(&k), sizeof(k)));
+            if (s.ok()) raw->db->CommitTransaction(ctx);
+          } else {
+            s = t->GetTo(ctx, id, &raw->scratch);
+            raw->db->FinishReadOnly(ctx);
+          }
+          if (start >= raw->window_start && ctx.now <= raw->window_end) {
+            if (s.ok()) {
+              raw->result->ok.Add(ctx.now - raw->window_start);
+              raw->result->ok_ops++;
+            } else {
+              raw->result->failed.Add(ctx.now - raw->window_start);
+              raw->result->failed_ops++;
+            }
+          }
+          if (!s.ok()) ctx.Advance(raw->error_backoff);
+          return true;
+        },
+        kInstanceNode, db->cache(), setup_end);
+  }
+
+  // Dedicated checkpoint lane: periodically flushes dirty pages so the
+  // degraded read path has clean pages to serve from storage (a database
+  // that never checkpoints has nothing to fall back on). Lanes release
+  // every page fix before yielding, so the flush never sees a fixed page.
+  if (config.checkpoint_interval > 0) {
+    const Nanos interval = config.checkpoint_interval;
+    executor.AddLane(
+        [db, interval](sim::ExecContext& ctx) {
+          db->Checkpoint(ctx);
+          ctx.Advance(interval);
+          return true;
+        },
+        kInstanceNode, db->cache(), setup_end + interval);
+  }
+
+  // Warm up fault-free (the injector is wired but disarmed).
+  executor.RunUntil(setup_end + config.warmup);
+  return cw;
+}
 }  // namespace
 
 const char* ChaosPoolName(engine::BufferPoolKind kind) {
@@ -80,163 +200,56 @@ faults::FaultPlan CanonicalChaosPlan(Nanos measure) {
   return plan;
 }
 
-ChaosResult RunChaos(const ChaosConfig& config) {
-  const uint64_t dataset_pages = SysbenchDatasetPages(config.sysbench);
-  const uint64_t pool_pages =
-      config.kind == engine::BufferPoolKind::kTieredRdma
-          ? std::max<uint64_t>(
-                64, static_cast<uint64_t>(static_cast<double>(dataset_pages) *
-                                          config.lbp_fraction))
-          : dataset_pages;
+ChaosResult RunChaos(const ChaosConfig& config, WorldCache* cache) {
+  const double wall_start = ThreadCpuSeconds();
 
-  // ---- world (mirrors RunPooling, single instance) ----
-  faults::FaultInjector injector;  // disarmed through setup and warmup
-
-  sim::BandwidthModel bw;
-  cxl::CxlFabric fabric;
-  const uint64_t fabric_bytes =
-      bufferpool::CxlBufferPool::RegionBytes(dataset_pages) + (16 << 20);
-  POLAR_CHECK(
-      fabric.AddDevice((fabric_bytes + kPageSize) / kPageSize * kPageSize)
-          .ok());
-  auto host_acc = fabric.AttachHost(kHostNode);
-  POLAR_CHECK(host_acc.ok());
-  fabric.set_fault_injector(&injector);
-  cxl::CxlMemoryManager manager(fabric.capacity());
-  manager.set_fault_injector(&injector);
-
-  rdma::RdmaNetwork net;
-  net.RegisterHost(kHostNode);
-  rdma::RdmaNic::Options server_nic;
-  server_nic.bandwidth_bps = 4 * bw.rdma_nic_bps;
-  server_nic.iops = 4 * 8ULL * 1000 * 1000;
-  net.RegisterHost(kMemoryServerNode, server_nic);
-  net.set_fault_injector(&injector);
-  rdma::RemoteMemoryPool remote(&net, kMemoryServerNode, dataset_pages + 1024);
-
-  storage::SimDisk::Options disk_opt;
-  disk_opt.bandwidth_bps = 8ULL * 1000 * 1000 * 1000;
-  disk_opt.iops = 150'000;
-  storage::SimDisk disk("polarfs", disk_opt);
-  disk.set_fault_injector(&injector);
-
-  storage::PageStore store(&disk);
-  storage::RedoLog log(&disk);
-
-  engine::DatabaseEnv env;
-  env.store = &store;
-  env.log = &log;
-  env.cxl = *host_acc;
-  env.cxl_manager = &manager;
-  env.remote = &remote;
-
-  engine::DatabaseOptions opt;
-  opt.node = kInstanceNode;
-  opt.rdma_host_node = kHostNode;
-  opt.pool_kind = config.kind;
-  opt.pool_pages = pool_pages;
-  opt.cpu_cache_bytes = config.cpu_cache_bytes;
-
-  sim::ExecContext setup_ctx;
-  auto db = engine::Database::Create(setup_ctx, env, opt);
-  POLAR_CHECK(db.ok());
-  setup_ctx.cache = (*db)->cache();
-  POLAR_CHECK(
-      workload::LoadSysbenchTables(setup_ctx, db->get(), config.sysbench)
-          .ok());
-  const Nanos setup_end = setup_ctx.now;
-
-  // ---- lanes ----
-  // The sysbench workload driver POLAR_CHECKs on write failures (correct
-  // for fault-free figures), so chaos lanes run their own error-tolerant
-  // loop over the Status-returning table surface.
-  ChaosResult result;
-  result.ok = TimeSeries(config.bucket);
-  result.failed = TimeSeries(config.bucket);
-  result.window = config.measure;
-
-  struct LaneState {
-    engine::Database* db;
-    Rng rng{0};
-    uint32_t tables;
-    uint32_t rows;
-    double write_fraction;
-    Nanos error_backoff;
-    ChaosResult* result;
-    // Sentinel start (max Nanos): before the window opens nothing reaches
-    // the sentinel, so the lane lambda needs no "window set?" branch.
-    Nanos window_start = std::numeric_limits<Nanos>::max();
-    Nanos window_end = -1;
-    std::string scratch;
-  };
-
-  sim::Executor executor;
-  executor.ReserveLanes(config.lanes);
-  std::vector<std::unique_ptr<LaneState>> lane_states;
-  for (uint32_t l = 0; l < config.lanes; l++) {
-    auto state = std::make_unique<LaneState>();
-    state->db = db->get();
-    state->rng = Rng(config.seed + l);
-    state->tables = static_cast<uint32_t>((*db)->num_tables());
-    state->rows = config.sysbench.rows_per_table;
-    state->write_fraction = config.write_fraction;
-    state->error_backoff = config.error_backoff;
-    state->result = &result;
-    LaneState* raw = state.get();
-    lane_states.push_back(std::move(state));
-    executor.AddLane(
-        [raw](sim::ExecContext& ctx) {
-          const Nanos start = ctx.now;
-          engine::Table* t =
-              raw->db->table(raw->rng.Uniform(raw->tables));
-          const uint64_t id = 1 + raw->rng.Uniform(raw->rows);
-          Status s;
-          if (raw->rng.Chance(raw->write_fraction)) {
-            const uint32_t k = static_cast<uint32_t>(raw->rng.Next());
-            s = t->UpdateColumn(
-                ctx, id, 4,
-                Slice(reinterpret_cast<const char*>(&k), sizeof(k)));
-            if (s.ok()) raw->db->CommitTransaction(ctx);
-          } else {
-            s = t->GetTo(ctx, id, &raw->scratch);
-            raw->db->FinishReadOnly(ctx);
-          }
-          if (start >= raw->window_start && ctx.now <= raw->window_end) {
-            if (s.ok()) {
-              raw->result->ok.Add(ctx.now - raw->window_start);
-              raw->result->ok_ops++;
-            } else {
-              raw->result->failed.Add(ctx.now - raw->window_start);
-              raw->result->failed_ops++;
-            }
-          }
-          if (!s.ok()) ctx.Advance(raw->error_backoff);
-          return true;
-        },
-        kInstanceNode, (*db)->cache(), setup_end);
+  // ---- acquire a warmed world: fork a snapshot or build cold ----
+  WorldCache::Lease lease;
+  std::unique_ptr<ChaosWorld> local;
+  ChaosWorld* cw = nullptr;
+  bool hit = false;
+  if (cache != nullptr) {
+    lease = cache->Acquire(ChaosKey(config));
+    cw = static_cast<ChaosWorld*>(lease.get());
+    hit = cw != nullptr;
+  }
+  if (cw == nullptr) {
+    auto fresh = BuildChaosWorld(config);
+    if (cache != nullptr) {
+      fresh->world.CaptureSnapshot();
+      fresh->rng_states.reserve(fresh->lane_states.size());
+      for (const auto& state : fresh->lane_states) {
+        fresh->rng_states.push_back(state->rng.raw_state());
+      }
+      cw = fresh.get();
+      lease.put(std::move(fresh));
+    } else {
+      local = std::move(fresh);
+      cw = local.get();
+    }
+  } else {
+    cw->world.RestoreSnapshot();
+    for (size_t i = 0; i < cw->lane_states.size(); i++) {
+      cw->lane_states[i]->rng.set_raw_state(cw->rng_states[i]);
+    }
   }
 
-  // Dedicated checkpoint lane: periodically flushes dirty pages so the
-  // degraded read path has clean pages to serve from storage (a database
-  // that never checkpoints has nothing to fall back on). Lanes release
-  // every page fix before yielding, so the flush never sees a fixed page.
-  if (config.checkpoint_interval > 0) {
-    const Nanos interval = config.checkpoint_interval;
-    engine::Database* raw_db = db->get();
-    executor.AddLane(
-        [raw_db, interval](sim::ExecContext& ctx) {
-          raw_db->Checkpoint(ctx);
-          ctx.Advance(interval);
-          return true;
-        },
-        kInstanceNode, (*db)->cache(), setup_end + interval);
-  }
+  // The world-owned result the lane lambdas point at. Warmup never records
+  // (sentinel windows), so initializing it here covers both paths.
+  cw->result = ChaosResult();
+  cw->result.ok = TimeSeries(config.bucket);
+  cw->result.failed = TimeSeries(config.bucket);
+  cw->result.window = config.measure;
 
-  // ---- warm up (fault-free), then arm and measure ----
-  executor.RunUntil(setup_end + config.warmup);
+  // ---- arm and measure (identical for cold and forked worlds) ----
+  SimWorld& world = cw->world;
+  sim::Executor& executor = world.executor();
+  faults::FaultInjector& injector = world.injector();
+  engine::Database* db = world.db(0);
+  const Nanos setup_end = world.setup_end();
   const Nanos t0 = executor.MinClock(setup_end + config.warmup);
   const Nanos t1 = t0 + config.measure;
-  for (auto& state : lane_states) {
+  for (auto& state : cw->lane_states) {
     state->window_start = t0;
     state->window_end = t1;
   }
@@ -244,6 +257,8 @@ ChaosResult RunChaos(const ChaosConfig& config) {
   faults::FaultPlan armed = config.plan;
   armed.ShiftBy(t0);
   POLAR_CHECK(injector.Arm(std::move(armed)).ok());
+
+  const double setup_done = ThreadCpuSeconds();
 
   // Node-crash windows freeze every lane (the whole instance is gone);
   // lanes thaw at the window end, modelling a fast process failover.
@@ -267,13 +282,18 @@ ChaosResult RunChaos(const ChaosConfig& config) {
   executor.RunUntil(t1);
   injector.Disarm();
 
-  result.degraded_fetches = (*db)->pool()->stats().degraded_fetches;
-  result.fault_rejections = (*db)->pool()->stats().fault_rejections;
-  result.fault_retries = (*db)->pool()->stats().fault_retries;
-  result.injected = injector.stats();
-  result.lane_steps = executor.total_steps();
-  result.virtual_end = executor.MaxClock();
-  return result;
+  const double measure_done = ThreadCpuSeconds();
+
+  cw->result.degraded_fetches = db->pool()->stats().degraded_fetches;
+  cw->result.fault_rejections = db->pool()->stats().fault_rejections;
+  cw->result.fault_retries = db->pool()->stats().fault_retries;
+  cw->result.injected = injector.stats();
+  cw->result.lane_steps = executor.total_steps();
+  cw->result.virtual_end = executor.MaxClock();
+  cw->result.setup_wall_sec = setup_done - wall_start;
+  cw->result.measure_wall_sec = measure_done - setup_done;
+  cw->result.snapshot_hit = hit;
+  return cw->result;
 }
 
 }  // namespace polarcxl::harness

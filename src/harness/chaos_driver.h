@@ -18,6 +18,7 @@
 #include "engine/database.h"
 #include "faults/fault_injector.h"
 #include "harness/metrics.h"
+#include "harness/world_builder.h"
 #include "workload/sysbench.h"
 
 namespace polarcxl::harness {
@@ -63,10 +64,19 @@ struct ChaosResult {
   uint64_t lane_steps = 0;   // executor steps, setup excluded
   Nanos virtual_end = 0;     // largest clock reached
   Nanos window = 0;          // measurement window length
+  /// Wall-clock (thread CPU time) split and snapshot provenance — see
+  /// PoolingResult.
+  double setup_wall_sec = 0;
+  double measure_wall_sec = 0;
+  bool snapshot_hit = false;
 };
 
-/// Runs one fault-resilience experiment end to end.
-ChaosResult RunChaos(const ChaosConfig& config);
+/// Runs one fault-resilience experiment end to end. With a `cache`, the
+/// post-warmup (fault-free) world is snapshotted and forked across runs
+/// sharing the setup key — the plan, measure window and bucket are per-run,
+/// so one warmed world serves many fault schedules. Forked runs are
+/// bit-identical to cold ones.
+ChaosResult RunChaos(const ChaosConfig& config, WorldCache* cache = nullptr);
 
 /// The canonical mixed-fault schedule used by the resilience bench and the
 /// determinism tests: CXL outage, NIC brownout, flaky windows, link

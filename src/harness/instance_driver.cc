@@ -2,145 +2,88 @@
 
 #include <algorithm>
 #include <limits>
+#include <sstream>
+#include <string>
 
 #include "bufferpool/tiered_rdma_buffer_pool.h"
 #include "common/prof.h"
-#include "cxl/cxl_memory_manager.h"
-#include "rdma/remote_memory_pool.h"
-#include "storage/disk.h"
 
 namespace polarcxl::harness {
 
 namespace {
-constexpr NodeId kHostNode = 0;          // all instances share this NIC
-constexpr NodeId kMemoryServerNode = 100;
+constexpr NodeId kHostNode = 0;  // all instances share this NIC
 
-/// One database instance with its private durable namespace on the shared
-/// PolarFS-like volume.
-struct Instance {
-  std::unique_ptr<storage::PageStore> store;
-  std::unique_ptr<storage::RedoLog> log;
-  std::unique_ptr<engine::Database> db;
+/// Lane bookkeeping referenced by the executor lambdas; heap-stable because
+/// a cached world outlives every run that forks it.
+struct PoolLaneState {
+  workload::SysbenchWorkload* wl;
+  RunMetrics* metrics;
+  // Sentinel start (max Nanos) makes `start >= window_start` alone gate
+  // recording: before the window opens nothing can reach the sentinel, so
+  // the hot lane lambda needs no separate "window set?" branch.
+  Nanos window_start = std::numeric_limits<Nanos>::max();
+  Nanos window_end = -1;
 };
-}  // namespace
 
-uint64_t SysbenchDatasetPages(const workload::SysbenchConfig& config) {
-  const uint64_t entry = 8 + config.row_size;
-  const uint64_t per_leaf = (kPageSize - 64) / entry;
-  // Leaves (with split slack) + internal nodes + catalog margin.
-  const uint64_t leaves_per_table =
-      config.rows_per_table * 2 / per_leaf + 2;  // half-full after splits
-  return config.TotalTables() * (leaves_per_table + 4) + 64;
+/// A pooling world parked in a WorldCache: the simulated host plus the lane
+/// drivers and their post-warmup RNG/counter states.
+struct PoolingWorld : CachedWorld {
+  explicit PoolingWorld(const SimWorld::Spec& spec) : world(spec) {}
+  SimWorld world;
+  std::vector<std::unique_ptr<workload::SysbenchWorkload>> lanes_wl;
+  std::vector<std::unique_ptr<PoolLaneState>> lane_states;
+  RunMetrics metrics;  // lane lambdas point here; reset before each measure
+  std::vector<workload::SysbenchWorkload::State> wl_states;  // post-warmup
+};
+
+SimWorld::Spec SpecFor(const PoolingConfig& config) {
+  SimWorld::Spec spec;
+  spec.kind = config.kind;
+  spec.instances = config.instances;
+  spec.sysbench = config.sysbench;
+  spec.lbp_fraction = config.lbp_fraction;
+  spec.cpu_cache_bytes = config.cpu_cache_bytes;
+  spec.group_commit_window = config.group_commit_window;
+  spec.wire_faults = false;  // fault-free figures keep the injector-null path
+  return spec;
 }
 
-PoolingResult RunPooling(const PoolingConfig& config) {
-  using engine::BufferPoolKind;
+/// Every config field that influences the world before the measurement
+/// window opens. `measure` is deliberately absent: runs differing only in
+/// window length share one snapshot.
+std::string PoolingKey(const PoolingConfig& c) {
+  std::ostringstream os;
+  os << "pooling:" << static_cast<int>(c.kind) << ':' << c.instances << ':'
+     << c.lanes_per_instance << ':' << static_cast<int>(c.op) << ':'
+     << c.sysbench.tables << ':' << c.sysbench.rows_per_table << ':'
+     << c.sysbench.range_size << ':' << c.sysbench.row_size << ':'
+     << static_cast<int>(c.sysbench.distribution) << ':'
+     << c.sysbench.zipf_theta << ':' << c.sysbench.num_nodes << ':'
+     << c.sysbench.shared_fraction << ':' << c.lbp_fraction << ':'
+     << c.cpu_cache_bytes << ':' << c.group_commit_window << ':' << c.warmup
+     << ':' << c.seed;
+  return os.str();
+}
 
-  const uint64_t dataset_pages = SysbenchDatasetPages(config.sysbench);
-  const uint64_t pool_pages =
-      config.kind == BufferPoolKind::kTieredRdma
-          ? std::max<uint64_t>(
-                64, static_cast<uint64_t>(static_cast<double>(dataset_pages) *
-                                          config.lbp_fraction))
-          : dataset_pages;
-
-  // ---- shared host infrastructure ----
-  sim::BandwidthModel bw;
-  cxl::CxlFabric fabric;
-  const uint64_t fabric_bytes =
-      (bufferpool::CxlBufferPool::RegionBytes(dataset_pages) + (16 << 20)) *
-      config.instances;
-  POLAR_CHECK(fabric.AddDevice((fabric_bytes + kPageSize) / kPageSize *
-                               kPageSize)
-                  .ok());
-  auto host_acc = fabric.AttachHost(kHostNode);
-  POLAR_CHECK(host_acc.ok());
-  cxl::CxlMemoryManager manager(fabric.capacity());
-
-  rdma::RdmaNetwork net;
-  net.RegisterHost(kHostNode);
-  // Disaggregated-memory servers have aggregate bandwidth well above one
-  // client NIC (multiple memory nodes); the client-side NIC is the paper's
-  // bottleneck.
-  rdma::RdmaNic::Options server_nic;
-  server_nic.bandwidth_bps = 4 * bw.rdma_nic_bps;
-  server_nic.iops = 4 * 8ULL * 1000 * 1000;
-  net.RegisterHost(kMemoryServerNode, server_nic);
-  rdma::RemoteMemoryPool remote(&net, kMemoryServerNode,
-                                dataset_pages * config.instances + 1024);
-
-  sim::BandwidthChannel client_net("client", bw.client_net_bps);
-
-  // All instances share one PolarFS-like storage volume: per the paper's
-  // deployment, and the source of the WAL-persistency ceiling at high
-  // instance counts (Figure 3).
-  storage::SimDisk::Options disk_opt;
-  disk_opt.bandwidth_bps = 8ULL * 1000 * 1000 * 1000;
-  disk_opt.iops = 150'000;
-  storage::SimDisk shared_disk("polarfs", disk_opt);
-
-  // ---- instances ----
-  std::vector<Instance> instances(config.instances);
-  Nanos setup_end = 0;
-  sim::Executor executor;
+/// Builds the world and lanes, then runs warmup — everything a snapshot
+/// amortizes.
+std::unique_ptr<PoolingWorld> BuildPoolingWorld(const PoolingConfig& config) {
+  auto pw = std::make_unique<PoolingWorld>(SpecFor(config));
+  SimWorld& world = pw->world;
+  sim::Executor& executor = world.executor();
   executor.ReserveLanes(static_cast<size_t>(config.instances) *
                         config.lanes_per_instance);
-  std::vector<std::unique_ptr<workload::SysbenchWorkload>> lanes_wl;
-
-  for (uint32_t i = 0; i < config.instances; i++) {
-    Instance& inst = instances[i];
-    inst.store = std::make_unique<storage::PageStore>(&shared_disk);
-    inst.log = std::make_unique<storage::RedoLog>(&shared_disk);
-
-    engine::DatabaseEnv env;
-    env.store = inst.store.get();
-    env.log = inst.log.get();
-    env.cxl = *host_acc;
-    env.cxl_manager = &manager;
-    env.remote = &remote;
-
-    engine::DatabaseOptions opt;
-    opt.node = i + 1;  // tenant id (0 is the host NIC identity)
-    opt.rdma_host_node = kHostNode;
-    opt.pool_kind = config.kind;
-    opt.pool_pages = pool_pages;
-    opt.cpu_cache_bytes = config.cpu_cache_bytes;
-    opt.group_commit_window = config.group_commit_window;
-
-    sim::ExecContext setup_ctx;
-    auto db = engine::Database::Create(setup_ctx, env, opt);
-    POLAR_CHECK(db.ok());
-    inst.db = std::move(*db);
-    setup_ctx.cache = inst.db->cache();
-    POLAR_CHECK(
-        workload::LoadSysbenchTables(setup_ctx, inst.db.get(), config.sysbench)
-            .ok());
-    setup_end = std::max(setup_end, setup_ctx.now);
-  }
-
-  // ---- lanes ----
-  struct LaneState {
-    workload::SysbenchWorkload* wl;
-    RunMetrics* metrics;
-    // Sentinel start (max Nanos) makes `start >= window_start` alone gate
-    // recording: before the window opens nothing can reach the sentinel, so
-    // the hot lane lambda needs no separate "window set?" branch.
-    Nanos window_start = std::numeric_limits<Nanos>::max();
-    Nanos window_end = -1;
-  };
-  RunMetrics metrics;
-  std::vector<std::unique_ptr<LaneState>> lane_states;
-
+  const Nanos setup_end = world.setup_end();
   for (uint32_t i = 0; i < config.instances; i++) {
     for (uint32_t l = 0; l < config.lanes_per_instance; l++) {
-      lanes_wl.push_back(std::make_unique<workload::SysbenchWorkload>(
-          instances[i].db.get(), config.sysbench, 0,
-          config.seed + i * 1000 + l, &client_net));
-      auto state = std::make_unique<LaneState>();
-      state->wl = lanes_wl.back().get();
-      state->metrics = &metrics;
-      LaneState* raw = state.get();
-      lane_states.push_back(std::move(state));
+      pw->lanes_wl.push_back(std::make_unique<workload::SysbenchWorkload>(
+          world.db(i), config.sysbench, 0, config.seed + i * 1000 + l,
+          world.client_net()));
+      auto state = std::make_unique<PoolLaneState>();
+      state->wl = pw->lanes_wl.back().get();
+      state->metrics = &pw->metrics;
+      PoolLaneState* raw = state.get();
+      pw->lane_states.push_back(std::move(state));
       const workload::SysbenchOp op = config.op;
       executor.AddLane(
           [raw, op](sim::ExecContext& ctx) {
@@ -154,33 +97,89 @@ PoolingResult RunPooling(const PoolingConfig& config) {
             }
             return true;
           },
-          i, instances[i].db->cache(), setup_end);
+          i, world.db(i)->cache(), setup_end);
     }
   }
-
-  // ---- warm up, then measure ----
   executor.RunUntil(setup_end + config.warmup);
+  return pw;
+}
+}  // namespace
+
+uint64_t SysbenchDatasetPages(const workload::SysbenchConfig& config) {
+  const uint64_t entry = 8 + config.row_size;
+  const uint64_t per_leaf = (kPageSize - 64) / entry;
+  // Leaves (with split slack) + internal nodes + catalog margin.
+  const uint64_t leaves_per_table =
+      config.rows_per_table * 2 / per_leaf + 2;  // half-full after splits
+  return config.TotalTables() * (leaves_per_table + 4) + 64;
+}
+
+PoolingResult RunPooling(const PoolingConfig& config, WorldCache* cache) {
+  const double wall_start = ThreadCpuSeconds();
+
+  // ---- acquire a warmed world: fork a snapshot or build cold ----
+  WorldCache::Lease lease;
+  std::unique_ptr<PoolingWorld> local;
+  PoolingWorld* pw = nullptr;
+  bool hit = false;
+  if (cache != nullptr) {
+    lease = cache->Acquire(PoolingKey(config));
+    pw = static_cast<PoolingWorld*>(lease.get());
+    hit = pw != nullptr;
+  }
+  if (pw == nullptr) {
+    auto fresh = BuildPoolingWorld(config);
+    if (cache != nullptr) {
+      // Park the warmed world for every later rep / sweep point sharing the
+      // key. Capture is pure host-side copying, so a cold run that captures
+      // stays bit-identical to one that doesn't.
+      fresh->world.CaptureSnapshot();
+      fresh->wl_states.reserve(fresh->lanes_wl.size());
+      for (const auto& wl : fresh->lanes_wl) {
+        fresh->wl_states.push_back(wl->Capture());
+      }
+      pw = fresh.get();
+      lease.put(std::move(fresh));
+    } else {
+      local = std::move(fresh);
+      pw = local.get();
+    }
+  } else {
+    pw->world.RestoreSnapshot();
+    for (size_t i = 0; i < pw->lanes_wl.size(); i++) {
+      pw->lanes_wl[i]->Restore(pw->wl_states[i]);
+    }
+    pw->metrics = RunMetrics();
+  }
+
+  // ---- measure (identical for cold and forked worlds) ----
+  SimWorld& world = pw->world;
+  sim::Executor& executor = world.executor();
+  const Nanos setup_end = world.setup_end();
   const Nanos t0 = executor.MinClock(setup_end + config.warmup);
   const Nanos t1 = t0 + config.measure;
-  for (auto& state : lane_states) {
+  for (auto& state : pw->lane_states) {
     state->window_start = t0;
     state->window_end = t1;
   }
 
-  sim::BandwidthChannel* nic_wire = &net.nic(kHostNode)->wire();
+  sim::BandwidthChannel* nic_wire = &world.net().nic(kHostNode)->wire();
   // Port 0 is the memory device (bound by AddDevice); port 1 is the host.
-  sim::BandwidthChannel* cxl_port = fabric.cxl_switch().port_channel(1);
+  sim::BandwidthChannel* cxl_port =
+      world.fabric().cxl_switch().port_channel(1);
   BandwidthProbe nic_probe{nic_wire->total_bytes(), 0};
   BandwidthProbe cxl_probe{cxl_port->total_bytes(), 0};
 
+  const double setup_done = ThreadCpuSeconds();
   executor.RunUntil(t1);
+  const double measure_done = ThreadCpuSeconds();
 
   nic_probe.after = nic_wire->total_bytes();
   cxl_probe.after = cxl_port->total_bytes();
 
   PoolingResult result;
-  metrics.window = config.measure;
-  result.metrics = metrics;
+  pw->metrics.window = config.measure;
+  result.metrics = pw->metrics;
   result.nic_gbps = nic_probe.Gbps(config.measure);
   result.cxl_gbps = cxl_probe.Gbps(config.measure);
   result.interconnect_gbps =
@@ -188,9 +187,9 @@ PoolingResult RunPooling(const PoolingConfig& config) {
                                                          : result.cxl_gbps;
   uint64_t dram_bytes = 0;
   double hit_rate = 0;
-  for (auto& inst : instances) {
-    dram_bytes += inst.db->pool()->local_dram_bytes();
-    hit_rate += inst.db->pool()->stats().HitRate();
+  for (uint32_t i = 0; i < world.num_instances(); i++) {
+    dram_bytes += world.db(i)->pool()->local_dram_bytes();
+    hit_rate += world.db(i)->pool()->stats().HitRate();
   }
   result.local_dram_bytes = dram_bytes;
   result.lbp_hit_rate = hit_rate / config.instances;
@@ -207,6 +206,9 @@ PoolingResult RunPooling(const PoolingConfig& config) {
     result.breakdown.net += lane.t_net;
     result.breakdown.lock += lane.t_lock;
   }
+  result.setup_wall_sec = setup_done - wall_start;
+  result.measure_wall_sec = measure_done - setup_done;
+  result.snapshot_hit = hit;
   return result;
 }
 

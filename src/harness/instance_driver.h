@@ -11,6 +11,7 @@
 
 #include "engine/database.h"
 #include "harness/metrics.h"
+#include "harness/world_builder.h"
 #include "sim/executor.h"
 #include "workload/sysbench.h"
 
@@ -54,10 +55,21 @@ struct PoolingResult {
   uint64_t lane_steps = 0;
   Nanos virtual_end = 0;
   TimeBreakdown breakdown;
+  /// Wall-clock (thread CPU time) split: everything before the measurement
+  /// window vs the window itself, and whether setup was served by forking a
+  /// cached world snapshot instead of a cold build+load+warmup.
+  double setup_wall_sec = 0;
+  double measure_wall_sec = 0;
+  bool snapshot_hit = false;
 };
 
 /// Runs one pooling experiment end to end (build, load, warm up, measure).
-PoolingResult RunPooling(const PoolingConfig& config);
+/// With a `cache`, the post-warmup world is snapshotted on first build and
+/// forked for every later run with the same setup key (all config fields
+/// except `measure`); forked runs are bit-identical to cold ones. Without a
+/// cache the cold path is byte-for-byte the historical driver.
+PoolingResult RunPooling(const PoolingConfig& config,
+                         WorldCache* cache = nullptr);
 
 /// The Figure 7 8-instance sysbench point-select pooling point, shared by
 /// bench_sim_throughput and the bit-identity regression tests so both pin

@@ -115,13 +115,11 @@ RecoveryResult RunRecoveryExperiment(const RecoveryConfig& config) {
   opt.cpu_cache_bytes = config.cpu_cache_bytes;
 
   sim::ExecContext setup_ctx;
-  auto created = engine::Database::Create(setup_ctx, env, opt);
+  WorkloadSpec load_spec;
+  load_spec.sysbench = config.sysbench;
+  auto created = CreateAndLoad(setup_ctx, env, opt, load_spec);
   POLAR_CHECK(created.ok());
   std::unique_ptr<engine::Database> db = std::move(*created);
-  setup_ctx.cache = db->cache();
-  POLAR_CHECK(workload::LoadSysbenchTables(setup_ctx, db.get(),
-                                           config.sysbench)
-                  .ok());
 
   // ---- phase 1: run until the crash ----
   RecoveryResult result;

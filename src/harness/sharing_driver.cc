@@ -159,23 +159,22 @@ SharingResult RunSharing(const SharingConfig& config) {
       sim::ExecContext load_ctx;
       load_ctx.now = setup_end;
       load_ctx.cache = node.db->cache();
+      WorkloadSpec spec;
       switch (config.bench) {
         case SharingBench::kSysbench:
-          POLAR_CHECK(workload::LoadSysbenchTables(load_ctx, node.db.get(),
-                                                   config.sysbench)
-                          .ok());
+          spec.bench = WorkloadSpec::Bench::kSysbench;
           break;
         case SharingBench::kTpcc:
-          POLAR_CHECK(
-              workload::LoadTpccTables(load_ctx, node.db.get(), config.tpcc)
-                  .ok());
+          spec.bench = WorkloadSpec::Bench::kTpcc;
           break;
         case SharingBench::kTatp:
-          POLAR_CHECK(
-              workload::LoadTatpTables(load_ctx, node.db.get(), config.tatp)
-                  .ok());
+          spec.bench = WorkloadSpec::Bench::kTatp;
           break;
       }
+      spec.sysbench = config.sysbench;
+      spec.tpcc = config.tpcc;
+      spec.tatp = config.tatp;
+      POLAR_CHECK(LoadTables(load_ctx, node.db.get(), spec).ok());
       setup_end = std::max(setup_end, load_ctx.now);
     }
   }

@@ -1,0 +1,231 @@
+#include "harness/world_builder.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "bufferpool/cxl_buffer_pool.h"
+#include "cxl/cxl_memory_manager.h"
+#include "harness/instance_driver.h"
+#include "rdma/remote_memory_pool.h"
+
+namespace polarcxl::harness {
+
+namespace {
+constexpr NodeId kHostNode = 0;          // all instances share this NIC
+constexpr NodeId kMemoryServerNode = 100;
+}  // namespace
+
+Status LoadTables(sim::ExecContext& ctx, engine::Database* db,
+                  const WorkloadSpec& spec) {
+  switch (spec.bench) {
+    case WorkloadSpec::Bench::kSysbench:
+      return workload::LoadSysbenchTables(ctx, db, spec.sysbench);
+    case WorkloadSpec::Bench::kTpcc:
+      return workload::LoadTpccTables(ctx, db, spec.tpcc);
+    case WorkloadSpec::Bench::kTatp:
+      return workload::LoadTatpTables(ctx, db, spec.tatp);
+  }
+  return Status::InvalidArgument("unknown bench");
+}
+
+Result<std::unique_ptr<engine::Database>> CreateAndLoad(
+    sim::ExecContext& ctx, const engine::DatabaseEnv& env,
+    const engine::DatabaseOptions& opt, const WorkloadSpec& spec) {
+  auto db = engine::Database::Create(ctx, env, opt);
+  if (!db.ok()) return db;
+  ctx.cache = (*db)->cache();
+  Status s = LoadTables(ctx, db->get(), spec);
+  if (!s.ok()) return s;
+  return db;
+}
+
+// ---------------------------------------------------------------------------
+// SimWorld
+// ---------------------------------------------------------------------------
+
+SimWorld::SimWorld(const Spec& spec)
+    : client_net_("client", bw_.client_net_bps),
+      wire_faults_(spec.wire_faults) {
+  const uint64_t dataset_pages = SysbenchDatasetPages(spec.sysbench);
+  const uint64_t pool_pages =
+      spec.kind == engine::BufferPoolKind::kTieredRdma
+          ? std::max<uint64_t>(
+                64, static_cast<uint64_t>(static_cast<double>(dataset_pages) *
+                                          spec.lbp_fraction))
+          : dataset_pages;
+
+  // ---- shared host infrastructure (one CXL fabric, one NIC pair, one
+  // PolarFS-like volume — see Figure 3's contention story) ----
+  const uint64_t fabric_bytes =
+      (bufferpool::CxlBufferPool::RegionBytes(dataset_pages) + (16 << 20)) *
+      spec.instances;
+  POLAR_CHECK(fabric_
+                  .AddDevice((fabric_bytes + kPageSize) / kPageSize *
+                             kPageSize)
+                  .ok());
+  auto host_acc = fabric_.AttachHost(kHostNode);
+  POLAR_CHECK(host_acc.ok());
+  host_acc_ = *host_acc;
+  if (wire_faults_) fabric_.set_fault_injector(&injector_);
+  manager_ = std::make_unique<cxl::CxlMemoryManager>(fabric_.capacity());
+  if (wire_faults_) manager_->set_fault_injector(&injector_);
+
+  net_.RegisterHost(kHostNode);
+  // Disaggregated-memory servers have aggregate bandwidth well above one
+  // client NIC (multiple memory nodes); the client-side NIC is the paper's
+  // bottleneck.
+  rdma::RdmaNic::Options server_nic;
+  server_nic.bandwidth_bps = 4 * bw_.rdma_nic_bps;
+  server_nic.iops = 4 * 8ULL * 1000 * 1000;
+  net_.RegisterHost(kMemoryServerNode, server_nic);
+  if (wire_faults_) net_.set_fault_injector(&injector_);
+  remote_ = std::make_unique<rdma::RemoteMemoryPool>(
+      &net_, kMemoryServerNode, dataset_pages * spec.instances + 1024);
+
+  storage::SimDisk::Options disk_opt;
+  disk_opt.bandwidth_bps = 8ULL * 1000 * 1000 * 1000;
+  disk_opt.iops = 150'000;
+  disk_ = std::make_unique<storage::SimDisk>("polarfs", disk_opt);
+  if (wire_faults_) disk_->set_fault_injector(&injector_);
+
+  // ---- instances ----
+  WorkloadSpec wl;
+  wl.sysbench = spec.sysbench;
+  instances_.resize(spec.instances);
+  for (uint32_t i = 0; i < spec.instances; i++) {
+    Instance& inst = instances_[i];
+    inst.store = std::make_unique<storage::PageStore>(disk_.get());
+    inst.log = std::make_unique<storage::RedoLog>(disk_.get());
+
+    engine::DatabaseEnv env;
+    env.store = inst.store.get();
+    env.log = inst.log.get();
+    env.cxl = host_acc_;
+    env.cxl_manager = manager_.get();
+    env.remote = remote_.get();
+
+    engine::DatabaseOptions opt;
+    opt.node = i + 1;  // tenant id (0 is the host NIC identity)
+    opt.rdma_host_node = kHostNode;
+    opt.pool_kind = spec.kind;
+    opt.pool_pages = pool_pages;
+    opt.cpu_cache_bytes = spec.cpu_cache_bytes;
+    opt.group_commit_window = spec.group_commit_window;
+
+    sim::ExecContext setup_ctx;
+    auto db = CreateAndLoad(setup_ctx, env, opt, wl);
+    POLAR_CHECK(db.ok());
+    inst.db = std::move(*db);
+    setup_end_ = std::max(setup_end_, setup_ctx.now);
+  }
+}
+
+/// Everything mutable in the simulated world, captured by value. The
+/// page-store and remote-pool page maps are shared_ptr snapshots (CoW:
+/// WritePage clones a page only while a snapshot still references it), the
+/// rest is deep-copied — pool frames, page tables, LRU lists, cache-sim
+/// arrays, channel ledgers and device bytes up to the allocation watermark.
+struct SimWorld::Snapshot {
+  sim::Executor::State executor;
+  sim::BandwidthChannel::State client_net;
+  cxl::CxlSwitch::State cxl_switch;
+  sim::MemorySpace::State host_space;
+  std::vector<uint8_t> device_bytes;  // [0, HighWater())
+  rdma::RdmaNetwork::State net;
+  rdma::RemoteMemoryPool::State remote;
+  storage::SimDisk::State disk;
+  struct PerInstance {
+    storage::PageStore::State store;
+    storage::RedoLog::State log;
+    sim::BandwidthChannel::State dram_channel;
+    sim::MemorySpace::State dram_space;
+    sim::CpuCacheSim::State cache;
+    std::unique_ptr<bufferpool::PoolSnapshot> pool;
+    engine::Database::EngineState engine;
+  };
+  std::vector<PerInstance> instances;
+};
+
+SimWorld::~SimWorld() = default;
+
+void SimWorld::CaptureSnapshot() {
+  auto s = std::make_unique<Snapshot>();
+  s->executor = executor_.Capture();
+  s->client_net = client_net_.Capture();
+  s->cxl_switch = fabric_.cxl_switch().Capture();
+  s->host_space = host_acc_->space()->Capture();
+  const MemOffset high_water = manager_->HighWater();
+  s->device_bytes.resize(high_water);
+  if (high_water > 0) {
+    fabric_.CopyOut(0, s->device_bytes.data(), high_water);
+  }
+  s->net = net_.Capture();
+  s->remote = remote_->Capture();
+  s->disk = disk_->Capture();
+  s->instances.reserve(instances_.size());
+  for (Instance& inst : instances_) {
+    Snapshot::PerInstance p;
+    p.store = inst.store->Capture();
+    p.log = inst.log->Capture();
+    p.dram_channel = inst.db->dram_channel()->Capture();
+    p.dram_space = inst.db->dram_space()->Capture();
+    p.cache = inst.db->cache()->Capture();
+    p.pool = inst.db->pool()->CaptureState();
+    p.engine = inst.db->CaptureEngineState();
+    s->instances.push_back(std::move(p));
+  }
+  snapshot_ = std::move(s);
+}
+
+void SimWorld::RestoreSnapshot() {
+  POLAR_CHECK_MSG(snapshot_ != nullptr, "no snapshot captured");
+  const Snapshot& s = *snapshot_;
+  executor_.Restore(s.executor);
+  client_net_.Restore(s.client_net);
+  fabric_.cxl_switch().Restore(s.cxl_switch);
+  host_acc_->space()->Restore(s.host_space);
+  if (!s.device_bytes.empty()) {
+    fabric_.CopyIn(0, s.device_bytes.data(), s.device_bytes.size());
+  }
+  net_.Restore(s.net);
+  remote_->Restore(s.remote);
+  disk_->Restore(s.disk);
+  POLAR_CHECK(s.instances.size() == instances_.size());
+  for (size_t i = 0; i < instances_.size(); i++) {
+    const Snapshot::PerInstance& p = s.instances[i];
+    Instance& inst = instances_[i];
+    inst.store->Restore(p.store);
+    inst.log->Restore(p.log);
+    inst.db->dram_channel()->Restore(p.dram_channel);
+    inst.db->dram_space()->Restore(p.dram_space);
+    inst.db->cache()->Restore(p.cache);
+    inst.db->pool()->RestoreState(*p.pool);
+    inst.db->RestoreEngineState(p.engine);
+  }
+  if (wire_faults_) {
+    // A cold world enters the measure phase with the injector disarmed and
+    // zeroed (it was never armed); match that exactly.
+    injector_.Disarm();
+    injector_.ResetStats();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WorldCache
+// ---------------------------------------------------------------------------
+
+WorldCache::Lease WorldCache::Acquire(const std::string& key) {
+  Entry* entry;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    std::unique_ptr<Entry>& slot = entries_[key];
+    if (slot == nullptr) slot = std::make_unique<Entry>();
+    entry = slot.get();
+  }
+  Lease lease;
+  lease.lock_ = std::unique_lock<std::mutex>(entry->mu);
+  lease.slot_ = &entry->world;
+  return lease;
+}
+
+}  // namespace polarcxl::harness

@@ -1,0 +1,190 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// World construction and deterministic snapshot/fork for the experiment
+// drivers. Every driver used to rebuild the same simulated world — fabric,
+// NICs, disk, instances, loaded tables, warmed pool — from zero for every
+// sweep point and every rep. This module centralizes the build (one copy of
+// the load call sites) and lets drivers capture the post-warmup world once
+// per (config key) and fork it for every run that shares the key.
+//
+// Determinism contract: a forked run is bit-identical to a cold-built run —
+// same lane_steps, metrics, histograms, bandwidth probes. The snapshot is a
+// restore-in-place design: RestoreSnapshot() rewinds the SAME world object
+// back to its captured state, so raw cross-component pointers (MemorySpace
+// homes in the CPU-cache sim, lane closures, charge targets) stay valid and
+// no pointer translation ever happens. Parallel sweeps (POLAR_SWEEP_THREADS)
+// serialize per cache key and parallelize across keys.
+#pragma once
+
+#include <ctime>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/database.h"
+#include "faults/fault_injector.h"
+#include "sim/executor.h"
+#include "storage/disk.h"
+#include "workload/sysbench.h"
+#include "workload/tatp.h"
+#include "workload/tpcc.h"
+
+namespace polarcxl::harness {
+
+// ---------------------------------------------------------------------------
+// Shared load path (the former per-driver Load*Tables call sites)
+// ---------------------------------------------------------------------------
+
+/// Which benchmark's tables to create + populate, and with what shape.
+struct WorkloadSpec {
+  enum class Bench { kSysbench, kTpcc, kTatp };
+  Bench bench = Bench::kSysbench;
+  workload::SysbenchConfig sysbench;
+  workload::TpccConfig tpcc;
+  workload::TatpConfig tatp;
+};
+
+/// Creates and populates the spec's tables on `db`, charging `ctx`.
+Status LoadTables(sim::ExecContext& ctx, engine::Database* db,
+                  const WorkloadSpec& spec);
+
+/// The create-then-load sequence every single-instance driver used to
+/// inline: fresh instance over `env`/`opt`, schema + data from `spec`,
+/// all charged to `ctx` (ctx.cache is pointed at the new instance's cache).
+Result<std::unique_ptr<engine::Database>> CreateAndLoad(
+    sim::ExecContext& ctx, const engine::DatabaseEnv& env,
+    const engine::DatabaseOptions& opt, const WorkloadSpec& spec);
+
+/// CPU time of the calling thread in seconds (wall-split accounting; thread
+/// time keeps parallel sweep workers from polluting each other's numbers).
+inline double ThreadCpuSeconds() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+// ---------------------------------------------------------------------------
+// SimWorld: the shared single-host world of the pooling/chaos drivers
+// ---------------------------------------------------------------------------
+
+/// One simulated host: CXL fabric + switch, RDMA NIC pair, remote memory
+/// pool, client network, shared PolarFS-like disk, and `instances` database
+/// instances loaded with sysbench tables. Identical to what RunPooling and
+/// RunChaos (instances == 1, wire_faults) used to build inline.
+class SimWorld {
+ public:
+  struct Spec {
+    engine::BufferPoolKind kind = engine::BufferPoolKind::kCxl;
+    uint32_t instances = 1;
+    workload::SysbenchConfig sysbench;
+    double lbp_fraction = 0.3;
+    uint64_t cpu_cache_bytes = 28ULL << 20;
+    Nanos group_commit_window = 0;
+    /// Wire the fault injector into fabric/manager/net/disk. Off for the
+    /// fault-free figures so their pools keep the injector-null fast path
+    /// (bit-identical to the pre-snapshot drivers).
+    bool wire_faults = false;
+  };
+
+  explicit SimWorld(const Spec& spec);
+  ~SimWorld();
+  POLAR_DISALLOW_COPY(SimWorld);
+
+  uint32_t num_instances() const {
+    return static_cast<uint32_t>(instances_.size());
+  }
+  engine::Database* db(uint32_t i) { return instances_[i].db.get(); }
+  Nanos setup_end() const { return setup_end_; }
+  sim::Executor& executor() { return executor_; }
+  faults::FaultInjector& injector() { return injector_; }
+  rdma::RdmaNetwork& net() { return net_; }
+  cxl::CxlFabric& fabric() { return fabric_; }
+  rdma::RemoteMemoryPool& remote() { return *remote_; }
+  sim::BandwidthChannel* client_net() { return &client_net_; }
+  storage::SimDisk& disk() { return *disk_; }
+
+  /// Captures the whole simulated state — executor lanes, channels, disk,
+  /// device bytes, page stores, logs, pools, engine state, remote pool —
+  /// into an in-memory snapshot owned by this world. Pure host-side
+  /// copying: zero effect on virtual time. Call after warmup, before the
+  /// measurement window is armed.
+  void CaptureSnapshot();
+  bool has_snapshot() const { return snapshot_ != nullptr; }
+  /// Rewinds the world to the captured state (restore-in-place). The fault
+  /// injector is disarmed and its stats cleared, matching the cold world's
+  /// pre-measure state.
+  void RestoreSnapshot();
+
+ private:
+  struct Instance {
+    std::unique_ptr<storage::PageStore> store;
+    std::unique_ptr<storage::RedoLog> log;
+    std::unique_ptr<engine::Database> db;
+  };
+  struct Snapshot;
+
+  // Destruction order (reverse of declaration) must keep the injector alive
+  // past every component that may hold a pointer to it.
+  faults::FaultInjector injector_;
+  sim::BandwidthModel bw_;
+  cxl::CxlFabric fabric_;
+  cxl::CxlAccessor* host_acc_ = nullptr;
+  std::unique_ptr<cxl::CxlMemoryManager> manager_;
+  rdma::RdmaNetwork net_;
+  std::unique_ptr<rdma::RemoteMemoryPool> remote_;
+  sim::BandwidthChannel client_net_;
+  std::unique_ptr<storage::SimDisk> disk_;
+  std::vector<Instance> instances_;
+  sim::Executor executor_;
+  Nanos setup_end_ = 0;
+  bool wire_faults_ = false;
+  std::unique_ptr<Snapshot> snapshot_;
+};
+
+// ---------------------------------------------------------------------------
+// WorldCache: keyed store of prebuilt worlds
+// ---------------------------------------------------------------------------
+
+/// Base for the driver-specific cached-world wrappers (world + lane state).
+struct CachedWorld {
+  virtual ~CachedWorld() = default;
+};
+
+/// Maps a config key to a prebuilt world. Acquire() hands out a lease that
+/// holds the per-key mutex for the duration of the run: two sweep workers
+/// with the same key serialize (they would race on the one world object),
+/// while distinct keys proceed in parallel. The cache owns the worlds; its
+/// destruction frees them, so sweep loops scope one cache per point when
+/// holding every point's world would blow up memory.
+class WorldCache {
+ public:
+  WorldCache() = default;
+  POLAR_DISALLOW_COPY(WorldCache);
+
+  class Lease {
+   public:
+    Lease() = default;
+    /// Null on miss — the caller builds the world and calls put().
+    CachedWorld* get() const { return slot_ != nullptr ? slot_->get() : nullptr; }
+    void put(std::unique_ptr<CachedWorld> world) { *slot_ = std::move(world); }
+
+   private:
+    friend class WorldCache;
+    std::unique_ptr<CachedWorld>* slot_ = nullptr;
+    std::unique_lock<std::mutex> lock_;
+  };
+
+  Lease Acquire(const std::string& key);
+
+ private:
+  struct Entry {
+    std::mutex mu;
+    std::unique_ptr<CachedWorld> world;
+  };
+  std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace polarcxl::harness

@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/macros.h"
 #include "common/status.h"
@@ -58,6 +60,33 @@ class RdmaNetwork {
   uint64_t total_ops() const { return total_ops_; }
   uint64_t total_bytes() const { return total_bytes_; }
   void ResetStats();
+
+  /// Per-NIC channel ledgers + network counters, keyed by node id (restore
+  /// looks nodes up by key, so map iteration order never matters).
+  struct State {
+    std::vector<std::pair<NodeId, RdmaNic::State>> nics;
+    uint64_t total_ops = 0;
+    uint64_t total_bytes = 0;
+  };
+  State Capture() const {
+    State s;
+    s.nics.reserve(nics_.size());
+    for (const auto& [node, nic] : nics_) {
+      s.nics.emplace_back(node, nic->Capture());
+    }
+    s.total_ops = total_ops_;
+    s.total_bytes = total_bytes_;
+    return s;
+  }
+  void Restore(const State& s) {
+    for (const auto& [node, nic_state] : s.nics) {
+      auto it = nics_.find(node);
+      POLAR_CHECK(it != nics_.end());
+      it->second->Restore(nic_state);
+    }
+    total_ops_ = s.total_ops;
+    total_bytes_ = s.total_bytes;
+  }
 
  private:
   Nanos OneSided(sim::ExecContext& ctx, NodeId src, NodeId dst,

@@ -37,6 +37,16 @@ class RdmaNic {
     doorbell_.ResetStats();
   }
 
+  struct State {
+    sim::BandwidthChannel::State wire;
+    sim::BandwidthChannel::State doorbell;
+  };
+  State Capture() const { return State{wire_.Capture(), doorbell_.Capture()}; }
+  void Restore(const State& s) {
+    wire_.Restore(s.wire);
+    doorbell_.Restore(s.doorbell);
+  }
+
  private:
   std::string name_;
   sim::BandwidthChannel wire_;

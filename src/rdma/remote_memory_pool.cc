@@ -26,10 +26,14 @@ Status RemoteMemoryPool::WritePage(sim::ExecContext& ctx, NodeId client,
     if (pages_.size() >= capacity_pages_) {
       return Status::OutOfMemory("remote memory pool full");
     }
-    it = pages_.emplace(key, std::make_unique<PageImage>()).first;
+    it = pages_.emplace(key, std::make_shared<PageImage>()).first;
+  } else if (it->second.use_count() > 1) {
+    // Copy-on-write: a world snapshot still aliases this image. The whole
+    // page is overwritten below, so a fresh allocation suffices.
+    it->second = std::make_shared<PageImage>();
   }
   network_->Write(ctx, client, server_node_, kPageSize);
-  std::memcpy(it->second->data(), data, kPageSize);
+  std::memcpy(const_cast<uint8_t*>(it->second->data()), data, kPageSize);
   return Status::OK();
 }
 

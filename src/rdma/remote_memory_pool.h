@@ -61,13 +61,25 @@ class RemoteMemoryPool {
   NodeId server_node() const { return server_node_; }
   RdmaNetwork* network() { return network_; }
 
+  /// Copy-on-write snapshot of the stored pages: Capture aliases the page
+  /// payloads; WritePage clones a shared payload before overwriting it.
+  struct State {
+    std::unordered_map<PoolPageKey,
+                       std::shared_ptr<const std::array<uint8_t, kPageSize>>,
+                       PoolPageKeyHash>
+        pages;
+  };
+  State Capture() const { return State{pages_}; }
+  void Restore(const State& s) { pages_ = s.pages; }
+
  private:
   using PageImage = std::array<uint8_t, kPageSize>;
 
   RdmaNetwork* network_;
   NodeId server_node_;
   uint64_t capacity_pages_;
-  std::unordered_map<PoolPageKey, std::unique_ptr<PageImage>, PoolPageKeyHash>
+  std::unordered_map<PoolPageKey, std::shared_ptr<const PageImage>,
+                     PoolPageKeyHash>
       pages_;
 };
 

@@ -63,6 +63,51 @@ class BandwidthChannel {
   /// stays bounded under sustained traffic; the old map grew linearly).
   size_t window_footprint() const { return window_count_; }
 
+  /// Whole mutable state of the channel (ledger ring + counters); the rate
+  /// and window constants are excluded because they are fixed at
+  /// construction. Restore is only valid on a channel built with the same
+  /// constructor arguments as the one captured.
+  struct State {
+    std::vector<uint64_t> ring;
+    size_t ring_mask = 0;
+    int64_t base_window = 0;
+    size_t base_slot = 0;
+    size_t window_count = 0;
+    int64_t pruned_end = 0;
+    Nanos last_completion = 0;
+    Nanos busy_time = 0;
+    uint64_t total_bytes = 0;
+    uint64_t total_transfers = 0;
+  };
+
+  State Capture() const {
+    State s;
+    s.ring = ring_;
+    s.ring_mask = ring_mask_;
+    s.base_window = base_window_;
+    s.base_slot = base_slot_;
+    s.window_count = window_count_;
+    s.pruned_end = pruned_end_;
+    s.last_completion = last_completion_;
+    s.busy_time = busy_time_;
+    s.total_bytes = total_bytes_;
+    s.total_transfers = total_transfers_;
+    return s;
+  }
+
+  void Restore(const State& s) {
+    ring_ = s.ring;
+    ring_mask_ = s.ring_mask;
+    base_window_ = s.base_window;
+    base_slot_ = s.base_slot;
+    window_count_ = s.window_count;
+    pruned_end_ = s.pruned_end;
+    last_completion_ = s.last_completion;
+    busy_time_ = s.busy_time;
+    total_bytes_ = s.total_bytes;
+    total_transfers_ = s.total_transfers;
+  }
+
  private:
   // Hard cap on the ledger span: windows further than this behind the
   // newest tracked window are force-retired (treated as fully consumed).

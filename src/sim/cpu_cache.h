@@ -11,6 +11,7 @@
 // residency/dirtiness are per-set bitmasks so empty sets are skipped in O(1).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -273,6 +274,63 @@ class CpuCacheSim {
   /// Currently resident lines (diagnostics / cheap emptiness checks).
   uint64_t live_lines() const { return live_lines_; }
 
+  // Recent-hit memo (see Access), direct-mapped by line address. tag == 0
+  // means empty; a stale entry is harmless because the slot's tag is
+  // re-checked before use. 256 entries x 32 bytes stays within host L1
+  // while catching well over half of single-line accesses.
+  static constexpr uint32_t kMemoSize = 256;
+  struct Memo {
+    uint64_t tag = 0;
+    size_t slot = 0;
+    uint32_t set = 0;
+    uint64_t bit = 0;
+  };
+
+  /// Full mutable cache state, for world snapshot/restore. homes_ stores
+  /// raw MemorySpace pointers, so a State is only valid for restoring the
+  /// same world instance it was captured from (restore-in-place).
+  struct State {
+    uint32_t tick = 0;
+    uint64_t live_lines = 0;
+    std::vector<Memo> memo;
+    std::vector<uint64_t> tags;
+    std::vector<uint32_t> ticks;
+    std::vector<MemorySpace*> homes;
+    std::vector<uint64_t> valid;
+    std::vector<uint64_t> dirty;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
+  State Capture() const {
+    State s;
+    s.tick = tick_;
+    s.live_lines = live_lines_;
+    s.memo.assign(memo_, memo_ + kMemoSize);
+    s.tags = tags_;
+    s.ticks = ticks_;
+    s.homes = homes_;
+    s.valid = valid_;
+    s.dirty = dirty_;
+    s.hits = hits_;
+    s.misses = misses_;
+    return s;
+  }
+
+  void Restore(const State& s) {
+    POLAR_CHECK(s.tags.size() == tags_.size());
+    tick_ = s.tick;
+    live_lines_ = s.live_lines;
+    std::copy(s.memo.begin(), s.memo.end(), memo_);
+    tags_ = s.tags;
+    ticks_ = s.ticks;
+    homes_ = s.homes;
+    valid_ = s.valid;
+    dirty_ = s.dirty;
+    hits_ = s.hits;
+    misses_ = s.misses;
+  }
+
  private:
   /// Way index holding `tag`, or ways_ if absent. A tag lives in at most
   /// one way of its set (installs happen only on miss), so accumulating an
@@ -315,17 +373,6 @@ class CpuCacheSim {
   uint64_t full_set_mask_;   // low `ways_` bits set
   uint32_t tick_ = 0;
   uint64_t live_lines_ = 0;
-  // Recent-hit memo (see Access), direct-mapped by line address. tag == 0
-  // means empty; a stale entry is harmless because the slot's tag is
-  // re-checked before use. 256 entries x 32 bytes stays within host L1
-  // while catching well over half of single-line accesses.
-  static constexpr uint32_t kMemoSize = 256;
-  struct Memo {
-    uint64_t tag = 0;
-    size_t slot = 0;
-    uint32_t set = 0;
-    uint64_t bit = 0;
-  };
   Memo memo_[kMemoSize];
   // Structure-of-arrays slot state, row-major by set: the probe loop only
   // touches tags_; ticks_/homes_ are visited on hit-refresh/eviction.

@@ -182,4 +182,34 @@ bool Executor::AnyRunnable() const {
   return false;
 }
 
+Executor::State Executor::Capture() const {
+  State s;
+  s.contexts.reserve(lanes_.size());
+  s.parked.reserve(lanes_.size());
+  for (const auto& rec : lanes_) {
+    s.contexts.push_back(rec.ctx);
+    s.parked.push_back(rec.parked ? 1 : 0);
+  }
+  s.total_steps = total_steps_;
+  return s;
+}
+
+void Executor::Restore(const State& s) {
+  POLAR_CHECK(s.contexts.size() == lanes_.size());
+  heap_.clear();
+  stale_entries_ = 0;
+  for (uint32_t id = 0; id < lanes_.size(); id++) {
+    LaneRec& rec = lanes_[id];
+    rec.ctx = s.contexts[id];
+    rec.parked = s.parked[id] != 0;
+    // Bumping the epoch (rather than resetting it) invalidates any heap
+    // entry a caller might still hold conceptually; the rebuilt heap below
+    // is the only live one. Pop order depends only on {at, id}, never on
+    // the heap's internal array layout, so the replay is bit-identical.
+    rec.epoch++;
+    if (!rec.parked) HeapPush({rec.ctx.now, id, rec.epoch});
+  }
+  total_steps_ = s.total_steps;
+}
+
 }  // namespace polarcxl::sim

@@ -97,6 +97,22 @@ class Executor {
   Nanos MaxClock() const;
   bool AnyRunnable() const;
 
+  /// Scheduler state for world snapshot/restore: per-lane contexts + parked
+  /// flags + the step counter. The heap is not captured — pop order is a
+  /// pure function of {ctx.now, id} over runnable lanes (ties break on id),
+  /// so Restore rebuilds it from the restored contexts and replays the
+  /// identical step sequence.
+  struct State {
+    std::vector<ExecContext> contexts;
+    std::vector<uint8_t> parked;
+    uint64_t total_steps = 0;
+  };
+
+  State Capture() const;
+  /// Restores contexts/parked/step-count onto the same lane set (lane code
+  /// and registration order must match the captured executor exactly).
+  void Restore(const State& s);
+
  private:
   struct LaneRec {
     std::unique_ptr<Lane> lane;

@@ -107,6 +107,22 @@ class MemorySpace {
   Nanos queue_delay() const { return queue_delay_; }
   void ResetStats() { demand_bytes_ = writeback_bytes_ = 0; queue_delay_ = 0; }
 
+  /// Stat counters only — the latency/channel Options are construction-time
+  /// constants, and the channels snapshot themselves.
+  struct State {
+    uint64_t demand_bytes = 0;
+    uint64_t writeback_bytes = 0;
+    Nanos queue_delay = 0;
+  };
+  State Capture() const {
+    return State{demand_bytes_, writeback_bytes_, queue_delay_};
+  }
+  void Restore(const State& s) {
+    demand_bytes_ = s.demand_bytes;
+    writeback_bytes_ = s.writeback_bytes;
+    queue_delay_ = s.queue_delay;
+  }
+
  private:
   friend class CpuCacheSim;
 

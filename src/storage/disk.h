@@ -51,6 +51,28 @@ class SimDisk {
   uint64_t write_ops() const { return write_ops_; }
   void ResetStats();
 
+  /// Bandwidth/IOPS ledgers + byte/op counters, for world snapshot/restore.
+  struct State {
+    sim::BandwidthChannel::State channel;
+    sim::BandwidthChannel::State ops;
+    uint64_t read_bytes = 0;
+    uint64_t write_bytes = 0;
+    uint64_t read_ops = 0;
+    uint64_t write_ops = 0;
+  };
+  State Capture() const {
+    return State{channel_.Capture(), ops_.Capture(),
+                 read_bytes_, write_bytes_, read_ops_, write_ops_};
+  }
+  void Restore(const State& s) {
+    channel_.Restore(s.channel);
+    ops_.Restore(s.ops);
+    read_bytes_ = s.read_bytes;
+    write_bytes_ = s.write_bytes;
+    read_ops_ = s.read_ops;
+    write_ops_ = s.write_ops;
+  }
+
  private:
   std::string name_;
   Options opt_;

@@ -19,12 +19,15 @@ void PageStore::WritePage(sim::ExecContext& ctx, PageId page_id,
   disk_->Write(ctx, kPageSize);
   ctx.pages_written_io++;
   if (page_id >= pages_.size()) pages_.resize(page_id + 1);
-  std::unique_ptr<PageImage>& slot = pages_[page_id];
-  if (slot == nullptr) {
-    slot = std::make_unique<PageImage>();
-    num_pages_++;
+  std::shared_ptr<const PageImage>& slot = pages_[page_id];
+  if (slot == nullptr) num_pages_++;
+  // Copy-on-write: if a snapshot still shares this image, swap in a fresh
+  // allocation instead of mutating it. The whole page is overwritten, so
+  // the old contents never need copying.
+  if (slot == nullptr || slot.use_count() > 1) {
+    slot = std::make_shared<PageImage>();
   }
-  std::memcpy(slot->data(), src, kPageSize);
+  std::memcpy(const_cast<uint8_t*>(slot->data()), src, kPageSize);
 }
 
 const uint8_t* PageStore::RawPage(PageId page_id) const {

@@ -37,6 +37,20 @@ class PageStore {
   uint64_t num_pages() const { return num_pages_; }
   SimDisk* disk() { return disk_; }
 
+  /// Copy-on-write snapshot of the durable page images. Capture shares the
+  /// page payloads (cheap: one refcounted pointer per page); WritePage
+  /// replaces a shared slot with a fresh allocation instead of mutating it,
+  /// so captured images stay frozen.
+  struct State {
+    std::vector<std::shared_ptr<const std::array<uint8_t, kPageSize>>> pages;
+    uint64_t num_pages = 0;
+  };
+  State Capture() const { return State{pages_, num_pages_}; }
+  void Restore(const State& s) {
+    pages_ = s.pages;
+    num_pages_ = s.num_pages;
+  }
+
  private:
   using PageImage = std::array<uint8_t, kPageSize>;
 
@@ -45,7 +59,12 @@ class PageStore {
   // counter, so the id space is dense and a flat vector beats a hash table
   // on every checkpoint/recovery access (no hashing, no rehash growth).
   // Holes (never-written ids) cost one null pointer each.
-  std::vector<std::unique_ptr<PageImage>> pages_;
+  //
+  // Payloads are shared_ptr<const ...> so a world snapshot can alias them
+  // (see State); a slot whose payload a snapshot still references is
+  // replaced wholesale on write, never mutated through the const_cast-free
+  // path below.
+  std::vector<std::shared_ptr<const PageImage>> pages_;
   uint64_t num_pages_ = 0;  // non-null entries
 };
 

@@ -191,6 +191,41 @@ class RedoLog {
 
   SimDisk* disk() { return disk_; }
 
+  /// World snapshot of the log. Durable segments are sealed-immutable (a
+  /// flush only ever appends a new segment), so capturing their COUNT is
+  /// enough: restore truncates back to it and any segments sealed after the
+  /// capture vanish. Only the volatile buffer needs a deep copy.
+  struct State {
+    size_t durable_seg_count = 0;
+    std::vector<RedoRecord> buffer;
+    Lsn next_lsn = 0;
+    Lsn flushed_lsn = 0;
+    Lsn checkpoint_lsn = 0;
+    Nanos last_batch_completion = 0;
+    uint64_t next_mtr_id = 1;
+  };
+  State Capture() const {
+    State s;
+    s.durable_seg_count = durable_segs_.size();
+    s.buffer = buffer_;
+    s.next_lsn = next_lsn_;
+    s.flushed_lsn = flushed_lsn_;
+    s.checkpoint_lsn = checkpoint_lsn_;
+    s.last_batch_completion = last_batch_completion_;
+    s.next_mtr_id = next_mtr_id_;
+    return s;
+  }
+  void Restore(const State& s) {
+    POLAR_CHECK(s.durable_seg_count <= durable_segs_.size());
+    durable_segs_.resize(s.durable_seg_count);
+    buffer_ = s.buffer;
+    next_lsn_ = s.next_lsn;
+    flushed_lsn_ = s.flushed_lsn;
+    checkpoint_lsn_ = s.checkpoint_lsn;
+    last_batch_completion_ = s.last_batch_completion;
+    next_mtr_id_ = s.next_mtr_id;
+  }
+
  private:
   /// Moves the whole buffer into the durable portion as one sealed segment
   /// (O(1): a vector swap, no per-record moves or mega-vector regrowth).

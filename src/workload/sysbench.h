@@ -73,6 +73,30 @@ class SysbenchWorkload {
   uint64_t total_queries() const { return total_queries_; }
   uint64_t shared_queries() const { return shared_queries_; }
 
+  /// Mutable driver state for world snapshot/restore: the RNG streams and
+  /// the query counters (the FastDiv tables and scratch are derived /
+  /// semantically inert).
+  struct State {
+    uint64_t rng_state = 0;
+    uint64_t zipf_state = 0;
+    uint64_t total_queries = 0;
+    uint64_t shared_queries = 0;
+  };
+  State Capture() const {
+    State s;
+    s.rng_state = rng_.raw_state();
+    s.zipf_state = zipf_ != nullptr ? zipf_->raw_state() : 0;
+    s.total_queries = total_queries_;
+    s.shared_queries = shared_queries_;
+    return s;
+  }
+  void Restore(const State& s) {
+    rng_.set_raw_state(s.rng_state);
+    if (zipf_ != nullptr) zipf_->set_raw_state(s.zipf_state);
+    total_queries_ = s.total_queries;
+    shared_queries_ = s.shared_queries;
+  }
+
  private:
   engine::Table* PickTable(bool* is_shared);
   uint64_t PickRow();

@@ -3,10 +3,12 @@
 # sanitizer build (ASan+UBSan) of the simulation-core and determinism
 # tests. Run from anywhere; builds land in build/ and build-asan/.
 #
-#   tools/check.sh           # tier-1 + sanitizer pass
-#   tools/check.sh --fast    # tier-1 only
-#   tools/check.sh --bench   # tier-1 + quick-scale bench bit-identity gate
-#   tools/check.sh --faults  # tier-1 + sanitized fault suite + chaos gate
+#   tools/check.sh            # tier-1 + sanitizer pass
+#   tools/check.sh --fast     # tier-1 only
+#   tools/check.sh --bench    # tier-1 + quick-scale bench bit-identity gate
+#   tools/check.sh --faults   # tier-1 + sanitized fault suite + chaos gate
+#   tools/check.sh --snapshot # tier-1 + sanitized snapshot suite +
+#                             #   cold-vs-fork bit-identity on the fig7 point
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -64,6 +66,24 @@ if [[ "${1:-}" == "--faults" ]]; then
     POLAR_CHAOS_EXPECT="$CHAOS_EXPECT_QUICK" \
     build/bench/bench_fig14_fault_resilience
   echo "==> OK (faults mode)"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--snapshot" ]]; then
+  echo "==> snapshot: ASan+UBSan build of the snapshot suite"
+  cmake -B build-asan -S . -DPOLAR_SANITIZE=ON -DPOLAR_LTO=OFF >/dev/null
+  cmake --build build-asan -j "$JOBS" --target snapshot_test >/dev/null
+  echo "==> build-asan/tests/snapshot_test"
+  build-asan/tests/snapshot_test
+  echo "==> snapshot: quick-scale cold-vs-fork bit-identity gate"
+  # Rep 1 builds the fig7 quick-scale world cold; rep 2 forks its snapshot.
+  # Both reps must retire the pinned lane_steps (the bench exits 1 if a
+  # forked rep diverges from the cold one, and POLAR_BENCH_EXPECT pins the
+  # absolute values).
+  POLAR_BENCH_SCALE=0.1 POLAR_BENCH_REPS=2 \
+    POLAR_BENCH_EXPECT="$BENCH_EXPECT_QUICK" \
+    build/bench/bench_sim_throughput
+  echo "==> OK (snapshot mode)"
   exit 0
 fi
 
