@@ -20,6 +20,7 @@
 // repetitions double as the snapshot determinism gate. The setup-vs-measure
 // wall split and the amortization from forking are recorded in the JSON.
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -133,6 +134,53 @@ std::string CarriedProfile() {
     }
   }
   return "";
+}
+
+double SumSelfSec(const std::string& profile) {
+  double sum = 0;
+  size_t pos = 0;
+  while ((pos = profile.find("\"self_sec\":", pos)) != std::string::npos) {
+    pos += 11;
+    sum += std::atof(profile.c_str() + pos);
+  }
+  return sum;
+}
+
+double DomainSelfSec(const std::string& profile, const char* name) {
+  const size_t key = profile.find("\"" + std::string(name) + "\":");
+  if (key == std::string::npos) return 0;
+  const size_t pos = profile.find("\"self_sec\":", key);
+  if (pos == std::string::npos) return 0;
+  return std::atof(profile.c_str() + pos + 11);
+}
+
+/// Fraction of profiled self CPU time spent in the two hot-path domains
+/// (engine + cache_sim). This is the regression surface of the
+/// static-dispatch / SIMD-kernel work: if the pool re-virtualizes or a
+/// probe path bloats, these domains grow relative to the rest of the
+/// simulator. Prefers a fresh POLAR_PROF measurement; falls back to the
+/// committed profile section. Returns a negative value if no profile is
+/// available at all.
+double HotSelfShare() {
+  if (prof::kEnabled) {
+    double hot = 0;
+    double sum = 0;
+    for (const prof::DomainTotals& t : prof::Collect()) {
+      sum += t.self_sec;
+      if (std::strcmp(t.name, "engine") == 0 ||
+          std::strcmp(t.name, "cache_sim") == 0) {
+        hot += t.self_sec;
+      }
+    }
+    return sum > 0 ? hot / sum : -1.0;
+  }
+  const std::string carried = CarriedProfile();
+  if (carried.empty()) return -1.0;
+  const double sum = SumSelfSec(carried);
+  if (sum <= 0) return -1.0;
+  return (DomainSelfSec(carried, "engine") +
+          DomainSelfSec(carried, "cache_sim")) /
+         sum;
 }
 
 /// Per-domain self/total CPU breakdown. The profiler covers the whole
@@ -320,6 +368,38 @@ int Main() {
     }
     std::printf("lane_steps match POLAR_BENCH_EXPECT (%llu, %llu)\n",
                 want_cxl, want_rdma);
+  }
+
+  // Hot-share gate: POLAR_BENCH_MAX_HOT_SHARE="0.93" fails the bench when
+  // the engine+cache_sim domains consume more than that fraction of the
+  // profiled self CPU time. Meaningful on a POLAR_PROF build (fresh
+  // measurement); on other builds it checks the committed profile, which
+  // only moves when a POLAR_PROF run refreshes the JSON.
+  if (const char* max_share = std::getenv("POLAR_BENCH_MAX_HOT_SHARE")) {
+    const double limit = std::atof(max_share);
+    if (limit <= 0 || limit > 1) {
+      std::fprintf(stderr, "bad POLAR_BENCH_MAX_HOT_SHARE: %s\n", max_share);
+      return 2;
+    }
+    const double share = HotSelfShare();
+    if (share < 0) {
+      std::fprintf(stderr,
+                   "POLAR_BENCH_MAX_HOT_SHARE set but no profile available "
+                   "(build with -DPOLAR_PROF=ON or commit one)\n");
+      return 2;
+    }
+    std::printf("hot-path self share (engine+cache_sim, %s): %.1f%% "
+                "(limit %.1f%%)\n",
+                prof::kEnabled ? "fresh" : "committed", 100.0 * share,
+                100.0 * limit);
+    if (share > limit) {
+      std::fprintf(stderr,
+                   "hot-path share regression: %.1f%% > %.1f%% — the "
+                   "engine/cache_sim hot paths grew relative to the rest of "
+                   "the simulator\n",
+                   100.0 * share, 100.0 * limit);
+      return 1;
+    }
   }
   return 0;
 }

@@ -66,9 +66,26 @@ struct PoolSnapshot {
   virtual ~PoolSnapshot() = default;
 };
 
+/// Concrete-type tag for the engine's devirtualized fast path. The three
+/// built-in single-node pools advertise their kind; the mtr layer switches
+/// on it and static_casts to the concrete pool so Fetch/Unfix inline (and
+/// their callees devirtualize under LTO). Pools that don't opt in —
+/// multi-primary sharing pools, test doubles — stay kOther and take the
+/// virtual path; behavior is identical either way.
+enum class PoolKind : uint8_t {
+  kOther = 0,
+  kCxl,
+  kDram,
+  kTieredRdma,
+};
+
 class BufferPool {
  public:
   virtual ~BufferPool() = default;
+
+  /// Concrete-type tag for static dispatch (see PoolKind). Stored, not
+  /// virtual: the whole point is reading it without an indirect call.
+  PoolKind kind() const { return kind_; }
 
   /// Fixes the frame for `page_id`, loading it from the backing tier(s) on
   /// a miss. `for_write` marks the page write-locked for the duration of
@@ -144,7 +161,48 @@ class BufferPool {
     }
   }
 
+  BufferPool() = default;
+  explicit BufferPool(PoolKind kind) : kind_(kind) {}
+
   storage::RedoLog* wal_ = nullptr;
+
+ private:
+  PoolKind kind_ = PoolKind::kOther;
+};
+
+/// CRTP adapter that locks a pool's hot-path entry points to its concrete
+/// implementations. Derived defines the non-virtual FetchImpl / UnfixImpl /
+/// TouchRangeImpl / UpgradeToWriteImpl; the virtual overrides here are
+/// `final` one-line forwards, so (a) virtual callers behave exactly as
+/// before, and (b) the engine's static-dispatch path (MiniTransaction::
+/// FetchFast et al.) calls the Impl methods directly — no vtable load, and
+/// the Impl bodies inline into the mtr layer under LTO. Cold paths
+/// (FlushDirtyPages, snapshots, degraded-mode handling) stay plainly
+/// virtual in Derived.
+template <typename Derived>
+class StaticDispatchPool : public BufferPool {
+ public:
+  explicit StaticDispatchPool(PoolKind kind) : BufferPool(kind) {}
+
+  Result<PageRef> Fetch(sim::ExecContext& ctx, PageId page_id,
+                        bool for_write) final {
+    return self()->FetchImpl(ctx, page_id, for_write);
+  }
+  void Unfix(sim::ExecContext& ctx, const PageRef& ref, PageId page_id,
+             bool dirty, Lsn new_lsn) final {
+    self()->UnfixImpl(ctx, ref, page_id, dirty, new_lsn);
+  }
+  void TouchRange(sim::ExecContext& ctx, const PageRef& ref, uint32_t off,
+                  uint32_t len, bool write) final {
+    self()->TouchRangeImpl(ctx, ref, off, len, write);
+  }
+  Status UpgradeToWrite(sim::ExecContext& ctx, const PageRef& ref,
+                        PageId page_id) final {
+    return self()->UpgradeToWriteImpl(ctx, ref, page_id);
+  }
+
+ private:
+  Derived* self() { return static_cast<Derived*>(this); }
 };
 
 /// Intrusive doubly-linked LRU over block indices, array-backed. Used by

@@ -17,7 +17,8 @@ uint64_t CxlBufferPool::RegionBytes(uint64_t capacity_pages) {
 CxlBufferPool::CxlBufferPool(Options options, MemOffset region,
                              cxl::CxlAccessor* accessor,
                              storage::PageStore* store)
-    : opt_(options),
+    : StaticDispatchPool(PoolKind::kCxl),
+      opt_(options),
       region_(region),
       frames_off_(region + AlignUp(64 + options.capacity_pages * 64,
                                    kPageSize)),
@@ -25,7 +26,12 @@ CxlBufferPool::CxlBufferPool(Options options, MemOffset region,
       store_(store),
       page_table_(static_cast<uint32_t>(options.capacity_pages)),
       fix_count_(options.capacity_pages, 0),
-      dirty_(options.capacity_pages, 0) {}
+      dirty_(options.capacity_pages, 0) {
+  // HeaderRaw/MetaRaw access the device bytes in place as 8-byte-aligned
+  // structs; regions are page-granular so this only fails if the device's
+  // backing allocation itself is misaligned.
+  POLAR_CHECK(reinterpret_cast<uintptr_t>(acc_->Raw(HeaderOff())) % 8 == 0);
+}
 
 Result<std::unique_ptr<CxlBufferPool>> CxlBufferPool::Create(
     sim::ExecContext& ctx, Options options, cxl::CxlAccessor* accessor,
@@ -100,66 +106,78 @@ void CxlBufferPool::ChargeFrameTouch(sim::ExecContext& ctx, uint32_t block,
 }
 
 // ---- list helpers ----
+//
+// These run on every Fetch/Unfix, so the header/meta lines are updated in
+// place through HeaderRaw()/MetaRaw() instead of LoadPod/StorePod struct
+// round trips. The ChargeHeader/ChargeMeta calls reproduce the replaced
+// pairs' charged accesses exactly — same lines, same read/write flags, same
+// order — so simulated time and cache state are unchanged.
 
 void CxlBufferPool::SetLruMutex(sim::ExecContext& ctx, uint32_t v) {
-  CxlPoolHeader h = LoadHeader(ctx);
-  h.lru_mutex = v;
-  StoreHeader(ctx, h);
+  ChargeHeader(ctx, /*write=*/false);
+  HeaderRaw()->lru_mutex = v;
+  ChargeHeader(ctx, /*write=*/true);
 }
 
 uint32_t CxlBufferPool::PopFree(sim::ExecContext& ctx) {
-  CxlPoolHeader h = LoadHeader(ctx);
-  const uint32_t b = h.free_head;
+  ChargeHeader(ctx, /*write=*/false);
+  CxlPoolHeader* h = HeaderRaw();
+  const uint32_t b = h->free_head;
   if (b == kInvalidBlock) return b;
-  const CxlBlockMeta m = LoadMeta(ctx, b);
-  h.free_head = m.next;
-  StoreHeader(ctx, h);
+  ChargeMeta(ctx, b, /*write=*/false);
+  h->free_head = MetaRaw(b)->next;
+  ChargeHeader(ctx, /*write=*/true);
   return b;
 }
 
 void CxlBufferPool::PushFree(sim::ExecContext& ctx, uint32_t block) {
-  CxlPoolHeader h = LoadHeader(ctx);
+  ChargeHeader(ctx, /*write=*/false);
+  CxlPoolHeader* h = HeaderRaw();
   CxlBlockMeta m;
-  m.next = h.free_head;
-  StoreMeta(ctx, block, m);
-  h.free_head = block;
-  StoreHeader(ctx, h);
+  m.next = h->free_head;
+  ChargeMeta(ctx, block, /*write=*/true);
+  *MetaRaw(block) = m;
+  h->free_head = block;
+  ChargeHeader(ctx, /*write=*/true);
 }
 
 void CxlBufferPool::InUseUnlink(sim::ExecContext& ctx,
                                 const CxlBlockMeta& m) {
-  CxlPoolHeader h = LoadHeader(ctx);
+  ChargeHeader(ctx, /*write=*/false);
+  CxlPoolHeader* h = HeaderRaw();
   if (m.prev != kInvalidBlock) {
-    CxlBlockMeta p = LoadMeta(ctx, m.prev);
-    p.next = m.next;
-    StoreMeta(ctx, m.prev, p);
+    ChargeMeta(ctx, m.prev, /*write=*/false);
+    ChargeMeta(ctx, m.prev, /*write=*/true);
+    MetaRaw(m.prev)->next = m.next;
   } else {
-    h.inuse_head = m.next;
+    h->inuse_head = m.next;
   }
   if (m.next != kInvalidBlock) {
-    CxlBlockMeta n = LoadMeta(ctx, m.next);
-    n.prev = m.prev;
-    StoreMeta(ctx, m.next, n);
+    ChargeMeta(ctx, m.next, /*write=*/false);
+    ChargeMeta(ctx, m.next, /*write=*/true);
+    MetaRaw(m.next)->prev = m.prev;
   } else {
-    h.inuse_tail = m.prev;
+    h->inuse_tail = m.prev;
   }
-  StoreHeader(ctx, h);
+  ChargeHeader(ctx, /*write=*/true);
 }
 
 void CxlBufferPool::InUsePushFront(sim::ExecContext& ctx, uint32_t block,
                                    CxlBlockMeta* m) {
-  CxlPoolHeader h = LoadHeader(ctx);
+  ChargeHeader(ctx, /*write=*/false);
+  CxlPoolHeader* h = HeaderRaw();
   m->prev = kInvalidBlock;
-  m->next = h.inuse_head;
-  if (h.inuse_head != kInvalidBlock) {
-    CxlBlockMeta old = LoadMeta(ctx, h.inuse_head);
-    old.prev = block;
-    StoreMeta(ctx, h.inuse_head, old);
+  m->next = h->inuse_head;
+  if (h->inuse_head != kInvalidBlock) {
+    ChargeMeta(ctx, h->inuse_head, /*write=*/false);
+    ChargeMeta(ctx, h->inuse_head, /*write=*/true);
+    MetaRaw(h->inuse_head)->prev = block;
   }
-  h.inuse_head = block;
-  if (h.inuse_tail == kInvalidBlock) h.inuse_tail = block;
-  StoreHeader(ctx, h);
-  StoreMeta(ctx, block, *m);
+  h->inuse_head = block;
+  if (h->inuse_tail == kInvalidBlock) h->inuse_tail = block;
+  ChargeHeader(ctx, /*write=*/true);
+  ChargeMeta(ctx, block, /*write=*/true);
+  *MetaRaw(block) = *m;
 }
 
 uint32_t CxlBufferPool::EvictTail(sim::ExecContext& ctx) {
@@ -187,8 +205,8 @@ uint32_t CxlBufferPool::EvictTail(sim::ExecContext& ctx) {
 
 // ---- BufferPool interface ----
 
-Result<PageRef> CxlBufferPool::Fetch(sim::ExecContext& ctx, PageId page_id,
-                                     bool for_write) {
+Result<PageRef> CxlBufferPool::FetchImpl(sim::ExecContext& ctx,
+                                         PageId page_id, bool for_write) {
   if (acc_->HasFaultInjector()) {
     Status fault = acc_->CheckFault(ctx);
     if (!fault.ok()) {
@@ -200,7 +218,14 @@ Result<PageRef> CxlBufferPool::Fetch(sim::ExecContext& ctx, PageId page_id,
   if (found != PageMap::kNotFound) {
     stats_.hits++;
     const uint32_t b = found;
-    CxlBlockMeta m = LoadMeta(ctx, b);
+    // Arm the deferred-charge log: the hit path's ~15 single-line metadata
+    // charges (meta read + mutex/unlink/push-front/mutex) are collected and
+    // issued by FlushCharges as one fused TouchSeqMasked call, in the exact
+    // order the immediate charges would have run.
+    ChargeLog log;
+    charge_log_ = &log;
+    ChargeMeta(ctx, b, /*write=*/false);
+    CxlBlockMeta m = *MetaRaw(b);
     if (for_write) m.lock_state = 1;
     // Move to front of the in-use list (LRU), guarded by the CXL-mirrored
     // mutex so recovery can detect a torn update.
@@ -208,6 +233,7 @@ Result<PageRef> CxlBufferPool::Fetch(sim::ExecContext& ctx, PageId page_id,
     InUseUnlink(ctx, m);
     InUsePushFront(ctx, b, &m);
     SetLruMutex(ctx, 0);
+    FlushCharges(ctx, log);
     fix_count_[b]++;
     return PageRef{b, FrameRaw(b), acc_->space(), acc_->PhysAddr(FrameOff(b))};
   }
@@ -277,8 +303,8 @@ Result<PageRef> CxlBufferPool::FetchDegraded(sim::ExecContext& ctx,
   return Status::Busy("all degraded-mode fallback frames fixed");
 }
 
-void CxlBufferPool::Unfix(sim::ExecContext& ctx, const PageRef& ref,
-                          PageId page_id, bool dirty, Lsn new_lsn) {
+void CxlBufferPool::UnfixImpl(sim::ExecContext& ctx, const PageRef& ref,
+                              PageId page_id, bool dirty, Lsn new_lsn) {
   (void)page_id;
   const uint32_t b = ref.block;
   if (b >= num_blocks()) {
@@ -290,31 +316,34 @@ void CxlBufferPool::Unfix(sim::ExecContext& ctx, const PageRef& ref,
   }
   POLAR_CHECK(fix_count_[b] > 0);
   fix_count_[b]--;
-  CxlBlockMeta m = LoadMeta(ctx, b);
+  // In-place meta update; charges match the old load/store struct pair.
+  ChargeMeta(ctx, b, /*write=*/false);
+  CxlBlockMeta* m = MetaRaw(b);
   if (dirty) {
     dirty_[b] = 1;
-    if (new_lsn > m.lsn) m.lsn = new_lsn;
+    if (new_lsn > m->lsn) m->lsn = new_lsn;
   }
-  if (fix_count_[b] == 0) m.lock_state = 0;
-  StoreMeta(ctx, b, m);
+  if (fix_count_[b] == 0) m->lock_state = 0;
+  ChargeMeta(ctx, b, /*write=*/true);
 }
 
-Status CxlBufferPool::UpgradeToWrite(sim::ExecContext& ctx,
-                                     const PageRef& ref, PageId page_id) {
+Status CxlBufferPool::UpgradeToWriteImpl(sim::ExecContext& ctx,
+                                         const PageRef& ref, PageId page_id) {
   (void)page_id;
   if (ref.block >= num_blocks()) {
     // A degraded read fix cannot be promoted: writes need the real frame.
     stats_.fault_rejections++;
     return Status::IOError("cxl device down: cannot upgrade fallback frame");
   }
-  CxlBlockMeta m = LoadMeta(ctx, ref.block);
-  m.lock_state = 1;
-  StoreMeta(ctx, ref.block, m);
+  ChargeMeta(ctx, ref.block, /*write=*/false);
+  MetaRaw(ref.block)->lock_state = 1;
+  ChargeMeta(ctx, ref.block, /*write=*/true);
   return Status::OK();
 }
 
-void CxlBufferPool::TouchRange(sim::ExecContext& ctx, const PageRef& ref,
-                               uint32_t off, uint32_t len, bool write) {
+void CxlBufferPool::TouchRangeImpl(sim::ExecContext& ctx,
+                                   const PageRef& ref, uint32_t off,
+                                   uint32_t len, bool write) {
   if (ref.block >= num_blocks()) return;  // local scratch frame: uncharged
   acc_->Touch(ctx, FrameOff(ref.block) + off, len, write);
 }

@@ -47,7 +47,7 @@ struct CxlBlockMeta {
 };
 static_assert(sizeof(CxlBlockMeta) == 64);
 
-class CxlBufferPool final : public BufferPool {
+class CxlBufferPool final : public StaticDispatchPool<CxlBufferPool> {
  public:
   static constexpr uint64_t kMagic = 0x504F4C41524358ULL;  // "POLARCX"
 
@@ -73,14 +73,17 @@ class CxlBufferPool final : public BufferPool {
       cxl::CxlAccessor* accessor, storage::PageStore* store);
 
   // ---- BufferPool interface ----
-  Result<PageRef> Fetch(sim::ExecContext& ctx, PageId page_id,
-                        bool for_write) override;
-  void Unfix(sim::ExecContext& ctx, const PageRef& ref, PageId page_id,
-             bool dirty, Lsn new_lsn) override;
-  Status UpgradeToWrite(sim::ExecContext& ctx, const PageRef& ref,
-                        PageId page_id) override;
-  void TouchRange(sim::ExecContext& ctx, const PageRef& ref, uint32_t off,
-                  uint32_t len, bool write) override;
+  // The hot trio + UpgradeToWrite are the *Impl methods below, reachable
+  // both virtually (via StaticDispatchPool's final forwards) and directly
+  // (the engine's PoolKind::kCxl static-dispatch path).
+  Result<PageRef> FetchImpl(sim::ExecContext& ctx, PageId page_id,
+                            bool for_write);
+  void UnfixImpl(sim::ExecContext& ctx, const PageRef& ref, PageId page_id,
+                 bool dirty, Lsn new_lsn);
+  Status UpgradeToWriteImpl(sim::ExecContext& ctx, const PageRef& ref,
+                            PageId page_id);
+  void TouchRangeImpl(sim::ExecContext& ctx, const PageRef& ref, uint32_t off,
+                      uint32_t len, bool write);
   void FlushDirtyPages(sim::ExecContext& ctx) override;
   bool Cached(PageId page_id) const override;
   uint64_t capacity_pages() const override { return opt_.capacity_pages; }
@@ -162,6 +165,60 @@ class CxlBufferPool final : public BufferPool {
     return frames_off_ + static_cast<MemOffset>(block) * kPageSize;
   }
 
+  /// In-place views of the CXL-resident header/meta lines, for the hot list
+  /// helpers: field updates go straight to device memory instead of
+  /// load-struct / modify / store-struct round trips (~1.3 KB of 64-byte
+  /// copies per Fetch). Every use still issues the same charged Touches in
+  /// the same order as the LoadPod/StorePod pairs it replaces — only the
+  /// host-side copying is gone. Legal in-place: both structs are trivially
+  /// copyable aggregates and the constructor checks the region's alignment.
+  CxlPoolHeader* HeaderRaw() {
+    return reinterpret_cast<CxlPoolHeader*>(acc_->Raw(HeaderOff()));
+  }
+  CxlBlockMeta* MetaRaw(uint32_t block) {
+    return reinterpret_cast<CxlBlockMeta*>(acc_->Raw(MetaOff(block)));
+  }
+  /// Deferred-charge log for the fused Fetch/Unfix metadata path. While a
+  /// log is armed (charge_log_ != nullptr), ChargeHeader/ChargeMeta append
+  /// (offset, write) pairs instead of charging immediately; FlushCharges
+  /// then issues the whole sequence as one MemorySpace::TouchSeqMasked call
+  /// — same lines, flags and order as the immediate charges, one kernel
+  /// call instead of ~15. All entries are single 64-byte lines.
+  struct ChargeLog {
+    static constexpr uint32_t kMax = 24;
+    uint32_t offs[kMax];  // relative to region_
+    uint32_t n = 0;
+    uint64_t write_mask = 0;
+  };
+
+  /// Charge one header/meta line access (what LoadPod/StorePod charged).
+  void ChargeHeader(sim::ExecContext& ctx, bool write) {
+    if (charge_log_ != nullptr) {
+      AppendCharge(0, write);
+      return;
+    }
+    acc_->Touch(ctx, HeaderOff(), sizeof(CxlPoolHeader), write);
+  }
+  void ChargeMeta(sim::ExecContext& ctx, uint32_t block, bool write) {
+    if (charge_log_ != nullptr) {
+      AppendCharge(static_cast<uint32_t>(MetaOff(block) - region_), write);
+      return;
+    }
+    acc_->Touch(ctx, MetaOff(block), sizeof(CxlBlockMeta), write);
+  }
+  void AppendCharge(uint32_t rel_off, bool write) {
+    ChargeLog* log = charge_log_;
+    POLAR_CHECK(log->n < ChargeLog::kMax);
+    log->write_mask |= static_cast<uint64_t>(write) << log->n;
+    log->offs[log->n++] = rel_off;
+  }
+  void FlushCharges(sim::ExecContext& ctx, const ChargeLog& log) {
+    charge_log_ = nullptr;
+    acc_->space()->TouchSeqMasked(ctx, acc_->PhysAddr(region_), log.offs,
+                                  /*lens=*/nullptr, log.n,
+                                  sizeof(CxlBlockMeta), log.write_mask);
+  }
+
   void FormatFresh(sim::ExecContext& ctx);
 
   // List helpers; every pointer update is a charged CXL access. The mutex
@@ -184,6 +241,7 @@ class CxlBufferPool final : public BufferPool {
   std::vector<uint8_t> dirty_;                       // DRAM; lost on crash
   std::vector<EmergencyFrame> emergency_;  // lazily sized, degraded mode only
   BufferPoolStats stats_;
+  ChargeLog* charge_log_ = nullptr;  // armed only inside the fused hot paths
 };
 
 }  // namespace polarcxl::bufferpool

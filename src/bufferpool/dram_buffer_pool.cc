@@ -4,7 +4,8 @@ namespace polarcxl::bufferpool {
 
 DramBufferPool::DramBufferPool(Options options, sim::MemorySpace* dram,
                                storage::PageStore* store)
-    : opt_(options),
+    : StaticDispatchPool(PoolKind::kDram),
+      opt_(options),
       dram_(dram),
       store_(store),
       frames_(opt_.capacity_pages * kPageSize),
@@ -44,7 +45,7 @@ uint32_t DramBufferPool::AllocBlock(sim::ExecContext& ctx) {
   return kInvalidBlock;
 }
 
-Result<PageRef> DramBufferPool::Fetch(sim::ExecContext& ctx, PageId page_id,
+Result<PageRef> DramBufferPool::FetchImpl(sim::ExecContext& ctx, PageId page_id,
                                       bool for_write) {
   (void)for_write;  // DRAM pools keep no durable lock state
   stats_.fetches++;
@@ -73,7 +74,7 @@ Result<PageRef> DramBufferPool::Fetch(sim::ExecContext& ctx, PageId page_id,
   return PageRef{b, FrameData(b), dram_, FrameAddr(b)};
 }
 
-void DramBufferPool::Unfix(sim::ExecContext& ctx, const PageRef& ref,
+void DramBufferPool::UnfixImpl(sim::ExecContext& ctx, const PageRef& ref,
                            PageId page_id, bool dirty, Lsn new_lsn) {
   (void)ctx;
   (void)page_id;
@@ -86,7 +87,7 @@ void DramBufferPool::Unfix(sim::ExecContext& ctx, const PageRef& ref,
   }
 }
 
-void DramBufferPool::TouchRange(sim::ExecContext& ctx, const PageRef& ref,
+void DramBufferPool::TouchRangeImpl(sim::ExecContext& ctx, const PageRef& ref,
                                 uint32_t off, uint32_t len, bool write) {
   dram_->Touch(ctx, FrameAddr(ref.block) + off, len, write);
 }

@@ -8,7 +8,8 @@ TieredRdmaBufferPool::TieredRdmaBufferPool(Options options,
                                            sim::MemorySpace* dram,
                                            rdma::RemoteMemoryPool* remote,
                                            storage::PageStore* store)
-    : opt_(options),
+    : StaticDispatchPool(PoolKind::kTieredRdma),
+      opt_(options),
       dram_(dram),
       remote_(remote),
       store_(store),
@@ -82,7 +83,7 @@ uint32_t TieredRdmaBufferPool::AllocBlock(sim::ExecContext& ctx) {
   return kInvalidBlock;
 }
 
-Result<PageRef> TieredRdmaBufferPool::Fetch(sim::ExecContext& ctx,
+Result<PageRef> TieredRdmaBufferPool::FetchImpl(sim::ExecContext& ctx,
                                             PageId page_id, bool for_write) {
   (void)for_write;
   stats_.fetches++;
@@ -125,7 +126,7 @@ Result<PageRef> TieredRdmaBufferPool::Fetch(sim::ExecContext& ctx,
   return PageRef{b, FrameData(b), dram_, FrameAddr(b)};
 }
 
-void TieredRdmaBufferPool::Unfix(sim::ExecContext& ctx, const PageRef& ref,
+void TieredRdmaBufferPool::UnfixImpl(sim::ExecContext& ctx, const PageRef& ref,
                                  PageId page_id, bool dirty, Lsn new_lsn) {
   (void)ctx;
   (void)page_id;
@@ -138,7 +139,7 @@ void TieredRdmaBufferPool::Unfix(sim::ExecContext& ctx, const PageRef& ref,
   }
 }
 
-void TieredRdmaBufferPool::TouchRange(sim::ExecContext& ctx,
+void TieredRdmaBufferPool::TouchRangeImpl(sim::ExecContext& ctx,
                                       const PageRef& ref, uint32_t off,
                                       uint32_t len, bool write) {
   dram_->Touch(ctx, FrameAddr(ref.block) + off, len, write);

@@ -18,7 +18,7 @@
 
 namespace polarcxl::bufferpool {
 
-class TieredRdmaBufferPool final : public BufferPool {
+class TieredRdmaBufferPool final : public StaticDispatchPool<TieredRdmaBufferPool> {
  public:
   struct Options {
     /// Local buffer pool capacity (the paper sweeps 10%..100% of the
@@ -34,12 +34,21 @@ class TieredRdmaBufferPool final : public BufferPool {
                        storage::PageStore* store);
   POLAR_DISALLOW_COPY(TieredRdmaBufferPool);
 
-  Result<PageRef> Fetch(sim::ExecContext& ctx, PageId page_id,
-                        bool for_write) override;
-  void Unfix(sim::ExecContext& ctx, const PageRef& ref, PageId page_id,
-             bool dirty, Lsn new_lsn) override;
-  void TouchRange(sim::ExecContext& ctx, const PageRef& ref, uint32_t off,
-                  uint32_t len, bool write) override;
+  // Hot trio as *Impl: reachable virtually via StaticDispatchPool's final
+  // forwards and directly via the engine's PoolKind::kTieredRdma dispatch.
+  Result<PageRef> FetchImpl(sim::ExecContext& ctx, PageId page_id,
+                            bool for_write);
+  void UnfixImpl(sim::ExecContext& ctx, const PageRef& ref, PageId page_id,
+                 bool dirty, Lsn new_lsn);
+  void TouchRangeImpl(sim::ExecContext& ctx, const PageRef& ref, uint32_t off,
+                      uint32_t len, bool write);
+  Status UpgradeToWriteImpl(sim::ExecContext& ctx, const PageRef& ref,
+                            PageId page_id) {
+    (void)ctx;
+    (void)ref;
+    (void)page_id;
+    return Status::OK();
+  }
   void FlushDirtyPages(sim::ExecContext& ctx) override;
   bool Cached(PageId page_id) const override;
   uint64_t capacity_pages() const override { return opt_.lbp_capacity_pages; }

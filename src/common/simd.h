@@ -1,0 +1,44 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// Compile-time SIMD level selection for the host-side hot kernels (intra-
+// node B+tree search, cache-sim tag probes). The kernels only accelerate
+// *host* computation — simulated time and cache state must be bit-identical
+// across levels, which tests/kernel_test.cc checks against the scalar
+// references and CI re-checks with a POLAR_NO_SIMD=ON leg.
+//
+// Levels (highest available wins):
+//   POLAR_SIMD_AVX2  — 256-bit compares + gathers (-march=x86-64-v3, the
+//                      default build)
+//   POLAR_SIMD_SSE41 — 128-bit 64-bit-lane compares (baseline x86-64 plus
+//                      SSE4.1; SSE2 alone has no 64-bit compare)
+//   neither          — portable scalar fallback (POLAR_PORTABLE pre-SSE4.1
+//                      targets, non-x86 hosts, or POLAR_NO_SIMD=ON)
+#pragma once
+
+#if !defined(POLAR_NO_SIMD) && defined(__AVX2__)
+#define POLAR_SIMD_AVX2 1
+#else
+#define POLAR_SIMD_AVX2 0
+#endif
+
+#if !POLAR_SIMD_AVX2 && !defined(POLAR_NO_SIMD) && defined(__SSE4_1__)
+#define POLAR_SIMD_SSE41 1
+#else
+#define POLAR_SIMD_SSE41 0
+#endif
+
+#if POLAR_SIMD_AVX2 || POLAR_SIMD_SSE41
+#include <immintrin.h>
+#endif
+
+namespace polarcxl {
+
+/// Human-readable level for bench/test reports.
+#if POLAR_SIMD_AVX2
+inline constexpr const char* kSimdLevel = "avx2";
+#elif POLAR_SIMD_SSE41
+inline constexpr const char* kSimdLevel = "sse4.1";
+#else
+inline constexpr const char* kSimdLevel = "scalar";
+#endif
+
+}  // namespace polarcxl

@@ -8,12 +8,6 @@ namespace polarcxl::engine {
 
 namespace {
 constexpr uint16_t kInternalValueSize = 4;  // child PageId
-
-/// Charges the probe reads a LowerBound/ChildIndexFor made.
-void ChargeProbes(MiniTransaction& mtr, MiniTransaction::Handle* h,
-                  const ProbeList& probes) {
-  for (uint32_t off : probes) mtr.ChargeRead(h, off, kKeySize);
-}
 }  // namespace
 
 BTree::BTree(bufferpool::BufferPool* pool, storage::RedoLog* log,
@@ -73,7 +67,7 @@ Result<MiniTransaction::Handle*> BTree::DescendToLeaf(MiniTransaction& mtr,
     }
     ProbeList probes;
     const uint16_t ci = page.ChildIndexFor(key, &probes);
-    ChargeProbes(mtr, *h, probes);
+    mtr.ChargeReadSeq(*h, probes, kKeySize);
     current = page.ChildAt(ci);
     // Latch crabbing: interior latches are released as soon as the child
     // is known; only the leaf fix is carried to commit.
@@ -151,7 +145,7 @@ Status BTree::SplitPathTo(sim::ExecContext& ctx, uint64_t key) {
       if (page.is_leaf()) break;
       ProbeList probes;
       const uint16_t ci = page.ChildIndexFor(key, &probes);
-      ChargeProbes(probe, *h, probes);
+      probe.ChargeReadSeq(*h, probes, kKeySize);
       current = page.ChildAt(ci);
     }
     probe.Commit();
@@ -218,7 +212,7 @@ Status BTree::SplitPathTo(sim::ExecContext& ctx, uint64_t key) {
 
     ProbeList probes;
     uint16_t ci = ppage.ChildIndexFor(key, &probes);
-    ChargeProbes(mtr, *ph, probes);
+    mtr.ChargeReadSeq(*ph, probes, kKeySize);
     PageId child_id = ppage.ChildAt(ci);
 
     auto chh = mtr.GetPage(child_id, /*for_write=*/true);
@@ -263,7 +257,7 @@ Status BTree::Insert(sim::ExecContext& ctx, uint64_t key, Slice value) {
     ProbeList probes;
     uint16_t idx;
     if (page.Find(key, &idx, &probes)) {
-      ChargeProbes(mtr, *leaf, probes);
+      mtr.ChargeReadSeq(*leaf, probes, kKeySize);
       mtr.Commit();
       return Status::InvalidArgument("duplicate key");
     }
@@ -303,7 +297,7 @@ Status BTree::UpdatePartial(sim::ExecContext& ctx, uint64_t key, uint32_t off,
   ProbeList probes;
   uint16_t idx;
   const bool found = page.Find(key, &idx, &probes);
-  ChargeProbes(mtr, *leaf, probes);
+  mtr.ChargeReadSeq(*leaf, probes, kKeySize);
   if (!found) {
     mtr.Commit();
     return Status::NotFound("key absent");
@@ -334,12 +328,22 @@ Status BTree::GetTo(sim::ExecContext& ctx, uint64_t key, std::string* out) {
   ProbeList probes;
   uint16_t idx;
   const bool found = page.Find(key, &idx, &probes);
-  ChargeProbes(mtr, *leaf, probes);
   if (!found) {
+    mtr.ChargeReadSeq(*leaf, probes, kKeySize);
     mtr.Commit();
     return Status::NotFound("key absent");
   }
-  mtr.ChargeRead(*leaf, page.EntryOffset(idx) + kKeySize, value_size_);
+  // Fuse the probe charges and the payload charge into one batched kernel
+  // call (charge order unchanged: probes in search order, then the value).
+  uint32_t offs[ProbeList::kMaxProbes + 1];
+  uint32_t lens[ProbeList::kMaxProbes + 1];
+  for (uint32_t p = 0; p < probes.count; p++) {
+    offs[p] = probes.offs[p];
+    lens[p] = kKeySize;
+  }
+  offs[probes.count] = page.EntryOffset(idx) + kKeySize;
+  lens[probes.count] = value_size_;
+  mtr.ChargeReadBatch(*leaf, offs, lens, probes.count + 1, 0);
   out->assign(reinterpret_cast<const char*>(page.ValueAt(idx)), value_size_);
   mtr.Commit();
   return Status::OK();
@@ -358,9 +362,13 @@ Status BTree::Delete(sim::ExecContext& ctx, uint64_t key) {
   return erased ? Status::OK() : Status::NotFound("key absent");
 }
 
-Result<size_t> BTree::Scan(sim::ExecContext& ctx, uint64_t start_key,
-                           size_t count,
-                           std::vector<std::pair<uint64_t, std::string>>* out) {
+/// Shared scan loop: `emit(key, data)` is called once per row in scan
+/// order. Both materializing surfaces (pair-vector Scan, caller-scratch
+/// ScanTo) and the charge-only form (null output) compile down to this one
+/// body with the emit inlined away.
+template <typename Emit>
+Result<size_t> BTree::ScanCore(sim::ExecContext& ctx, uint64_t start_key,
+                               size_t count, Emit&& emit) {
   POLAR_PROF_SCOPE(kEngine);
   MiniTransaction mtr(ctx, pool_, log_);
   auto leaf = DescendToLeaf(mtr, start_key, /*leaf_for_write=*/false);
@@ -373,7 +381,7 @@ Result<size_t> BTree::Scan(sim::ExecContext& ctx, uint64_t start_key,
   PageView page = mtr.View(h);
   ProbeList probes;
   uint16_t i = page.LowerBound(start_key, &probes);
-  ChargeProbes(mtr, h, probes);
+  mtr.ChargeReadSeq(h, probes, kKeySize);
   while (read < count) {
     if (i >= page.nkeys()) {
       const PageId next = page.next_leaf();
@@ -399,18 +407,35 @@ Result<size_t> BTree::Scan(sim::ExecContext& ctx, uint64_t start_key,
                    take * page.entry_size());
     for (uint16_t e = 0; e < take; e++) {
       mtr.ctx().Advance(costs_->per_row_cpu);
-      if (out != nullptr) {
-        out->emplace_back(page.KeyAt(i + e),
-                          std::string(reinterpret_cast<const char*>(
-                                          page.ValueAt(i + e)),
-                                      value_size_));
-      }
+      emit(page.KeyAt(i + e),
+           reinterpret_cast<const char*>(page.ValueAt(i + e)));
     }
     read += take;
     i = static_cast<uint16_t>(i + take);
   }
   mtr.Commit();
   return read;
+}
+
+Result<size_t> BTree::Scan(sim::ExecContext& ctx, uint64_t start_key,
+                           size_t count,
+                           std::vector<std::pair<uint64_t, std::string>>* out) {
+  if (out == nullptr) {
+    return ScanCore(ctx, start_key, count,
+                    [](uint64_t, const char*) {});
+  }
+  return ScanCore(ctx, start_key, count,
+                  [&](uint64_t key, const char* data) {
+                    out->emplace_back(key, std::string(data, value_size_));
+                  });
+}
+
+Result<size_t> BTree::ScanTo(sim::ExecContext& ctx, uint64_t start_key,
+                             size_t count, ScanBuffer* out) {
+  return ScanCore(ctx, start_key, count,
+                  [&](uint64_t key, const char* data) {
+                    out->Append(key, data, value_size_);
+                  });
 }
 
 Result<uint64_t> BTree::CountAll(sim::ExecContext& ctx) {

@@ -72,12 +72,12 @@ Result<MiniTransaction::Handle*> MiniTransaction::GetPage(PageId page_id,
   });
   if (found != nullptr) {
     if (for_write && !found->write_fixed) {
-      POLAR_RETURN_IF_ERROR(pool_->UpgradeToWrite(ctx_, found->ref, page_id));
+      POLAR_RETURN_IF_ERROR(UpgradeToWriteFast(found->ref, page_id));
       found->write_fixed = true;
     }
     return found;
   }
-  auto ref = pool_->Fetch(ctx_, page_id, for_write);
+  auto ref = FetchFast(page_id, for_write);
   if (!ref.ok()) return ref.status();
   return handles_.Add(&scratch_->arena,
                       Handle{page_id, *ref, for_write, false, 0});
@@ -86,7 +86,7 @@ Result<MiniTransaction::Handle*> MiniTransaction::GetPage(PageId page_id,
 void MiniTransaction::ReleaseEarly(Handle* h) {
   POLAR_CHECK_MSG(!h->dirty && !h->write_fixed,
                   "early release is only for clean read fixes");
-  pool_->Unfix(ctx_, h->ref, h->id, /*dirty=*/false, 0);
+  UnfixFast(h->ref, h->id, /*dirty=*/false, 0);
   h->id = kInvalidPageId;  // dedup and Commit() skip released handles
   h->ref = bufferpool::PageRef{};
 }
@@ -135,7 +135,7 @@ void MiniTransaction::InsertEntry(Handle* h, uint64_t key,
   PageView page(h->ref.data);
   ProbeList probes;
   const uint16_t index = page.LowerBound(key, &probes);
-  for (uint32_t off : probes) ChargeRead(h, off, kKeySize);
+  ChargeReadSeq(h, probes, kKeySize);
   page.InsertEntryRaw(index, key, value);
   const uint32_t entry_bytes = page.entry_size();
   TouchFrame(h, page.EntryOffset(index),
@@ -154,7 +154,7 @@ bool MiniTransaction::EraseEntry(Handle* h, uint64_t key) {
   ProbeList probes;
   uint16_t index;
   const bool found = page.Find(key, &index, &probes);
-  for (uint32_t off : probes) ChargeRead(h, off, kKeySize);
+  ChargeReadSeq(h, probes, kKeySize);
   if (!found) return false;
   page.EraseEntryRaw(index);
   TouchFrame(h, page.EntryOffset(index),
@@ -193,7 +193,7 @@ Lsn MiniTransaction::Commit() {
       page.set_lsn(h.last_lsn);
       TouchFrame(&h, PageOffsets::kLsn, 8, /*write=*/true);
     }
-    pool_->Unfix(ctx_, h.ref, h.id, h.dirty, h.last_lsn);
+    UnfixFast(h.ref, h.id, h.dirty, h.last_lsn);
   });
   handles_.clear();
   ReleaseScratch(scratch_);

@@ -11,6 +11,9 @@
 #include <vector>
 
 #include "bufferpool/buffer_pool.h"
+#include "bufferpool/cxl_buffer_pool.h"
+#include "bufferpool/dram_buffer_pool.h"
+#include "bufferpool/tiered_rdma_buffer_pool.h"
 #include "common/arena.h"
 #include "common/status.h"
 #include "engine/page.h"
@@ -48,6 +51,30 @@ class MiniTransaction {
   /// reach MemorySpace::Touch without a virtual TouchRange dispatch.
   void ChargeRead(Handle* h, uint32_t off, uint32_t len) {
     TouchFrame(h, off, len, /*write=*/false);
+  }
+
+  /// Charges a whole probe list (uniform `len` bytes per offset) in one
+  /// fused MemorySpace::TouchSeq call — simulated state and time are
+  /// identical to calling ChargeRead() per probe in order, but one lane
+  /// step pays the per-call overhead once instead of per slot.
+  void ChargeReadSeq(Handle* h, const ProbeList& probes, uint32_t len) {
+    ChargeReadBatch(h, probes.offs, nullptr, probes.count, len);
+  }
+
+  /// General fused read charge: element i reads `lens ? lens[i] : len`
+  /// bytes at page offset offs[i]. Used to fuse a point lookup's probe
+  /// charges with its payload charge into a single kernel call.
+  void ChargeReadBatch(Handle* h, const uint32_t* offs, const uint32_t* lens,
+                       uint32_t n, uint32_t len) {
+    const bufferpool::PageRef& r = h->ref;
+    if (r.space != nullptr) {
+      r.space->TouchSeq(ctx_, r.phys, offs, lens, n, len, /*write=*/false);
+    } else {
+      for (uint32_t i = 0; i < n; i++) {
+        pool_->TouchRange(ctx_, r, offs[i], lens != nullptr ? lens[i] : len,
+                          /*write=*/false);
+      }
+    }
   }
 
   /// Latch crabbing: releases a clean read fix before commit (interior
@@ -138,6 +165,70 @@ class MiniTransaction {
   static std::vector<Scratch*>& FreeScratchList();
   static Scratch* AcquireScratch();
   static void ReleaseScratch(Scratch* s);
+
+  // --- devirtualized pool fast path ---
+  //
+  // The mtr layer is the engine's only pool call site (BTree/Table never
+  // touch the pool directly), so the static dispatch lives here: switch on
+  // the pool's PoolKind tag and call the concrete pool's *Impl method.
+  // Known kinds skip the vtable and let the Impl bodies inline under LTO;
+  // kOther (sharing pools, test doubles) falls through to the virtual call
+  // with identical behavior.
+
+  Result<bufferpool::PageRef> FetchFast(PageId page_id, bool for_write) {
+    switch (pool_->kind()) {
+      case bufferpool::PoolKind::kCxl:
+        return static_cast<bufferpool::CxlBufferPool*>(pool_)->FetchImpl(
+            ctx_, page_id, for_write);
+      case bufferpool::PoolKind::kDram:
+        return static_cast<bufferpool::DramBufferPool*>(pool_)->FetchImpl(
+            ctx_, page_id, for_write);
+      case bufferpool::PoolKind::kTieredRdma:
+        return static_cast<bufferpool::TieredRdmaBufferPool*>(pool_)
+            ->FetchImpl(ctx_, page_id, for_write);
+      case bufferpool::PoolKind::kOther:
+        break;
+    }
+    return pool_->Fetch(ctx_, page_id, for_write);
+  }
+
+  void UnfixFast(const bufferpool::PageRef& ref, PageId page_id, bool dirty,
+                 Lsn new_lsn) {
+    switch (pool_->kind()) {
+      case bufferpool::PoolKind::kCxl:
+        static_cast<bufferpool::CxlBufferPool*>(pool_)->UnfixImpl(
+            ctx_, ref, page_id, dirty, new_lsn);
+        return;
+      case bufferpool::PoolKind::kDram:
+        static_cast<bufferpool::DramBufferPool*>(pool_)->UnfixImpl(
+            ctx_, ref, page_id, dirty, new_lsn);
+        return;
+      case bufferpool::PoolKind::kTieredRdma:
+        static_cast<bufferpool::TieredRdmaBufferPool*>(pool_)->UnfixImpl(
+            ctx_, ref, page_id, dirty, new_lsn);
+        return;
+      case bufferpool::PoolKind::kOther:
+        break;
+    }
+    pool_->Unfix(ctx_, ref, page_id, dirty, new_lsn);
+  }
+
+  Status UpgradeToWriteFast(const bufferpool::PageRef& ref, PageId page_id) {
+    switch (pool_->kind()) {
+      case bufferpool::PoolKind::kCxl:
+        return static_cast<bufferpool::CxlBufferPool*>(pool_)
+            ->UpgradeToWriteImpl(ctx_, ref, page_id);
+      case bufferpool::PoolKind::kDram:
+        return static_cast<bufferpool::DramBufferPool*>(pool_)
+            ->UpgradeToWriteImpl(ctx_, ref, page_id);
+      case bufferpool::PoolKind::kTieredRdma:
+        return static_cast<bufferpool::TieredRdmaBufferPool*>(pool_)
+            ->UpgradeToWriteImpl(ctx_, ref, page_id);
+      case bufferpool::PoolKind::kOther:
+        break;
+    }
+    return pool_->UpgradeToWrite(ctx_, ref, page_id);
+  }
 
   /// Charges [off, off+len) of the fixed frame. Equivalent to the pool's
   /// virtual TouchRange, but goes straight to the frame's MemorySpace when

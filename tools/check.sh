@@ -6,6 +6,8 @@
 #   tools/check.sh            # tier-1 + sanitizer pass
 #   tools/check.sh --fast     # tier-1 only
 #   tools/check.sh --bench    # tier-1 + quick-scale bench bit-identity gate
+#                             #   + POLAR_NO_SIMD leg (same pins, scalar
+#                             #   kernels) + POLAR_PROF hot-share gate
 #   tools/check.sh --faults   # tier-1 + sanitized fault suite + chaos gate
 #   tools/check.sh --snapshot # tier-1 + sanitized snapshot suite +
 #                             #   cold-vs-fork bit-identity on the fig7 point
@@ -25,8 +27,17 @@ BENCH_EXPECT_QUICK="22105,17460"
 # constants in tests/faults_test.cc (CanonicalScheduleLaneStepsPinned).
 CHAOS_EXPECT_QUICK="27857,35212,25375"
 
+# Ceiling on the engine+cache_sim share of profiled self CPU time (see
+# POLAR_BENCH_MAX_HOT_SHARE in bench_sim_throughput.cc). The third-wave
+# hot-path work measured ~90%; a build where the pool re-virtualizes or a
+# probe path bloats pushes past this.
+BENCH_MAX_HOT_SHARE="0.93"
+
 echo "==> tier-1: configure + build + ctest"
-cmake -B build -S . >/dev/null
+# POLAR_CMAKE_FLAGS lets CI matrix legs reconfigure the tier-1 build (e.g.
+# -DPOLAR_NO_SIMD=ON to run the whole suite on the scalar fallbacks).
+# shellcheck disable=SC2086
+cmake -B build -S . ${POLAR_CMAKE_FLAGS:-} >/dev/null
 cmake --build build -j "$JOBS" >/dev/null
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
@@ -42,6 +53,26 @@ if [[ "${1:-}" == "--bench" ]]; then
   POLAR_BENCH_SCALE=0.1 POLAR_BENCH_REPS=1 \
     POLAR_BENCH_EXPECT="$BENCH_EXPECT_QUICK" \
     build/bench/bench_sim_throughput
+  echo "==> bench: POLAR_NO_SIMD leg (scalar kernels, same pins)"
+  # The SIMD kernels are host-side only: the scalar build must retire the
+  # exact same lane_steps, and the kernel equivalence tests must pass with
+  # the fallback paths compiled in.
+  cmake -B build-nosimd -S . -DPOLAR_NO_SIMD=ON >/dev/null
+  cmake --build build-nosimd -j "$JOBS" \
+    --target bench_sim_throughput kernel_test >/dev/null
+  build-nosimd/tests/kernel_test
+  POLAR_BENCH_SCALE=0.1 POLAR_BENCH_REPS=1 \
+    POLAR_BENCH_EXPECT="$BENCH_EXPECT_QUICK" \
+    build-nosimd/bench/bench_sim_throughput
+  echo "==> bench: POLAR_PROF hot-share regression gate"
+  # A profiled quick run measures where simulator CPU time goes; the gate
+  # fails if the engine+cache_sim hot paths grew past the pinned share.
+  cmake -B build-prof -S . -DPOLAR_PROF=ON -DPOLAR_LTO=OFF >/dev/null
+  cmake --build build-prof -j "$JOBS" --target bench_sim_throughput >/dev/null
+  POLAR_BENCH_SCALE=0.1 POLAR_BENCH_REPS=1 \
+    POLAR_BENCH_EXPECT="$BENCH_EXPECT_QUICK" \
+    POLAR_BENCH_MAX_HOT_SHARE="$BENCH_MAX_HOT_SHARE" \
+    build-prof/bench/bench_sim_throughput
   echo "==> OK (bench mode: sanitizer pass skipped)"
   exit 0
 fi
