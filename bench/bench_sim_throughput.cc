@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -110,6 +111,94 @@ RepSeries RunReps(engine::BufferPoolKind kind, int reps,
   }
   series.cold_wall_sec_est = reps * series.cold.wall_sec;
   return series;
+}
+
+// ---------------------------------------------------------------------------
+// In-world scaling: lane-steps/sec vs POLAR_WORLD_THREADS
+// ---------------------------------------------------------------------------
+
+/// One (instances, threads) cell of the epoch-parallel scaling sweep.
+/// steps/sec divides by REAL wall time: thread CPU time only meters the
+/// main thread and would credit work the pool's workers did.
+struct ScalingPoint {
+  uint32_t instances = 0;
+  uint32_t threads = 0;
+  uint64_t lane_steps = 0;
+  uint64_t measure_steps = 0;
+  double measure_real_sec = 0;
+  uint64_t epochs = 0;
+  uint64_t drain_divergence = 0;
+  double StepsPerSec() const {
+    return measure_real_sec > 0
+               ? static_cast<double>(measure_steps) / measure_real_sec
+               : 0;
+  }
+};
+
+/// Sweeps the fig7 CXL pooling point over instance counts x thread counts.
+/// One WorldCache per instance count: the threads=1 run builds and warms the
+/// world, every other thread count re-shards it via SetThreads — and every
+/// cell must retire bit-identical lane_steps (the in-world determinism gate
+/// at full scale; a mismatch aborts the bench).
+std::vector<ScalingPoint> RunScaling() {
+  std::vector<ScalingPoint> points;
+  for (uint32_t instances : {8u, 32u, 64u}) {
+    harness::WorldCache cache;
+    uint64_t pinned = 0;
+    for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+      harness::PoolingConfig c = BenchConfig(engine::BufferPoolKind::kCxl);
+      c.instances = instances;
+      c.world_threads = static_cast<int>(threads);
+      const harness::PoolingResult r = harness::RunPooling(c, &cache);
+      if (threads == 1u) {
+        pinned = r.lane_steps;
+      } else if (r.lane_steps != pinned) {
+        std::fprintf(stderr,
+                     "in-world scaling identity violation: %u instances, "
+                     "%u threads retired %llu lane_steps, 1 thread retired "
+                     "%llu\n",
+                     instances, threads,
+                     static_cast<unsigned long long>(r.lane_steps),
+                     static_cast<unsigned long long>(pinned));
+        std::exit(1);
+      }
+      ScalingPoint p;
+      p.instances = instances;
+      p.threads = threads;
+      p.lane_steps = r.lane_steps;
+      p.measure_steps = r.measure_steps;
+      p.measure_real_sec = r.measure_real_sec;
+      p.epochs = r.epochs;
+      p.drain_divergence = r.drain_divergence;
+      points.push_back(p);
+    }
+  }
+  return points;
+}
+
+void PrintScaling(const std::vector<ScalingPoint>& points) {
+  if (points.empty()) return;
+  harness::ReportTable table(
+      "In-world scaling — fig7 CXL pooling, lane-steps/sec vs threads "
+      "(host cpus: " +
+          std::to_string(std::thread::hardware_concurrency()) + ")",
+      {"instances", "threads", "measure steps", "real s", "steps/sec",
+       "epochs", "divergence"});
+  for (const ScalingPoint& p : points) {
+    char inst[16], thr[16], steps[32], real[32], rate[32], ep[32], div[32];
+    std::snprintf(inst, sizeof(inst), "%u", p.instances);
+    std::snprintf(thr, sizeof(thr), "%u", p.threads);
+    std::snprintf(steps, sizeof(steps), "%llu",
+                  static_cast<unsigned long long>(p.measure_steps));
+    std::snprintf(real, sizeof(real), "%.3f", p.measure_real_sec);
+    std::snprintf(rate, sizeof(rate), "%.0f", p.StepsPerSec());
+    std::snprintf(ep, sizeof(ep), "%llu",
+                  static_cast<unsigned long long>(p.epochs));
+    std::snprintf(div, sizeof(div), "%llu",
+                  static_cast<unsigned long long>(p.drain_divergence));
+    table.AddRow({inst, thr, steps, real, rate, ep, div});
+  }
+  table.Print();
 }
 
 /// Reads the previously committed "profile" object (balanced-brace scan) so
@@ -228,7 +317,34 @@ void WriteConfigJson(FILE* f, const char* name, const RepSeries& s) {
   std::fprintf(f, "  },\n");
 }
 
-void WriteJson(const RepSeries& cxl, const RepSeries& rdma, int reps) {
+void WriteScalingJson(FILE* f, const std::vector<ScalingPoint>& points) {
+  std::fprintf(f, "  \"in_world_scaling\": {\n");
+  std::fprintf(f, "    \"workload\": \"fig7 point-select pooling (cxl), 8 "
+                  "lanes/instance, POLAR_WORLD_THREADS sweep\",\n");
+  std::fprintf(f, "    \"host_cpus\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "    \"points\": [\n");
+  for (size_t i = 0; i < points.size(); i++) {
+    const ScalingPoint& p = points[i];
+    std::fprintf(f,
+                 "      {\"instances\": %u, \"threads\": %u, \"lane_steps\": "
+                 "%llu, \"measure_steps\": %llu, \"measure_real_sec\": %.4f, "
+                 "\"steps_per_sec\": %.0f, \"epochs\": %llu, "
+                 "\"drain_divergence\": %llu}%s\n",
+                 p.instances, p.threads,
+                 static_cast<unsigned long long>(p.lane_steps),
+                 static_cast<unsigned long long>(p.measure_steps),
+                 p.measure_real_sec, p.StepsPerSec(),
+                 static_cast<unsigned long long>(p.epochs),
+                 static_cast<unsigned long long>(p.drain_divergence),
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n");
+  std::fprintf(f, "  },\n");
+}
+
+void WriteJson(const RepSeries& cxl, const RepSeries& rdma, int reps,
+               const std::vector<ScalingPoint>& scaling) {
   // Must be captured before fopen("w") truncates the file.
   const std::string carried = prof::kEnabled ? "" : CarriedProfile();
   FILE* f = std::fopen("BENCH_sim_throughput.json", "w");
@@ -245,6 +361,7 @@ void WriteJson(const RepSeries& cxl, const RepSeries& rdma, int reps) {
   std::fprintf(f, "  \"reps\": %d,\n", reps);
   WriteConfigJson(f, "cxl", cxl);
   WriteConfigJson(f, "tiered_rdma", rdma);
+  if (!scaling.empty()) WriteScalingJson(f, scaling);
   // World snapshot/fork amortization over all reps of both configs: what
   // cold-building every rep would cost vs what the cache-backed reps
   // actually cost (rep 1 of each config is a real cold build, so the
@@ -334,11 +451,20 @@ int Main() {
   }
   PrintProfReport();
 
+  // In-world scaling sweep (epoch-parallel executor): full-scale runs only —
+  // it is the expensive part of the bench, and quick passes gate identity
+  // through parallel_world_test / tools/check.sh --parallel instead.
+  std::vector<ScalingPoint> scaling;
+  if (BenchScale() == 1.0) {
+    scaling = RunScaling();
+    PrintScaling(scaling);
+  }
+
   // Only full-scale runs refresh the committed trajectory file: a quick
   // POLAR_BENCH_SCALE pass must not silently clobber it with numbers from
   // a smaller workload.
   if (BenchScale() == 1.0) {
-    WriteJson(cxl, rdma, reps);
+    WriteJson(cxl, rdma, reps, scaling);
     std::printf("wrote BENCH_sim_throughput.json\n");
   } else {
     std::printf(

@@ -60,9 +60,12 @@ SimWorld::Spec SpecFor(const ChaosConfig& config) {
 
 /// Setup key: everything that shapes the world before the plan is armed.
 /// The plan, measure window and timeline bucket are per-run.
-std::string ChaosKey(const ChaosConfig& c) {
+std::string ChaosKey(const ChaosConfig& c, bool epoch) {
   std::ostringstream os;
-  os << "chaos:" << static_cast<int>(c.kind) << ':' << c.lanes << ':'
+  // Epoch discipline keys the world; the thread count does not (see
+  // PoolingKey) — cached worlds are re-sharded with SetThreads() on hit.
+  os << "chaos:e" << (epoch ? 1 : 0) << ':'
+     << static_cast<int>(c.kind) << ':' << c.lanes << ':'
      << c.sysbench.tables << ':' << c.sysbench.rows_per_table << ':'
      << c.sysbench.range_size << ':' << c.sysbench.row_size << ':'
      << static_cast<int>(c.sysbench.distribution) << ':'
@@ -73,7 +76,8 @@ std::string ChaosKey(const ChaosConfig& c) {
   return os.str();
 }
 
-std::unique_ptr<ChaosWorld> BuildChaosWorld(const ChaosConfig& config) {
+std::unique_ptr<ChaosWorld> BuildChaosWorld(const ChaosConfig& config,
+                                            uint32_t world_threads) {
   auto cw = std::make_unique<ChaosWorld>(SpecFor(config));
   SimWorld& world = cw->world;
   sim::Executor& executor = world.executor();
@@ -139,6 +143,7 @@ std::unique_ptr<ChaosWorld> BuildChaosWorld(const ChaosConfig& config) {
   }
 
   // Warm up fault-free (the injector is wired but disarmed).
+  if (world_threads >= 1) world.EnableInWorldParallelism(world_threads);
   executor.RunUntil(setup_end + config.warmup);
   return cw;
 }
@@ -202,6 +207,8 @@ faults::FaultPlan CanonicalChaosPlan(Nanos measure) {
 
 ChaosResult RunChaos(const ChaosConfig& config, WorldCache* cache) {
   const double wall_start = ThreadCpuSeconds();
+  const uint32_t world_threads = ResolveWorldThreads(config.world_threads);
+  const bool epoch = world_threads >= 1;
 
   // ---- acquire a warmed world: fork a snapshot or build cold ----
   WorldCache::Lease lease;
@@ -209,12 +216,12 @@ ChaosResult RunChaos(const ChaosConfig& config, WorldCache* cache) {
   ChaosWorld* cw = nullptr;
   bool hit = false;
   if (cache != nullptr) {
-    lease = cache->Acquire(ChaosKey(config));
+    lease = cache->Acquire(ChaosKey(config, epoch));
     cw = static_cast<ChaosWorld*>(lease.get());
     hit = cw != nullptr;
   }
   if (cw == nullptr) {
-    auto fresh = BuildChaosWorld(config);
+    auto fresh = BuildChaosWorld(config, world_threads);
     if (cache != nullptr) {
       fresh->world.CaptureSnapshot();
       fresh->rng_states.reserve(fresh->lane_states.size());
@@ -228,6 +235,7 @@ ChaosResult RunChaos(const ChaosConfig& config, WorldCache* cache) {
       cw = local.get();
     }
   } else {
+    if (epoch) cw->world.executor().SetThreads(world_threads);
     cw->world.RestoreSnapshot();
     for (size_t i = 0; i < cw->lane_states.size(); i++) {
       cw->lane_states[i]->rng.set_raw_state(cw->rng_states[i]);
@@ -258,6 +266,9 @@ ChaosResult RunChaos(const ChaosConfig& config, WorldCache* cache) {
   armed.ShiftBy(t0);
   POLAR_CHECK(injector.Arm(std::move(armed)).ok());
 
+  // Cumulative executor counters; report this run's deltas (see RunPooling).
+  const uint64_t epochs_before = executor.epochs_run();
+  const uint64_t divergence_before = executor.drain_divergence();
   const double setup_done = ThreadCpuSeconds();
 
   // Node-crash windows freeze every lane (the whole instance is gone);
@@ -293,6 +304,8 @@ ChaosResult RunChaos(const ChaosConfig& config, WorldCache* cache) {
   cw->result.setup_wall_sec = setup_done - wall_start;
   cw->result.measure_wall_sec = measure_done - setup_done;
   cw->result.snapshot_hit = hit;
+  cw->result.epochs = executor.epochs_run() - epochs_before;
+  cw->result.drain_divergence = executor.drain_divergence() - divergence_before;
   return cw->result;
 }
 

@@ -46,6 +46,12 @@ struct ChaosConfig {
   /// cached pages; with them, clean pages are re-served from storage.
   Nanos checkpoint_interval = Millis(100);
   uint64_t seed = 7;
+  /// In-world parallelism knob, same semantics as PoolingConfig: -1 reads
+  /// POLAR_WORLD_THREADS, 0 = legacy serial, >= 1 = epoch execution. A
+  /// chaos world is single-instance (one shard group), so every thread
+  /// count replays the exact serial timeline — this knob exists to run the
+  /// epoch machinery under the chaos pins.
+  int world_threads = -1;
 };
 
 struct ChaosResult {
@@ -69,6 +75,11 @@ struct ChaosResult {
   double setup_wall_sec = 0;
   double measure_wall_sec = 0;
   bool snapshot_hit = false;
+  /// Epoch-parallel diagnostics (0 on the serial path). A chaos world is
+  /// single-group, so drain_divergence must be 0 at every thread count —
+  /// parallel_world_test pins that.
+  uint64_t epochs = 0;
+  uint64_t drain_divergence = 0;
 };
 
 /// Runs one fault-resilience experiment end to end. With a `cache`, the

@@ -1,6 +1,7 @@
 #include "harness/instance_driver.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <sstream>
 #include <string>
@@ -33,6 +34,12 @@ struct PoolingWorld : CachedWorld {
   std::vector<std::unique_ptr<workload::SysbenchWorkload>> lanes_wl;
   std::vector<std::unique_ptr<PoolLaneState>> lane_states;
   RunMetrics metrics;  // lane lambdas point here; reset before each measure
+  /// Epoch-parallel worlds record into one RunMetrics per instance (each
+  /// instance is one shard group, so no two threads touch the same slot) and
+  /// merge them in instance order after the run — same totals and histogram
+  /// buckets as the serial shared accumulator, since both are commutative.
+  std::vector<RunMetrics> instance_metrics;
+  bool epoch = false;
   std::vector<workload::SysbenchWorkload::State> wl_states;  // post-warmup
 };
 
@@ -51,9 +58,13 @@ SimWorld::Spec SpecFor(const PoolingConfig& config) {
 /// Every config field that influences the world before the measurement
 /// window opens. `measure` is deliberately absent: runs differing only in
 /// window length share one snapshot.
-std::string PoolingKey(const PoolingConfig& c) {
+std::string PoolingKey(const PoolingConfig& c, bool epoch) {
   std::ostringstream os;
-  os << "pooling:" << static_cast<int>(c.kind) << ':' << c.instances << ':'
+  // Epoch discipline is part of the key (it changes the metrics wiring);
+  // the thread COUNT is not — worlds are identical across counts, so a
+  // cached world is re-sharded with SetThreads() on hit.
+  os << "pooling:e" << (epoch ? 1 : 0) << ':'
+     << static_cast<int>(c.kind) << ':' << c.instances << ':'
      << c.lanes_per_instance << ':' << static_cast<int>(c.op) << ':'
      << c.sysbench.tables << ':' << c.sysbench.rows_per_table << ':'
      << c.sysbench.range_size << ':' << c.sysbench.row_size << ':'
@@ -67,8 +78,11 @@ std::string PoolingKey(const PoolingConfig& c) {
 
 /// Builds the world and lanes, then runs warmup — everything a snapshot
 /// amortizes.
-std::unique_ptr<PoolingWorld> BuildPoolingWorld(const PoolingConfig& config) {
+std::unique_ptr<PoolingWorld> BuildPoolingWorld(const PoolingConfig& config,
+                                                uint32_t world_threads) {
   auto pw = std::make_unique<PoolingWorld>(SpecFor(config));
+  pw->epoch = world_threads >= 1;
+  if (pw->epoch) pw->instance_metrics.resize(config.instances);
   SimWorld& world = pw->world;
   sim::Executor& executor = world.executor();
   executor.ReserveLanes(static_cast<size_t>(config.instances) *
@@ -81,7 +95,8 @@ std::unique_ptr<PoolingWorld> BuildPoolingWorld(const PoolingConfig& config) {
           world.client_net()));
       auto state = std::make_unique<PoolLaneState>();
       state->wl = pw->lanes_wl.back().get();
-      state->metrics = &pw->metrics;
+      state->metrics =
+          pw->epoch ? &pw->instance_metrics[i] : &pw->metrics;
       PoolLaneState* raw = state.get();
       pw->lane_states.push_back(std::move(state));
       const workload::SysbenchOp op = config.op;
@@ -100,6 +115,7 @@ std::unique_ptr<PoolingWorld> BuildPoolingWorld(const PoolingConfig& config) {
           i, world.db(i)->cache(), setup_end);
     }
   }
+  if (pw->epoch) world.EnableInWorldParallelism(world_threads);
   executor.RunUntil(setup_end + config.warmup);
   return pw;
 }
@@ -116,6 +132,8 @@ uint64_t SysbenchDatasetPages(const workload::SysbenchConfig& config) {
 
 PoolingResult RunPooling(const PoolingConfig& config, WorldCache* cache) {
   const double wall_start = ThreadCpuSeconds();
+  const uint32_t world_threads = ResolveWorldThreads(config.world_threads);
+  const bool epoch = world_threads >= 1;
 
   // ---- acquire a warmed world: fork a snapshot or build cold ----
   WorldCache::Lease lease;
@@ -123,12 +141,12 @@ PoolingResult RunPooling(const PoolingConfig& config, WorldCache* cache) {
   PoolingWorld* pw = nullptr;
   bool hit = false;
   if (cache != nullptr) {
-    lease = cache->Acquire(PoolingKey(config));
+    lease = cache->Acquire(PoolingKey(config, epoch));
     pw = static_cast<PoolingWorld*>(lease.get());
     hit = pw != nullptr;
   }
   if (pw == nullptr) {
-    auto fresh = BuildPoolingWorld(config);
+    auto fresh = BuildPoolingWorld(config, world_threads);
     if (cache != nullptr) {
       // Park the warmed world for every later rep / sweep point sharing the
       // key. Capture is pure host-side copying, so a cold run that captures
@@ -145,11 +163,15 @@ PoolingResult RunPooling(const PoolingConfig& config, WorldCache* cache) {
       pw = local.get();
     }
   } else {
+    // The cached world may have been sharded for a different thread count;
+    // re-shard first so Restore pushes lanes into the right shards.
+    if (epoch) pw->world.executor().SetThreads(world_threads);
     pw->world.RestoreSnapshot();
     for (size_t i = 0; i < pw->lanes_wl.size(); i++) {
       pw->lanes_wl[i]->Restore(pw->wl_states[i]);
     }
     pw->metrics = RunMetrics();
+    for (RunMetrics& m : pw->instance_metrics) m = RunMetrics();
   }
 
   // ---- measure (identical for cold and forked worlds) ----
@@ -170,14 +192,30 @@ PoolingResult RunPooling(const PoolingConfig& config, WorldCache* cache) {
   BandwidthProbe nic_probe{nic_wire->total_bytes(), 0};
   BandwidthProbe cxl_probe{cxl_port->total_bytes(), 0};
 
+  const uint64_t steps_before = executor.total_steps();
+  // Epoch/divergence counters are cumulative over the executor's life
+  // (forks do not rewind them); report this run's deltas.
+  const uint64_t epochs_before = executor.epochs_run();
+  const uint64_t divergence_before = executor.drain_divergence();
   const double setup_done = ThreadCpuSeconds();
+  const auto real_start = std::chrono::steady_clock::now();
   executor.RunUntil(t1);
+  const auto real_end = std::chrono::steady_clock::now();
   const double measure_done = ThreadCpuSeconds();
 
   nic_probe.after = nic_wire->total_bytes();
   cxl_probe.after = cxl_port->total_bytes();
 
   PoolingResult result;
+  if (pw->epoch) {
+    // Deterministic merge in instance order; sums and bucket counts are
+    // commutative, so this equals the serial shared accumulator.
+    for (const RunMetrics& m : pw->instance_metrics) {
+      pw->metrics.queries += m.queries;
+      pw->metrics.events += m.events;
+      pw->metrics.latency.Merge(m.latency);
+    }
+  }
   pw->metrics.window = config.measure;
   result.metrics = pw->metrics;
   result.nic_gbps = nic_probe.Gbps(config.measure);
@@ -194,6 +232,7 @@ PoolingResult RunPooling(const PoolingConfig& config, WorldCache* cache) {
   result.local_dram_bytes = dram_bytes;
   result.lbp_hit_rate = hit_rate / config.instances;
   result.lane_steps = executor.total_steps();
+  result.measure_steps = result.lane_steps - steps_before;
   result.virtual_end = executor.MaxClock();
   for (size_t l = 0; l < executor.num_lanes(); l++) {
     const sim::ExecContext& lane = executor.context(static_cast<uint32_t>(l));
@@ -208,7 +247,11 @@ PoolingResult RunPooling(const PoolingConfig& config, WorldCache* cache) {
   }
   result.setup_wall_sec = setup_done - wall_start;
   result.measure_wall_sec = measure_done - setup_done;
+  result.measure_real_sec =
+      std::chrono::duration<double>(real_end - real_start).count();
   result.snapshot_hit = hit;
+  result.epochs = executor.epochs_run() - epochs_before;
+  result.drain_divergence = executor.drain_divergence() - divergence_before;
   return result;
 }
 

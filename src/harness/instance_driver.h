@@ -34,6 +34,12 @@ struct PoolingConfig {
   Nanos warmup = Millis(200);
   Nanos measure = Millis(800);
   uint64_t seed = 42;
+  /// In-world parallelism: epoch-parallel executor threads stepping the
+  /// per-instance lane shards concurrently. -1 resolves POLAR_WORLD_THREADS
+  /// (unset/0 = serial), 0 forces the legacy serial executor, >= 1 enables
+  /// epoch execution on that many threads. Results are bit-identical for
+  /// every value (see DESIGN.md, "In-world parallelism").
+  int world_threads = -1;
 };
 
 struct PoolingResult {
@@ -53,6 +59,10 @@ struct PoolingResult {
   /// largest virtual clock reached — the numerator/denominator pair for
   /// sim-core throughput tracking (see bench_sim_throughput).
   uint64_t lane_steps = 0;
+  /// Lane-steps taken inside the measurement window alone — the numerator
+  /// of the in_world_scaling lane-steps/sec metric (measure_wall_sec is the
+  /// denominator).
+  uint64_t measure_steps = 0;
   Nanos virtual_end = 0;
   TimeBreakdown breakdown;
   /// Wall-clock (thread CPU time) split: everything before the measurement
@@ -60,7 +70,17 @@ struct PoolingResult {
   /// cached world snapshot instead of a cold build+load+warmup.
   double setup_wall_sec = 0;
   double measure_wall_sec = 0;
+  /// Real (monotonic) wall time of the measurement window. Thread CPU time
+  /// only meters the calling thread, so it under-counts epoch-parallel runs
+  /// where workers do most of the stepping; scaling metrics must divide by
+  /// this instead.
+  double measure_real_sec = 0;
   bool snapshot_hit = false;
+  /// Epoch-parallel diagnostics (0 when world_threads resolves to serial):
+  /// epochs executed, and how many deferred shared-channel charges replayed
+  /// to a different completion time than the in-epoch observation.
+  uint64_t epochs = 0;
+  uint64_t drain_divergence = 0;
 };
 
 /// Runs one pooling experiment end to end (build, load, warm up, measure).

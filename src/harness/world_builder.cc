@@ -1,6 +1,7 @@
 #include "harness/world_builder.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
 
 #include "bufferpool/cxl_buffer_pool.h"
@@ -26,6 +27,14 @@ Status LoadTables(sim::ExecContext& ctx, engine::Database* db,
       return workload::LoadTatpTables(ctx, db, spec.tatp);
   }
   return Status::InvalidArgument("unknown bench");
+}
+
+uint32_t ResolveWorldThreads(int requested) {
+  if (requested >= 0) return static_cast<uint32_t>(requested);
+  const char* env = std::getenv("POLAR_WORLD_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  const long v = std::strtol(env, nullptr, 10);
+  return v > 0 ? static_cast<uint32_t>(v) : 0;
 }
 
 Result<std::unique_ptr<engine::Database>> CreateAndLoad(
@@ -118,6 +127,28 @@ SimWorld::SimWorld(const Spec& spec)
     inst.db = std::move(*db);
     setup_end_ = std::max(setup_end_, setup_ctx.now);
   }
+}
+
+void SimWorld::EnableInWorldParallelism(uint32_t threads) {
+  POLAR_CHECK(threads >= 1);
+  // Every channel reachable from more than one instance defers its charges
+  // under epoch execution. Instance-private channels (per-instance DRAM)
+  // stay immediate — only their own shard ever touches them.
+  client_net_.set_shared(true);
+  if (host_acc_->space()->link() != nullptr) {
+    host_acc_->space()->link()->set_shared(true);
+  }
+  if (host_acc_->space()->pool() != nullptr) {
+    host_acc_->space()->pool()->set_shared(true);
+  }
+  for (const NodeId node : {kHostNode, kMemoryServerNode}) {
+    rdma::RdmaNic* nic = net_.nic(node);
+    nic->wire().set_shared(true);
+    nic->doorbell().set_shared(true);
+  }
+  disk_->channel().set_shared(true);
+  disk_->ops_channel().set_shared(true);
+  executor_.EnableEpochParallel(threads);
 }
 
 /// Everything mutable in the simulated world, captured by value. The

@@ -56,6 +56,12 @@ Result<std::unique_ptr<engine::Database>> CreateAndLoad(
     sim::ExecContext& ctx, const engine::DatabaseEnv& env,
     const engine::DatabaseOptions& opt, const WorkloadSpec& spec);
 
+/// Resolves a driver's world_threads knob against POLAR_WORLD_THREADS:
+/// `requested` < 0 reads the env var (unset/0 = serial), otherwise the value
+/// is used as-is. Returns 0 for serial legacy execution, else the
+/// epoch-parallel thread count.
+uint32_t ResolveWorldThreads(int requested);
+
 /// CPU time of the calling thread in seconds (wall-split accounting; thread
 /// time keeps parallel sweep workers from polluting each other's numbers).
 inline double ThreadCpuSeconds() {
@@ -104,6 +110,15 @@ class SimWorld {
   rdma::RemoteMemoryPool& remote() { return *remote_; }
   sim::BandwidthChannel* client_net() { return &client_net_; }
   storage::SimDisk& disk() { return *disk_; }
+
+  /// Switches the world into epoch-parallel execution on `threads` workers
+  /// (POLAR_WORLD_THREADS): marks every cross-instance channel — CXL host
+  /// link + fabric, both RDMA NICs' wire/doorbell, client network, disk
+  /// bandwidth + IOPS — as shared so their charges defer into per-instance
+  /// effect queues, then shards the executor. Call once, after lane
+  /// registration and before warmup. Results are bit-identical for every
+  /// thread count; use SetThreads() on the executor to re-shard later.
+  void EnableInWorldParallelism(uint32_t threads);
 
   /// Captures the whole simulated state — executor lanes, channels, disk,
   /// device bytes, page stores, logs, pools, engine state, remote pool —

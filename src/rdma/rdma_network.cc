@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/epoch.h"
+
 namespace polarcxl::rdma {
 
 RdmaNetwork::RdmaNetwork(const sim::LatencyModel* latency)
@@ -29,14 +31,14 @@ Nanos RdmaNetwork::OneSided(sim::ExecContext& ctx, NodeId src, NodeId dst,
   if (faults_ != nullptr) faults_->OnVerbsTransfer(ctx, src, dst, bytes);
   RdmaNic* s = nic(src);
   RdmaNic* d = nic(dst);
-  total_ops_++;
-  total_bytes_ += bytes;
+  total_ops_.fetch_add(1, std::memory_order_relaxed);
+  total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
 
   // Doorbell: one verbs op on the initiator NIC.
-  const Nanos db_done = s->doorbell().Transfer(ctx.now, 1);
+  const Nanos db_done = sim::ChargeChannel(ctx, s->doorbell(), ctx.now, 1);
   // Wire occupancy on both endpoints.
-  const Nanos src_done = s->wire().Transfer(ctx.now, bytes);
-  const Nanos dst_done = d->wire().Transfer(ctx.now, bytes);
+  const Nanos src_done = sim::ChargeChannel(ctx, s->wire(), ctx.now, bytes);
+  const Nanos dst_done = sim::ChargeChannel(ctx, d->wire(), ctx.now, bytes);
   const Nanos queued = std::max({db_done, src_done, dst_done});
 
   const Nanos service = is_read ? lat_.RdmaRead(bytes) : lat_.RdmaWrite(bytes);
@@ -63,12 +65,14 @@ Nanos RdmaNetwork::Rpc(sim::ExecContext& ctx, NodeId src, NodeId dst,
   }
   RdmaNic* s = nic(src);
   RdmaNic* d = nic(dst);
-  total_ops_ += 2;
-  total_bytes_ += req_bytes + resp_bytes;
-  const Nanos db_done = s->doorbell().Transfer(ctx.now, 1);
-  const Nanos db2_done = d->doorbell().Transfer(ctx.now, 1);
-  const Nanos src_done = s->wire().Transfer(ctx.now, req_bytes + resp_bytes);
-  const Nanos dst_done = d->wire().Transfer(ctx.now, req_bytes + resp_bytes);
+  total_ops_.fetch_add(2, std::memory_order_relaxed);
+  total_bytes_.fetch_add(req_bytes + resp_bytes, std::memory_order_relaxed);
+  const Nanos db_done = sim::ChargeChannel(ctx, s->doorbell(), ctx.now, 1);
+  const Nanos db2_done = sim::ChargeChannel(ctx, d->doorbell(), ctx.now, 1);
+  const Nanos src_done =
+      sim::ChargeChannel(ctx, s->wire(), ctx.now, req_bytes + resp_bytes);
+  const Nanos dst_done =
+      sim::ChargeChannel(ctx, d->wire(), ctx.now, req_bytes + resp_bytes);
   const Nanos queued = std::max({db_done, db2_done, src_done, dst_done});
   ctx.now = std::max(ctx.now + lat_.rdma_rpc_round_trip, queued);
   ctx.t_net += ctx.now - entry;
@@ -76,8 +80,8 @@ Nanos RdmaNetwork::Rpc(sim::ExecContext& ctx, NodeId src, NodeId dst,
 }
 
 void RdmaNetwork::ResetStats() {
-  total_ops_ = 0;
-  total_bytes_ = 0;
+  total_ops_.store(0, std::memory_order_relaxed);
+  total_bytes_.store(0, std::memory_order_relaxed);
   for (auto& [node, nic] : nics_) nic->ResetStats();
 }
 

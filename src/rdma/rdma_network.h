@@ -4,6 +4,7 @@
 // and bandwidth/IOPS contention from the endpoint NIC models.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -57,8 +58,12 @@ class RdmaNetwork {
 
   const sim::LatencyModel& latency() const { return lat_; }
 
-  uint64_t total_ops() const { return total_ops_; }
-  uint64_t total_bytes() const { return total_bytes_; }
+  uint64_t total_ops() const {
+    return total_ops_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
   void ResetStats();
 
   /// Per-NIC channel ledgers + network counters, keyed by node id (restore
@@ -74,8 +79,8 @@ class RdmaNetwork {
     for (const auto& [node, nic] : nics_) {
       s.nics.emplace_back(node, nic->Capture());
     }
-    s.total_ops = total_ops_;
-    s.total_bytes = total_bytes_;
+    s.total_ops = total_ops();
+    s.total_bytes = total_bytes();
     return s;
   }
   void Restore(const State& s) {
@@ -84,8 +89,8 @@ class RdmaNetwork {
       POLAR_CHECK(it != nics_.end());
       it->second->Restore(nic_state);
     }
-    total_ops_ = s.total_ops;
-    total_bytes_ = s.total_bytes;
+    total_ops_.store(s.total_ops, std::memory_order_relaxed);
+    total_bytes_.store(s.total_bytes, std::memory_order_relaxed);
   }
 
  private:
@@ -95,8 +100,10 @@ class RdmaNetwork {
   sim::LatencyModel lat_;
   std::unordered_map<NodeId, std::unique_ptr<RdmaNic>> nics_;
   faults::FaultInjector* faults_ = nullptr;
-  uint64_t total_ops_ = 0;
-  uint64_t total_bytes_ = 0;
+  // Relaxed atomics: all instances charge verbs through one network object,
+  // so epoch-parallel shards bump these concurrently; the adds commute.
+  std::atomic<uint64_t> total_ops_{0};
+  std::atomic<uint64_t> total_bytes_{0};
 };
 
 }  // namespace polarcxl::rdma

@@ -20,38 +20,51 @@ Status RemoteMemoryPool::WritePage(sim::ExecContext& ctx, NodeId client,
                                    NodeId tenant, PageId page_id,
                                    const void* data) {
   POLAR_RETURN_IF_ERROR(network_->Precheck(ctx, client, server_node_));
-  const PoolPageKey key{tenant, page_id};
-  auto it = pages_.find(key);
-  if (it == pages_.end()) {
-    if (pages_.size() >= capacity_pages_) {
-      return Status::OutOfMemory("remote memory pool full");
+  std::shared_ptr<PageImage> image;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const PoolPageKey key{tenant, page_id};
+    auto it = pages_.find(key);
+    if (it == pages_.end()) {
+      if (pages_.size() >= capacity_pages_) {
+        return Status::OutOfMemory("remote memory pool full");
+      }
+      it = pages_.emplace(key, std::make_shared<PageImage>()).first;
+    } else if (it->second.use_count() > 1) {
+      // Copy-on-write: a world snapshot (or a concurrent reader) still
+      // aliases this image. The whole page is overwritten below, so a
+      // fresh allocation suffices.
+      it->second = std::make_shared<PageImage>();
     }
-    it = pages_.emplace(key, std::make_shared<PageImage>()).first;
-  } else if (it->second.use_count() > 1) {
-    // Copy-on-write: a world snapshot still aliases this image. The whole
-    // page is overwritten below, so a fresh allocation suffices.
-    it->second = std::make_shared<PageImage>();
+    image = std::const_pointer_cast<PageImage>(it->second);
   }
   network_->Write(ctx, client, server_node_, kPageSize);
-  std::memcpy(const_cast<uint8_t*>(it->second->data()), data, kPageSize);
+  std::memcpy(image->data(), data, kPageSize);
   return Status::OK();
 }
 
 Status RemoteMemoryPool::ReadPage(sim::ExecContext& ctx, NodeId client,
                                   NodeId tenant, PageId page_id, void* dst) {
   POLAR_RETURN_IF_ERROR(network_->Precheck(ctx, client, server_node_));
-  const auto it = pages_.find(PoolPageKey{tenant, page_id});
-  if (it == pages_.end()) return Status::NotFound("page not in pool");
+  std::shared_ptr<const PageImage> image;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = pages_.find(PoolPageKey{tenant, page_id});
+    if (it == pages_.end()) return Status::NotFound("page not in pool");
+    image = it->second;
+  }
   network_->Read(ctx, client, server_node_, kPageSize);
-  std::memcpy(dst, it->second->data(), kPageSize);
+  std::memcpy(dst, image->data(), kPageSize);
   return Status::OK();
 }
 
 void RemoteMemoryPool::Drop(NodeId tenant, PageId page_id) {
+  std::lock_guard<std::mutex> lk(mu_);
   pages_.erase(PoolPageKey{tenant, page_id});
 }
 
 void RemoteMemoryPool::DropTenant(NodeId tenant) {
+  std::lock_guard<std::mutex> lk(mu_);
   for (auto it = pages_.begin(); it != pages_.end();) {
     if (it->first.tenant == tenant) it = pages_.erase(it);
     else ++it;
@@ -59,6 +72,7 @@ void RemoteMemoryPool::DropTenant(NodeId tenant) {
 }
 
 bool RemoteMemoryPool::Contains(NodeId tenant, PageId page_id) const {
+  std::lock_guard<std::mutex> lk(mu_);
   return pages_.count(PoolPageKey{tenant, page_id}) > 0;
 }
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -56,7 +57,10 @@ class RemoteMemoryPool {
   void DropTenant(NodeId tenant);
 
   bool Contains(NodeId tenant, PageId page_id) const;
-  uint64_t pages_stored() const { return pages_.size(); }
+  uint64_t pages_stored() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return pages_.size();
+  }
   uint64_t capacity_pages() const { return capacity_pages_; }
   NodeId server_node() const { return server_node_; }
   RdmaNetwork* network() { return network_; }
@@ -69,8 +73,14 @@ class RemoteMemoryPool {
                        PoolPageKeyHash>
         pages;
   };
-  State Capture() const { return State{pages_}; }
-  void Restore(const State& s) { pages_ = s.pages; }
+  State Capture() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return State{pages_};
+  }
+  void Restore(const State& s) {
+    std::lock_guard<std::mutex> lk(mu_);
+    pages_ = s.pages;
+  }
 
  private:
   using PageImage = std::array<uint8_t, kPageSize>;
@@ -78,6 +88,12 @@ class RemoteMemoryPool {
   RdmaNetwork* network_;
   NodeId server_node_;
   uint64_t capacity_pages_;
+  // Guards the page table: under epoch-parallel execution instance shards
+  // fetch/evict pool pages concurrently. Page *timing* stays deterministic
+  // (it flows through the deferred NIC channels); the lock only keeps the
+  // hash map itself coherent, and the CoW payloads make a read safe against
+  // a concurrent overwrite of a different key.
+  mutable std::mutex mu_;
   std::unordered_map<PoolPageKey, std::shared_ptr<const PageImage>,
                      PoolPageKeyHash>
       pages_;

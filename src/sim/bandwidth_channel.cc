@@ -186,6 +186,36 @@ Nanos BandwidthChannel::PeekCompletion(Nanos now, uint64_t bytes) const {
   return Place(now, bytes, /*commit=*/false);
 }
 
+Nanos BandwidthChannel::TransferDeferred(Nanos now, uint64_t bytes,
+                                         ChannelOverlay* ov) const {
+  // Mirrors Place(commit=true) exactly, except the consumed bytes land in
+  // the caller's overlay and every budget read is ledger + overlay. With an
+  // empty overlay and a quiescent ledger this returns the same completion
+  // Transfer would; the divergence counter at the barrier measures how
+  // often cross-group contention inside one epoch would have changed it.
+  if (bytes_per_sec_ == 0 || bytes == 0) return now;
+  int64_t w = static_cast<int64_t>(fd_window_.Div(static_cast<uint64_t>(now)));
+  if (w < pruned_end_) w = pruned_end_;  // everything earlier is consumed
+
+  uint64_t remaining = bytes;
+  Nanos completion = now;
+  while (true) {
+    uint64_t offset = UsedIn(w) + ov->Get(w);
+    const uint64_t free =
+        bytes_per_window_ > offset ? bytes_per_window_ - offset : 0;
+    const uint64_t take = std::min(free, remaining);
+    if (take > 0) {
+      offset += take;
+      remaining -= take;
+      ov->Add(w, take);
+      completion = w * window_ns_ + NsForBytes(offset);
+    }
+    if (remaining == 0) break;
+    w++;
+  }
+  return std::max(completion, now + 1);
+}
+
 double BandwidthChannel::DeliveredRate(Nanos horizon) const {
   if (horizon <= 0) return 0;
   return static_cast<double>(total_bytes_) * kNanosPerSec /

@@ -20,6 +20,7 @@
 // std::map ledger did.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -28,6 +29,46 @@
 #include "common/types.h"
 
 namespace polarcxl::sim {
+
+/// Private per-epoch view of bytes a shard has placed on a *frozen* shared
+/// channel (see Executor's epoch-parallel mode). The channel's real ledger
+/// is read-only between barriers; each instance group accumulates its own
+/// additional consumption here and the barrier replays it into the ledger
+/// in deterministic global order. Epochs are at most one or two channel
+/// windows long, so the map is a tiny sorted vector.
+class ChannelOverlay {
+ public:
+  uint64_t Get(int64_t w) const {
+    for (const Entry& e : entries_) {
+      if (e.window == w) return e.bytes;
+      if (e.window > w) break;
+    }
+    return 0;
+  }
+
+  void Add(int64_t w, uint64_t bytes) {
+    size_t i = 0;
+    for (; i < entries_.size(); i++) {
+      if (entries_[i].window == w) {
+        entries_[i].bytes += bytes;
+        return;
+      }
+      if (entries_[i].window > w) break;
+    }
+    entries_.insert(entries_.begin() + static_cast<ptrdiff_t>(i),
+                    Entry{w, bytes});
+  }
+
+  void Clear() { entries_.clear(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  struct Entry {
+    int64_t window;
+    uint64_t bytes;
+  };
+  std::vector<Entry> entries_;  // sorted by window id
+};
 
 class BandwidthChannel {
  public:
@@ -41,6 +82,21 @@ class BandwidthChannel {
 
   /// Completion time without consuming capacity (capacity probe).
   Nanos PeekCompletion(Nanos now, uint64_t bytes) const;
+
+  /// Epoch-parallel variant of Transfer against a frozen ledger: computes
+  /// the completion the transfer *would* get given the channel's committed
+  /// state plus the caller's private overlay, commits the consumed bytes
+  /// into the overlay only, and leaves the channel untouched (safe to call
+  /// concurrently with other overlays). The barrier later replays the same
+  /// {now, bytes} through Transfer to commit it for real.
+  Nanos TransferDeferred(Nanos now, uint64_t bytes, ChannelOverlay* ov) const;
+
+  /// Marks this channel as shared across instance groups: under
+  /// epoch-parallel execution its charges are routed through per-group
+  /// overlays and replayed at the barrier instead of applied immediately.
+  /// Purely topological (set once at world wiring), not part of State.
+  void set_shared(bool shared) { shared_ = shared; }
+  bool shared() const { return shared_; }
 
   const std::string& name() const { return name_; }
   uint64_t bytes_per_sec() const { return bytes_per_sec_; }
@@ -141,6 +197,7 @@ class BandwidthChannel {
 
   std::string name_;
   uint64_t bytes_per_sec_;
+  bool shared_ = false;
   Nanos window_ns_;
   uint64_t bytes_per_window_;
   // Magic-multiply forms of the two run-constant divisors on the Transfer

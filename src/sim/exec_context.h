@@ -10,6 +10,7 @@
 namespace polarcxl::sim {
 
 class CpuCacheSim;
+class EpochFrame;
 
 /// Carried through every engine call executing on behalf of one worker lane
 /// (one database session thread). Components advance `now` to model latency;
@@ -23,6 +24,13 @@ struct ExecContext {
 
   /// Database node / instance this lane belongs to.
   NodeId node_id = 0;
+
+  /// Epoch-parallel effect queue of this lane's instance group (null in
+  /// serial execution). When set, charges against channels marked shared
+  /// are deferred into the frame instead of applied immediately; the
+  /// executor drains frames deterministically at each epoch barrier. Charge
+  /// sites route through sim::ChargeChannel (sim/epoch.h) to honor this.
+  EpochFrame* frame = nullptr;
 
   /// CPU cache of the executing instance (may be shared between lanes of the
   /// same instance). Null disables cache modelling (every access misses).

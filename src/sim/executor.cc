@@ -1,14 +1,91 @@
 #include "sim/executor.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 
 #include "common/prof.h"
 
 namespace polarcxl::sim {
 
+namespace {
+
+// Identity of the step currently executing on this thread (null when the
+// thread is not inside Lane::Step). Park/resume calls made from lane code
+// consult it to decide between immediate effect (own instance group — same
+// semantics at every thread count) and barrier deferral (another group).
+struct StepIdentity {
+  const Executor* exec = nullptr;
+  uint32_t group = 0;
+  EpochFrame* frame = nullptr;
+};
+thread_local StepIdentity tl_step;
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+}  // namespace
+
+// Persistent worker pool. A RunUntil call wakes the workers ONCE (condvar +
+// go generation); they then live inside the epoch loop with the main thread,
+// meeting at a sense-reversing spin barrier between phases, until the target
+// is reached — epochs are microseconds apart, so per-epoch condvar traffic
+// would dominate the run (and on an oversubscribed host, each wake is a
+// scheduling quantum). The barrier spins briefly and then yields, so a
+// 1-core host degrades to context-switch cost instead of live-lock. The
+// barrier's phase release/acquire pair gives every participant
+// happens-before over all shard-local writes of the previous phase, which
+// is what keeps the scheme TSan-clean with plain (non-atomic) shared fields
+// like target/epoch_end.
+struct Executor::WorkerPool {
+  std::vector<std::thread> threads;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::atomic<uint64_t> go{0};
+  std::atomic<uint32_t> done{0};  // workers that left the epoch loop
+  std::atomic<bool> stop{false};
+  Nanos target = 0;     // published by the go bump, read after acquire
+  Nanos epoch_end = 0;  // written by participant 0, published by Barrier()
+
+  std::atomic<uint32_t> arrived{0};
+  std::atomic<uint64_t> phase{0};
+  uint32_t parties = 0;
+
+  void Barrier() {
+    const uint64_t p = phase.load(std::memory_order_acquire);
+    if (arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == parties) {
+      arrived.store(0, std::memory_order_relaxed);
+      phase.store(p + 1, std::memory_order_release);
+      return;
+    }
+    int spins = 0;
+    while (phase.load(std::memory_order_acquire) == p) {
+      if (++spins < 128) {
+        CpuRelax();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+};
+
+// Exit sentinel for the epoch loop (virtual clocks are never negative).
+constexpr Nanos kEpochLoopExit = -1;
+
+Executor::Executor() : shards_(1) {}
+
+Executor::~Executor() { StopWorkers(); }
+
 void Executor::ReserveLanes(size_t n) {
   lanes_.reserve(n);
-  heap_.reserve(n);
+  shards_[0].heap.reserve(n);
 }
 
 uint32_t Executor::AddLane(std::unique_ptr<Lane> lane, NodeId node_id,
@@ -20,144 +97,402 @@ uint32_t Executor::AddLane(std::unique_ptr<Lane> lane, NodeId node_id,
   rec.ctx.lane_id = id;
   rec.ctx.node_id = node_id;
   rec.ctx.cache = cache;
+  if (parallel_) {
+    rec.group = GroupFor(node_id);
+    rec.shard = rec.group % num_threads_;
+    rec.ctx.frame = frames_[rec.group].get();
+  }
+  const uint32_t shard = rec.shard;
   lanes_.push_back(std::move(rec));
-  HeapPush({start_at, id, 0});
+  HeapPush(shards_[shard], {start_at, id, 0});
   return id;
 }
 
-void Executor::SiftUp(size_t i) {
-  HeapEntry e = heap_[i];
+void Executor::SiftUp(Shard& sh, size_t i) {
+  auto& heap = sh.heap;
+  HeapEntry e = heap[i];
   while (i > 0) {
     const size_t parent = (i - 1) / 2;
-    if (!e.Before(heap_[parent])) break;
-    heap_[i] = heap_[parent];
+    if (!e.Before(heap[parent])) break;
+    heap[i] = heap[parent];
     i = parent;
   }
-  heap_[i] = e;
+  heap[i] = e;
 }
 
-void Executor::SiftDown(size_t i) {
-  HeapEntry e = heap_[i];
-  const size_t n = heap_.size();
+void Executor::SiftDown(Shard& sh, size_t i) {
+  auto& heap = sh.heap;
+  HeapEntry e = heap[i];
+  const size_t n = heap.size();
   while (true) {
     size_t child = 2 * i + 1;
     if (child >= n) break;
-    if (child + 1 < n && heap_[child + 1].Before(heap_[child])) child++;
-    if (!heap_[child].Before(e)) break;
-    heap_[i] = heap_[child];
+    if (child + 1 < n && heap[child + 1].Before(heap[child])) child++;
+    if (!heap[child].Before(e)) break;
+    heap[i] = heap[child];
     i = child;
   }
-  heap_[i] = e;
+  heap[i] = e;
 }
 
-void Executor::HeapPush(HeapEntry e) {
-  heap_.push_back(e);
-  SiftUp(heap_.size() - 1);
+void Executor::HeapPush(Shard& sh, HeapEntry e) {
+  sh.heap.push_back(e);
+  SiftUp(sh, sh.heap.size() - 1);
 }
 
-void Executor::HeapPopTop() {
-  heap_[0] = heap_.back();
-  heap_.pop_back();
-  if (!heap_.empty()) SiftDown(0);
+void Executor::HeapPopTop(Shard& sh) {
+  sh.heap[0] = sh.heap.back();
+  sh.heap.pop_back();
+  if (!sh.heap.empty()) SiftDown(sh, 0);
 }
 
-void Executor::HeapReplaceTop(HeapEntry e) {
-  heap_[0] = e;
-  SiftDown(0);
+void Executor::HeapReplaceTop(Shard& sh, HeapEntry e) {
+  sh.heap[0] = e;
+  SiftDown(sh, 0);
 }
 
-void Executor::Compact() {
+void Executor::Compact(Shard& sh) {
+  auto& heap = sh.heap;
   size_t out = 0;
-  for (size_t i = 0; i < heap_.size(); i++) {
-    if (!Stale(heap_[i])) heap_[out++] = heap_[i];
+  for (size_t i = 0; i < heap.size(); i++) {
+    if (!Stale(heap[i])) heap[out++] = heap[i];
   }
-  heap_.resize(out);
+  heap.resize(out);
   if (out > 1) {
-    for (size_t i = out / 2; i-- > 0;) SiftDown(i);
+    for (size_t i = out / 2; i-- > 0;) SiftDown(sh, i);
   }
-  stale_entries_ = 0;
+  sh.stale_entries = 0;
 }
 
-bool Executor::SettleTop() {
-  while (!heap_.empty()) {
-    if (!Stale(heap_[0])) return true;
-    HeapPopTop();
-    if (stale_entries_ > 0) stale_entries_--;
+bool Executor::SettleTop(Shard& sh) {
+  while (!sh.heap.empty()) {
+    if (!Stale(sh.heap[0])) return true;
+    HeapPopTop(sh);
+    if (sh.stale_entries > 0) sh.stale_entries--;
   }
   return false;
 }
 
-bool Executor::StepOne() {
+bool Executor::StepOne(Shard& sh) {
   POLAR_PROF_SCOPE(kExecutor);
-  if (!SettleTop()) return false;
-  const HeapEntry top = heap_[0];
+  if (!SettleTop(sh)) return false;
+  const HeapEntry top = sh.heap[0];
   LaneRec& rec = lanes_[top.id];
   const Nanos before = rec.ctx.now;
+  if (parallel_) {
+    rec.ctx.frame->BeginStep(before, top.id);
+    tl_step = {this, rec.group, rec.ctx.frame};
+  }
   const bool keep = rec.lane->Step(rec.ctx);
-  total_steps_++;
+  if (parallel_) tl_step = {};
+  sh.steps++;
   // A step that does not advance time would live-lock the scheduler.
   if (rec.ctx.now <= before) rec.ctx.now = before + 1;
   rec.epoch++;
   // The stepped entry is normally still at the top; Step() may however have
   // re-shaped the heap (a lane resuming/adding peers), in which case the old
   // entry is left behind as epoch-stale.
-  const bool still_top = !heap_.empty() && heap_[0].id == top.id &&
-                         heap_[0].epoch == top.epoch && heap_[0].at == top.at;
+  const bool still_top = !sh.heap.empty() && sh.heap[0].id == top.id &&
+                         sh.heap[0].epoch == top.epoch &&
+                         sh.heap[0].at == top.at;
   if (keep) {
     const HeapEntry next{rec.ctx.now, top.id, rec.epoch};
     if (still_top) {
-      HeapReplaceTop(next);
+      HeapReplaceTop(sh, next);
     } else {
-      stale_entries_++;
-      HeapPush(next);
+      sh.stale_entries++;
+      HeapPush(sh, next);
     }
   } else {
     rec.parked = true;
     if (still_top) {
-      HeapPopTop();
+      HeapPopTop(sh);
     } else {
-      stale_entries_++;
+      sh.stale_entries++;
     }
   }
   return true;
 }
 
-void Executor::RunUntil(Nanos t) {
-  while (SettleTop()) {
-    if (heap_[0].at >= t) return;
-    if (!StepOne()) return;
+void Executor::RunShardUntil(Shard& sh, Nanos t) {
+  while (SettleTop(sh)) {
+    if (sh.heap[0].at >= t) return;
+    if (!StepOne(sh)) return;
   }
+}
+
+void Executor::RunUntil(Nanos t) {
+  if (parallel_) {
+    RunUntilParallel(t);
+    return;
+  }
+  RunShardUntil(shards_[0], t);
+}
+
+void Executor::RunUntilParallel(Nanos t) {
+  if (num_threads_ <= 1 || pool_ == nullptr) {
+    // Single-thread epoch mode: same epoch discipline, no synchronization.
+    for (;;) {
+      if (!AnyRunnable()) return;
+      const Nanos m = MinClock();
+      if (m >= t) return;
+      const Nanos epoch_end = std::min(t, (m / epoch_ns_ + 1) * epoch_ns_);
+      for (Shard& sh : shards_) RunShardUntil(sh, epoch_end);
+      DrainBarrier();
+      epochs_run_++;
+    }
+  }
+  WorkerPool& p = *pool_;
+  p.target = t;
+  p.done.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(p.mu);
+    p.go.fetch_add(1, std::memory_order_release);
+  }
+  p.cv.notify_all();
+  EpochLoop(0);
+  // The loop exit travelled through the barrier, but a worker still has to
+  // read it and step out; wait so the caller may immediately mutate lanes
+  // (park/resume/Restore) or issue the next RunUntil.
+  while (p.done.load(std::memory_order_acquire) != num_threads_ - 1) {
+    std::this_thread::yield();
+  }
+}
+
+void Executor::EpochLoop(uint32_t shard_idx) {
+  WorkerPool& p = *pool_;
+  for (;;) {
+    if (shard_idx == 0) {
+      // Close the epoch at the next absolute E-boundary after the earliest
+      // runnable lane (idle gaps are skipped wholesale), never past the
+      // target.
+      Nanos next = kEpochLoopExit;
+      if (AnyRunnable()) {
+        const Nanos m = MinClock();
+        if (m < p.target) {
+          next = std::min(p.target, (m / epoch_ns_ + 1) * epoch_ns_);
+        }
+      }
+      p.epoch_end = next;
+    }
+    p.Barrier();  // publishes epoch_end; orders the previous drain
+    const Nanos end = p.epoch_end;
+    if (end == kEpochLoopExit) return;
+    RunShardUntil(shards_[shard_idx], end);
+    p.Barrier();  // all shards parked at the boundary
+    if (shard_idx == 0) {
+      DrainBarrier();
+      epochs_run_++;
+    }
+    // Only participant 0 touches shared state between the step barrier and
+    // the next publish barrier; everyone else is already waiting there.
+  }
+}
+
+void Executor::DrainBarrier() {
+  // Gather every frame's deferred effects and replay them in the global
+  // {step_start, lane, seq} order — the order in which a serial run would
+  // have interleaved the instances. The key triple is unique (a lane's
+  // clock strictly increases between steps), so the sort is a total order
+  // and the replay is independent of both gather order and thread count.
+  drain_shared_.clear();
+  drain_control_.clear();
+  for (auto& f : frames_) {
+    if (f->empty()) continue;
+    drain_shared_.insert(drain_shared_.end(), f->shared_ops().begin(),
+                         f->shared_ops().end());
+    drain_control_.insert(drain_control_.end(), f->control_ops().begin(),
+                          f->control_ops().end());
+    f->ClearEpoch();
+  }
+  std::sort(drain_shared_.begin(), drain_shared_.end(),
+            [](const EpochFrame::SharedOp& a, const EpochFrame::SharedOp& b) {
+              if (a.step_start != b.step_start)
+                return a.step_start < b.step_start;
+              if (a.lane != b.lane) return a.lane < b.lane;
+              return a.seq < b.seq;
+            });
+  for (const EpochFrame::SharedOp& op : drain_shared_) {
+    const Nanos committed = op.chan->Transfer(op.at, op.bytes);
+    if (committed != op.observed) drain_divergence_++;
+  }
+  std::sort(
+      drain_control_.begin(), drain_control_.end(),
+      [](const EpochFrame::ControlOp& a, const EpochFrame::ControlOp& b) {
+        if (a.step_start != b.step_start) return a.step_start < b.step_start;
+        if (a.lane != b.lane) return a.lane < b.lane;
+        return a.seq < b.seq;
+      });
+  for (const EpochFrame::ControlOp& op : drain_control_) {
+    if (op.kind == EpochFrame::ControlOp::Kind::kPark) {
+      ParkImmediate(op.target);
+    } else {
+      ResumeImmediate(op.target, op.at);
+    }
+  }
+}
+
+bool Executor::StepOneGlobal() {
+  // Single-step path for epoch-parallel executors: pick the globally
+  // minimal runnable lane (same {clock, id} order a one-shard run uses),
+  // step it on the main thread, and drain its effects immediately — the
+  // replay order of a one-op barrier is trivially the posting order, so
+  // this is exactly serial semantics.
+  Shard* best = nullptr;
+  for (Shard& sh : shards_) {
+    if (!SettleTop(sh)) continue;
+    if (best == nullptr || sh.heap[0].Before(best->heap[0])) best = &sh;
+  }
+  if (best == nullptr) return false;
+  const bool stepped = StepOne(*best);
+  DrainBarrier();
+  return stepped;
 }
 
 void Executor::RunSteps(uint64_t n) {
   for (uint64_t i = 0; i < n; i++) {
-    if (!StepOne()) return;
+    if (parallel_ ? !StepOneGlobal() : !StepOne(shards_[0])) return;
   }
 }
 
 void Executor::RunToCompletion() {
-  while (StepOne()) {
+  if (parallel_) {
+    while (AnyRunnable()) RunUntilParallel(MinClock() + epoch_ns_);
+    return;
+  }
+  while (StepOne(shards_[0])) {
   }
 }
 
 void Executor::ParkLane(uint32_t lane_id) {
   POLAR_CHECK(lane_id < lanes_.size());
+  if (parallel_ && tl_step.exec == this &&
+      tl_step.group != lanes_[lane_id].group) {
+    tl_step.frame->DeferPark(lane_id);
+    return;
+  }
+  ParkImmediate(lane_id);
+}
+
+void Executor::ParkImmediate(uint32_t lane_id) {
   if (!lanes_[lane_id].parked) {
     lanes_[lane_id].parked = true;
-    stale_entries_++;  // its heap entry (if any) is now dead
+    shards_[lanes_[lane_id].shard].stale_entries++;  // heap entry now dead
   }
 }
 
 void Executor::ResumeLane(uint32_t lane_id, Nanos at) {
   POLAR_CHECK(lane_id < lanes_.size());
+  if (parallel_ && tl_step.exec == this &&
+      tl_step.group != lanes_[lane_id].group) {
+    tl_step.frame->DeferResume(lane_id, at);
+    return;
+  }
+  ResumeImmediate(lane_id, at);
+}
+
+void Executor::ResumeImmediate(uint32_t lane_id, Nanos at) {
   LaneRec& rec = lanes_[lane_id];
   rec.parked = false;
   rec.ctx.now = std::max(rec.ctx.now, at);
   rec.epoch++;
-  HeapPush({rec.ctx.now, lane_id, rec.epoch});
+  Shard& sh = shards_[rec.shard];
+  HeapPush(sh, {rec.ctx.now, lane_id, rec.epoch});
   // Park/resume cycles strand epoch-invalidated entries in the heap; once
   // they outnumber the live lanes, rebuild without them.
-  if (stale_entries_ > lanes_.size() + 64) Compact();
+  if (sh.stale_entries > lanes_.size() + 64) Compact(sh);
+}
+
+uint32_t Executor::GroupFor(NodeId node_id) {
+  for (uint32_t i = 0; i < group_nodes_.size(); i++) {
+    if (group_nodes_[i] == node_id) return i;
+  }
+  group_nodes_.push_back(node_id);
+  frames_.push_back(std::make_unique<EpochFrame>());
+  return static_cast<uint32_t>(group_nodes_.size() - 1);
+}
+
+void Executor::EnableEpochParallel(uint32_t threads, Nanos epoch_ns) {
+  POLAR_CHECK(threads >= 1);
+  POLAR_CHECK(epoch_ns > 0);
+  POLAR_CHECK(!parallel_);
+  parallel_ = true;
+  epoch_ns_ = epoch_ns;
+  for (LaneRec& rec : lanes_) {
+    rec.group = GroupFor(rec.ctx.node_id);
+  }
+  SetThreads(threads);
+}
+
+void Executor::SetThreads(uint32_t threads) {
+  POLAR_CHECK(parallel_);
+  POLAR_CHECK(threads >= 1);
+  StopWorkers();
+  // Fold retired shard step counts into the baseline before re-sharding.
+  total_steps_base_ = total_steps();
+  num_threads_ = threads;
+  shards_.assign(threads, Shard{});
+  for (LaneRec& rec : lanes_) {
+    rec.shard = rec.group % num_threads_;
+    rec.ctx.frame = frames_[rec.group].get();
+  }
+  RebuildShardHeaps();
+  StartWorkers();
+}
+
+void Executor::RebuildShardHeaps() {
+  for (Shard& sh : shards_) {
+    sh.heap.clear();
+    sh.stale_entries = 0;
+  }
+  for (uint32_t id = 0; id < lanes_.size(); id++) {
+    LaneRec& rec = lanes_[id];
+    rec.epoch++;
+    if (!rec.parked) {
+      HeapPush(shards_[rec.shard], {rec.ctx.now, id, rec.epoch});
+    }
+  }
+}
+
+void Executor::StartWorkers() {
+  if (num_threads_ <= 1) return;
+  pool_ = std::make_unique<WorkerPool>();
+  WorkerPool& p = *pool_;
+  p.parties = num_threads_;
+  p.threads.reserve(num_threads_ - 1);
+  for (uint32_t i = 1; i < num_threads_; i++) {
+    p.threads.emplace_back([this, &p, i] {
+      uint64_t seen = 0;
+      for (;;) {
+        // One condvar round per RunUntil call, not per epoch: park until
+        // the main thread opens the next epoch loop.
+        uint64_t g;
+        {
+          std::unique_lock<std::mutex> lk(p.mu);
+          p.cv.wait(lk, [&] {
+            return p.go.load(std::memory_order_acquire) != seen ||
+                   p.stop.load(std::memory_order_acquire);
+          });
+          g = p.go.load(std::memory_order_acquire);
+        }
+        if (p.stop.load(std::memory_order_acquire)) return;
+        seen = g;
+        EpochLoop(i);
+        p.done.fetch_add(1, std::memory_order_release);
+      }
+    });
+  }
+}
+
+void Executor::StopWorkers() {
+  if (pool_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lk(pool_->mu);
+    pool_->stop.store(true, std::memory_order_release);
+  }
+  pool_->cv.notify_all();
+  for (std::thread& t : pool_->threads) t.join();
+  pool_.reset();
 }
 
 Nanos Executor::MinClock(Nanos fallback) const {
@@ -190,26 +525,33 @@ Executor::State Executor::Capture() const {
     s.contexts.push_back(rec.ctx);
     s.parked.push_back(rec.parked ? 1 : 0);
   }
-  s.total_steps = total_steps_;
+  s.total_steps = total_steps();
   return s;
 }
 
 void Executor::Restore(const State& s) {
   POLAR_CHECK(s.contexts.size() == lanes_.size());
-  heap_.clear();
-  stale_entries_ = 0;
+  for (Shard& sh : shards_) {
+    sh.heap.clear();
+    sh.stale_entries = 0;
+    sh.steps = 0;
+  }
   for (uint32_t id = 0; id < lanes_.size(); id++) {
     LaneRec& rec = lanes_[id];
     rec.ctx = s.contexts[id];
+    // The frame pointer is topology (this executor's frames), not captured
+    // state: re-derive it so a snapshot taken on one sharding restores
+    // cleanly regardless of what the capturing context held.
+    rec.ctx.frame = parallel_ ? frames_[rec.group].get() : nullptr;
     rec.parked = s.parked[id] != 0;
     // Bumping the epoch (rather than resetting it) invalidates any heap
     // entry a caller might still hold conceptually; the rebuilt heap below
     // is the only live one. Pop order depends only on {at, id}, never on
     // the heap's internal array layout, so the replay is bit-identical.
     rec.epoch++;
-    if (!rec.parked) HeapPush({rec.ctx.now, id, rec.epoch});
+    if (!rec.parked) HeapPush(shards_[rec.shard], {rec.ctx.now, id, rec.epoch});
   }
-  total_steps_ = s.total_steps;
+  total_steps_base_ = s.total_steps;
 }
 
 }  // namespace polarcxl::sim

@@ -8,6 +8,15 @@
 // just stepped is re-queued) is a replace-top + sift-down instead of a
 // pop + push pair, and stale entries left behind by park/resume cycles are
 // compacted once they outnumber the live lanes.
+//
+// Epoch-parallel mode (EnableEpochParallel) shards the lanes into
+// per-instance-group heaps that advance concurrently on a worker pool
+// inside fixed virtual-time epochs `[E·k, E·(k+1))` aligned with the
+// BandwidthChannel window grid. Between barriers a shard steps only its
+// own lanes against instance-local state; charges to channels marked
+// shared are deferred into the group's EpochFrame (sim/epoch.h) and the
+// barrier replays them in global {step_start, lane, seq} order — so the
+// trajectory is bit-identical for every thread count, including 1.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +27,7 @@
 
 #include "common/macros.h"
 #include "common/types.h"
+#include "sim/epoch.h"
 #include "sim/exec_context.h"
 
 namespace polarcxl::sim {
@@ -49,11 +59,12 @@ class CallableLane final : public Lane {
 /// Min-clock scheduler over a set of lanes.
 class Executor {
  public:
-  Executor() = default;
+  Executor();
+  ~Executor();
   POLAR_DISALLOW_COPY(Executor);
 
-  /// Pre-sizes the lane table (and heap) for `n` lanes, so AddLane never
-  /// reallocates mid-setup.
+  /// Pre-sizes the lane table (and the scheduling heap) for `n` lanes, so
+  /// AddLane never reallocates mid-setup.
   void ReserveLanes(size_t n);
 
   /// Registers a lane starting at virtual time `start_at`. Returns lane id.
@@ -72,25 +83,64 @@ class Executor {
   }
 
   /// Step lanes until every runnable lane's clock is >= `t` (or all lanes
-  /// parked). Lanes may overshoot `t` by one step.
+  /// parked).
+  ///
+  /// Overshoot contract: a lane is only ever stepped while its clock is
+  /// < `t`, and one step executes one whole transaction — so after RunUntil
+  /// returns, every runnable lane's clock is >= `t` but may exceed it by
+  /// up to one step's virtual cost. No lane is ever stepped *from* a clock
+  /// >= `t` (sim_test RunUntilOvershootContract pins this boundary).
   void RunUntil(Nanos t);
 
-  /// Step at most `n` lane-steps.
+  /// Step at most `n` lane-steps (always in global min-clock order, even in
+  /// epoch-parallel mode — used by tests and single-step drivers).
   void RunSteps(uint64_t n);
 
   /// Run until all lanes park.
   void RunToCompletion();
 
-  /// Parks a lane externally (e.g., instance crash).
+  /// Parks a lane externally (e.g., instance crash). Under epoch-parallel
+  /// execution, a call made from inside a step targeting a lane of another
+  /// instance group is deferred to the epoch barrier (deterministically,
+  /// independent of the thread count); all other calls take effect
+  /// immediately as in serial mode.
   void ParkLane(uint32_t lane_id);
-  /// Re-activates a parked lane at time `at`.
+  /// Re-activates a parked lane at time `at` (same deferral rule).
   void ResumeLane(uint32_t lane_id, Nanos at);
+
+  /// Switches the executor into epoch-parallel mode: lanes are grouped by
+  /// node id (first-seen order), groups map onto `threads` shards, and
+  /// RunUntil advances shards concurrently between effect-queue barriers
+  /// every `epoch_ns` of virtual time (aligned to absolute time 0; keep it
+  /// <= the fast channels' window, the default matches both). Call after
+  /// lane registration and only while quiescent. Results are bit-identical
+  /// for every `threads` value.
+  void EnableEpochParallel(uint32_t threads, Nanos epoch_ns = 10'000);
+
+  /// Re-shards an epoch-parallel executor onto `threads` workers (e.g. a
+  /// cached world re-run under a different POLAR_WORLD_THREADS). Quiescent
+  /// calls only.
+  void SetThreads(uint32_t threads);
+
+  bool epoch_parallel() const { return parallel_; }
+  uint32_t num_threads() const { return num_threads_; }
+  Nanos epoch_ns() const { return epoch_ns_; }
+  /// Barriers drained so far (diagnostics).
+  uint64_t epochs_run() const { return epochs_run_; }
+  /// Number of replayed shared-channel charges whose committed completion
+  /// differed from the one observed against the frozen epoch view. Zero
+  /// means the run is provably identical to serial immediate execution.
+  uint64_t drain_divergence() const { return drain_divergence_; }
 
   ExecContext& context(uint32_t lane_id) {
     return lanes_[lane_id].ctx;
   }
   size_t num_lanes() const { return lanes_.size(); }
-  uint64_t total_steps() const { return total_steps_; }
+  uint64_t total_steps() const {
+    uint64_t t = total_steps_base_;
+    for (const Shard& sh : shards_) t += sh.steps;
+    return t;
+  }
   /// Smallest clock among runnable lanes; `fallback` if none runnable.
   Nanos MinClock(Nanos fallback = 0) const;
   /// Largest clock reached by any lane (runnable or parked).
@@ -101,7 +151,8 @@ class Executor {
   /// flags + the step counter. The heap is not captured — pop order is a
   /// pure function of {ctx.now, id} over runnable lanes (ties break on id),
   /// so Restore rebuilds it from the restored contexts and replays the
-  /// identical step sequence.
+  /// identical step sequence. Shard membership and frames are topology, not
+  /// state: they survive Restore unchanged.
   struct State {
     std::vector<ExecContext> contexts;
     std::vector<uint8_t> parked;
@@ -118,7 +169,9 @@ class Executor {
     std::unique_ptr<Lane> lane;
     ExecContext ctx;
     bool parked = false;
-    uint64_t epoch = 0;  // invalidates stale heap entries
+    uint64_t epoch = 0;   // invalidates stale heap entries
+    uint32_t group = 0;   // instance group (epoch-parallel mode)
+    uint32_t shard = 0;   // scheduling shard (group % num_threads_)
   };
 
   struct HeapEntry {
@@ -131,28 +184,72 @@ class Executor {
     }
   };
 
-  bool StepOne();  // returns false if no runnable lane
+  /// One scheduling shard: a min-heap over its lanes plus lazy-deletion
+  /// bookkeeping. Serial mode is exactly one shard holding every lane.
+  struct Shard {
+    std::vector<HeapEntry> heap;
+    size_t stale_entries = 0;  // upper bound on dead entries in heap
+    uint64_t steps = 0;        // merged into total_steps() on read
+  };
+
+  struct WorkerPool;  // defined in executor.cc
+
+  bool StepOne(Shard& sh);  // returns false if no runnable lane in shard
 
   bool Stale(const HeapEntry& e) const {
     const LaneRec& rec = lanes_[e.id];
     return rec.parked || rec.epoch != e.epoch || rec.ctx.now != e.at;
   }
 
-  /// Drops stale entries off the top; false if the heap drained.
-  bool SettleTop();
+  /// Drops stale entries off the top; false if the shard's heap drained.
+  bool SettleTop(Shard& sh);
 
-  void HeapPush(HeapEntry e);
-  void HeapPopTop();
-  void HeapReplaceTop(HeapEntry e);
-  void SiftUp(size_t i);
-  void SiftDown(size_t i);
-  /// Rebuilds the heap without stale entries (lazy-deletion compaction).
-  void Compact();
+  void HeapPush(Shard& sh, HeapEntry e);
+  void HeapPopTop(Shard& sh);
+  void HeapReplaceTop(Shard& sh, HeapEntry e);
+  void SiftUp(Shard& sh, size_t i);
+  void SiftDown(Shard& sh, size_t i);
+  /// Rebuilds a shard's heap without stale entries (lazy-deletion
+  /// compaction).
+  void Compact(Shard& sh);
+
+  void ParkImmediate(uint32_t lane_id);
+  void ResumeImmediate(uint32_t lane_id, Nanos at);
+
+  uint32_t GroupFor(NodeId node_id);
+  void RebuildShardHeaps();
+  /// Runs one shard until its min clock reaches `t` (same loop as serial
+  /// RunUntil, scoped to the shard).
+  void RunShardUntil(Shard& sh, Nanos t);
+  /// Replays all frames' deferred effects in global order; workers must be
+  /// quiescent.
+  void DrainBarrier();
+  void RunUntilParallel(Nanos t);
+  /// Body of the epoch loop each pool participant runs: participant 0 (the
+  /// main thread) decides each epoch's end and drains the barrier, everyone
+  /// steps their own shard between the two spin barriers.
+  void EpochLoop(uint32_t shard_idx);
+  /// Steps the globally-min lane once (epoch-parallel single-step path);
+  /// drains its effects immediately so semantics match serial execution.
+  bool StepOneGlobal();
+  void StartWorkers();
+  void StopWorkers();
 
   std::vector<LaneRec> lanes_;
-  std::vector<HeapEntry> heap_;
-  size_t stale_entries_ = 0;  // upper bound on dead entries in heap_
-  uint64_t total_steps_ = 0;
+  std::vector<Shard> shards_;  // size 1 serial; size num_threads_ parallel
+  uint64_t total_steps_base_ = 0;  // restored baseline under shard counters
+
+  // ---- epoch-parallel state ----
+  bool parallel_ = false;
+  uint32_t num_threads_ = 1;
+  Nanos epoch_ns_ = 10'000;
+  std::vector<NodeId> group_nodes_;  // group id -> node id (first-seen)
+  std::vector<std::unique_ptr<EpochFrame>> frames_;  // one per group
+  uint64_t epochs_run_ = 0;
+  uint64_t drain_divergence_ = 0;
+  std::vector<EpochFrame::SharedOp> drain_shared_;    // barrier scratch
+  std::vector<EpochFrame::ControlOp> drain_control_;  // barrier scratch
+  std::unique_ptr<WorkerPool> pool_;
 };
 
 }  // namespace polarcxl::sim

@@ -3,15 +3,19 @@
 #include <algorithm>
 
 #include "common/prof.h"
+#include "sim/epoch.h"
 
 namespace polarcxl::sim {
 
-Nanos MemorySpace::ChargeChannels(Nanos now, uint64_t bytes) {
+Nanos MemorySpace::ChargeChannels(ExecContext& ctx, Nanos now,
+                                  uint64_t bytes) {
   POLAR_PROF_SCOPE(kChannels);
   Nanos done = now;
-  if (opt_.link != nullptr) done = opt_.link->Transfer(now, bytes);
+  if (opt_.link != nullptr) {
+    done = ChargeChannel(ctx, *opt_.link, now, bytes);
+  }
   if (opt_.pool != nullptr) {
-    done = std::max(done, opt_.pool->Transfer(now, bytes));
+    done = std::max(done, ChargeChannel(ctx, *opt_.pool, now, bytes));
   }
   return done;
 }
@@ -19,9 +23,12 @@ Nanos MemorySpace::ChargeChannels(Nanos now, uint64_t bytes) {
 void MemorySpace::ChargeMiss(ExecContext& ctx, uint32_t miss_idx,
                              bool write) {
   ctx.mem_line_misses++;
-  demand_bytes_ += kCacheLineSize;
-  const Nanos queued_done = ChargeChannels(ctx.now, kCacheLineSize);
-  if (queued_done > ctx.now + 1) queue_delay_ += queued_done - ctx.now - 1;
+  demand_bytes_.fetch_add(kCacheLineSize, std::memory_order_relaxed);
+  const Nanos queued_done = ChargeChannels(ctx, ctx.now, kCacheLineSize);
+  if (queued_done > ctx.now + 1) {
+    queue_delay_.fetch_add(queued_done - ctx.now - 1,
+                           std::memory_order_relaxed);
+  }
   // First miss of the call pays full latency; later misses overlap and
   // pay only the pipelined slope (memory-level parallelism).
   const Nanos service =
@@ -39,8 +46,9 @@ void MemorySpace::TouchSingleMiss(ExecContext& ctx,
   if (r.evicted_dirty && r.evicted_home != nullptr) {
     // Posted writeback: consumes the victim's home bandwidth but does
     // not stall the lane.
-    r.evicted_home->ChargeChannels(ctx.now, kCacheLineSize);
-    r.evicted_home->writeback_bytes_ += kCacheLineSize;
+    r.evicted_home->ChargeChannels(ctx, ctx.now, kCacheLineSize);
+    r.evicted_home->writeback_bytes_.fetch_add(kCacheLineSize,
+                                               std::memory_order_relaxed);
   }
   ChargeMiss(ctx, 0, write);
   ctx.t_mem += ctx.now - entry;
@@ -87,8 +95,9 @@ void MemorySpace::TouchMulti(ExecContext& ctx, uint64_t first, uint64_t last,
       if (ev < rr.num_evictions && rr.evictions[ev].index == i) {
         MemorySpace* home = rr.evictions[ev].home;
         if (home != nullptr) {
-          home->ChargeChannels(ctx.now, kCacheLineSize);
-          home->writeback_bytes_ += kCacheLineSize;
+          home->ChargeChannels(ctx, ctx.now, kCacheLineSize);
+          home->writeback_bytes_.fetch_add(kCacheLineSize,
+                                           std::memory_order_relaxed);
         }
         ev++;
       }
@@ -108,8 +117,8 @@ void MemorySpace::Stream(ExecContext& ctx, uint64_t addr, uint32_t len,
   const Nanos entry = ctx.now;
   const uint32_t lines = (len + kCacheLineSize - 1) / kCacheLineSize;
   const StreamCost& sc = write ? opt_.stream_write : opt_.stream_read;
-  demand_bytes_ += len;
-  const Nanos queued_done = ChargeChannels(ctx.now, len);
+  demand_bytes_.fetch_add(len, std::memory_order_relaxed);
+  const Nanos queued_done = ChargeChannels(ctx, ctx.now, len);
   const Nanos service = sc.Cost(lines);
   ctx.now = std::max(ctx.now + service, queued_done);
   // Streamed data may still sit in cache from earlier Touches; a subsequent
@@ -127,8 +136,8 @@ void MemorySpace::TouchUncached(ExecContext& ctx, uint64_t addr,
   const uint64_t last = (addr + len - 1) / kCacheLineSize;
   uint32_t idx = 0;
   for (uint64_t line = first; line <= last; line++) {
-    demand_bytes_ += kCacheLineSize;
-    const Nanos queued_done = ChargeChannels(ctx.now, kCacheLineSize);
+    demand_bytes_.fetch_add(kCacheLineSize, std::memory_order_relaxed);
+    const Nanos queued_done = ChargeChannels(ctx, ctx.now, kCacheLineSize);
     const Nanos service =
         idx == 0 ? opt_.line_latency
                  : static_cast<Nanos>(write ? opt_.stream_write.per_line_ns
@@ -148,9 +157,11 @@ uint32_t MemorySpace::Flush(ExecContext& ctx, uint64_t addr, uint32_t len) {
     ctx.cache->FlushRange(addr, len, &dirty, &clean);
   }
   if (dirty > 0) {
-    writeback_bytes_ += static_cast<uint64_t>(dirty) * kCacheLineSize;
-    const Nanos queued_done =
-        ChargeChannels(ctx.now, static_cast<uint64_t>(dirty) * kCacheLineSize);
+    writeback_bytes_.fetch_add(
+        static_cast<uint64_t>(dirty) * kCacheLineSize,
+        std::memory_order_relaxed);
+    const Nanos queued_done = ChargeChannels(
+        ctx, ctx.now, static_cast<uint64_t>(dirty) * kCacheLineSize);
     const Nanos service = opt_.clflush_line * dirty;
     ctx.now = std::max(ctx.now + service, queued_done);
   }
@@ -170,8 +181,11 @@ void MemorySpace::Invalidate(ExecContext& ctx, uint64_t addr, uint32_t len) {
   // Coherency invalidation targets clean lines (the protocol guarantees no
   // concurrent writer), but if dirty lines exist they must be written back.
   if (dirty > 0) {
-    writeback_bytes_ += static_cast<uint64_t>(dirty) * kCacheLineSize;
-    ChargeChannels(ctx.now, static_cast<uint64_t>(dirty) * kCacheLineSize);
+    writeback_bytes_.fetch_add(
+        static_cast<uint64_t>(dirty) * kCacheLineSize,
+        std::memory_order_relaxed);
+    ChargeChannels(ctx, ctx.now,
+                   static_cast<uint64_t>(dirty) * kCacheLineSize);
     ctx.now += opt_.clflush_line * dirty;
   }
   ctx.now += static_cast<Nanos>(clean) * opt_.invalidate_line;

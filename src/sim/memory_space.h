@@ -6,6 +6,7 @@
 // saturation observable.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -114,11 +115,22 @@ class MemorySpace {
   const std::string& name() const { return opt_.name; }
   Nanos line_latency() const { return opt_.line_latency; }
   BandwidthChannel* link() const { return opt_.link; }
-  uint64_t demand_bytes() const { return demand_bytes_; }
-  uint64_t writeback_bytes() const { return writeback_bytes_; }
+  BandwidthChannel* pool() const { return opt_.pool; }
+  uint64_t demand_bytes() const {
+    return demand_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t writeback_bytes() const {
+    return writeback_bytes_.load(std::memory_order_relaxed);
+  }
   /// Total time accesses spent queued on the channels (diagnostics).
-  Nanos queue_delay() const { return queue_delay_; }
-  void ResetStats() { demand_bytes_ = writeback_bytes_ = 0; queue_delay_ = 0; }
+  Nanos queue_delay() const {
+    return queue_delay_.load(std::memory_order_relaxed);
+  }
+  void ResetStats() {
+    demand_bytes_.store(0, std::memory_order_relaxed);
+    writeback_bytes_.store(0, std::memory_order_relaxed);
+    queue_delay_.store(0, std::memory_order_relaxed);
+  }
 
   /// Stat counters only — the latency/channel Options are construction-time
   /// constants, and the channels snapshot themselves.
@@ -128,12 +140,12 @@ class MemorySpace {
     Nanos queue_delay = 0;
   };
   State Capture() const {
-    return State{demand_bytes_, writeback_bytes_, queue_delay_};
+    return State{demand_bytes(), writeback_bytes(), queue_delay()};
   }
   void Restore(const State& s) {
-    demand_bytes_ = s.demand_bytes;
-    writeback_bytes_ = s.writeback_bytes;
-    queue_delay_ = s.queue_delay;
+    demand_bytes_.store(s.demand_bytes, std::memory_order_relaxed);
+    writeback_bytes_.store(s.writeback_bytes, std::memory_order_relaxed);
+    queue_delay_.store(s.queue_delay, std::memory_order_relaxed);
   }
 
  private:
@@ -169,8 +181,10 @@ class MemorySpace {
   }
 
   /// Charge the channels for `bytes` moving between host and device at time
-  /// `now`; returns the (possibly queued) completion time.
-  Nanos ChargeChannels(Nanos now, uint64_t bytes);
+  /// `now`; returns the (possibly queued) completion time. Routed through
+  /// `ctx`'s effect queue so shared channels defer under epoch-parallel
+  /// execution.
+  Nanos ChargeChannels(ExecContext& ctx, Nanos now, uint64_t bytes);
 
   /// Charge one demand-miss line at ctx.now: channel traffic plus service
   /// latency (full line latency for the first miss of a call, pipelined
@@ -185,9 +199,12 @@ class MemorySpace {
                   bool write);
 
   Options opt_;
-  uint64_t demand_bytes_ = 0;     // demand miss + stream traffic
-  uint64_t writeback_bytes_ = 0;  // dirty evictions and flushes
-  Nanos queue_delay_ = 0;
+  // Relaxed atomics: the host-memory space is shared by every instance, so
+  // under epoch-parallel execution all shards bump these concurrently. The
+  // adds commute, so the totals stay bit-identical to serial execution.
+  std::atomic<uint64_t> demand_bytes_{0};     // demand miss + stream traffic
+  std::atomic<uint64_t> writeback_bytes_{0};  // dirty evictions and flushes
+  std::atomic<Nanos> queue_delay_{0};
 };
 
 }  // namespace polarcxl::sim

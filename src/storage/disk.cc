@@ -2,27 +2,31 @@
 
 #include <algorithm>
 
+#include "sim/epoch.h"
+
 namespace polarcxl::storage {
 
 Nanos SimDisk::Read(sim::ExecContext& ctx, uint64_t bytes) {
-  read_bytes_ += bytes;
-  read_ops_++;
+  read_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  read_ops_.fetch_add(1, std::memory_order_relaxed);
   const Nanos entry = ctx.now;
   if (faults_ != nullptr) faults_->OnDiskOp(ctx);
-  const Nanos queued = std::max(channel_.Transfer(ctx.now, bytes),
-                                ops_.Transfer(ctx.now, 1));
+  const Nanos queued =
+      std::max(sim::ChargeChannel(ctx, channel_, ctx.now, bytes),
+               sim::ChargeChannel(ctx, ops_, ctx.now, 1));
   ctx.now = std::max(ctx.now + opt_.read_latency, queued + opt_.read_latency / 2);
   ctx.t_io += ctx.now - entry;
   return ctx.now;
 }
 
 Nanos SimDisk::Write(sim::ExecContext& ctx, uint64_t bytes) {
-  write_bytes_ += bytes;
-  write_ops_++;
+  write_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  write_ops_.fetch_add(1, std::memory_order_relaxed);
   const Nanos entry = ctx.now;
   if (faults_ != nullptr) faults_->OnDiskOp(ctx);
-  const Nanos queued = std::max(channel_.Transfer(ctx.now, bytes),
-                                ops_.Transfer(ctx.now, 1));
+  const Nanos queued =
+      std::max(sim::ChargeChannel(ctx, channel_, ctx.now, bytes),
+               sim::ChargeChannel(ctx, ops_, ctx.now, 1));
   ctx.now =
       std::max(ctx.now + opt_.write_latency, queued + opt_.write_latency / 2);
   ctx.t_io += ctx.now - entry;
@@ -30,8 +34,10 @@ Nanos SimDisk::Write(sim::ExecContext& ctx, uint64_t bytes) {
 }
 
 void SimDisk::ResetStats() {
-  read_bytes_ = write_bytes_ = 0;
-  read_ops_ = write_ops_ = 0;
+  read_bytes_.store(0, std::memory_order_relaxed);
+  write_bytes_.store(0, std::memory_order_relaxed);
+  read_ops_.store(0, std::memory_order_relaxed);
+  write_ops_.store(0, std::memory_order_relaxed);
   channel_.ResetStats();
   ops_.ResetStats();
 }

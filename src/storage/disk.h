@@ -4,6 +4,7 @@
 // exist to avoid.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -39,16 +40,27 @@ class SimDisk {
   Nanos Write(sim::ExecContext& ctx, uint64_t bytes);
 
   sim::BandwidthChannel& channel() { return channel_; }
+  /// IOPS ledger ("bytes" are operations); exposed so world wiring can mark
+  /// it shared for epoch-parallel execution.
+  sim::BandwidthChannel& ops_channel() { return ops_; }
 
   /// Fault-injection hook point (nullable; disk-stall windows).
   void set_fault_injector(faults::FaultInjector* injector) {
     faults_ = injector;
   }
 
-  uint64_t read_bytes() const { return read_bytes_; }
-  uint64_t write_bytes() const { return write_bytes_; }
-  uint64_t read_ops() const { return read_ops_; }
-  uint64_t write_ops() const { return write_ops_; }
+  uint64_t read_bytes() const {
+    return read_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t write_bytes() const {
+    return write_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t read_ops() const {
+    return read_ops_.load(std::memory_order_relaxed);
+  }
+  uint64_t write_ops() const {
+    return write_ops_.load(std::memory_order_relaxed);
+  }
   void ResetStats();
 
   /// Bandwidth/IOPS ledgers + byte/op counters, for world snapshot/restore.
@@ -62,15 +74,15 @@ class SimDisk {
   };
   State Capture() const {
     return State{channel_.Capture(), ops_.Capture(),
-                 read_bytes_, write_bytes_, read_ops_, write_ops_};
+                 read_bytes(), write_bytes(), read_ops(), write_ops()};
   }
   void Restore(const State& s) {
     channel_.Restore(s.channel);
     ops_.Restore(s.ops);
-    read_bytes_ = s.read_bytes;
-    write_bytes_ = s.write_bytes;
-    read_ops_ = s.read_ops;
-    write_ops_ = s.write_ops;
+    read_bytes_.store(s.read_bytes, std::memory_order_relaxed);
+    write_bytes_.store(s.write_bytes, std::memory_order_relaxed);
+    read_ops_.store(s.read_ops, std::memory_order_relaxed);
+    write_ops_.store(s.write_ops, std::memory_order_relaxed);
   }
 
  private:
@@ -79,10 +91,13 @@ class SimDisk {
   faults::FaultInjector* faults_ = nullptr;
   sim::BandwidthChannel channel_;
   sim::BandwidthChannel ops_;  // "bytes" are operations
-  uint64_t read_bytes_ = 0;
-  uint64_t write_bytes_ = 0;
-  uint64_t read_ops_ = 0;
-  uint64_t write_ops_ = 0;
+  // Relaxed atomics: the disk is shared by every instance, so epoch-parallel
+  // shards bump these concurrently; the adds commute, so totals stay
+  // bit-identical to serial execution.
+  std::atomic<uint64_t> read_bytes_{0};
+  std::atomic<uint64_t> write_bytes_{0};
+  std::atomic<uint64_t> read_ops_{0};
+  std::atomic<uint64_t> write_ops_{0};
 };
 
 }  // namespace polarcxl::storage

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/epoch.h"
+
 namespace polarcxl::storage {
 
 Lsn RedoLog::AppendMtr(std::vector<RedoRecord> records) {
@@ -45,7 +47,7 @@ Lsn RedoLog::GroupCommit(sim::ExecContext& ctx, Nanos window) {
     // but no additional I/O, and complete with the batch.
     const Nanos entry = ctx.now;
     const uint64_t bytes = next_lsn_ - flushed_lsn_;
-    disk_->channel().Transfer(ctx.now, bytes);
+    sim::ChargeChannel(ctx, disk_->channel(), ctx.now, bytes);
     SealBuffer();
     flushed_lsn_ = next_lsn_;
     ctx.now = last_batch_completion_;

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/prof.h"
+#include "sim/epoch.h"
 
 namespace polarcxl::workload {
 
@@ -107,7 +108,7 @@ engine::Table* SysbenchWorkload::PickTable(bool* is_shared) {
 
 void SysbenchWorkload::ChargeClient(sim::ExecContext& ctx, uint64_t bytes) {
   if (client_net_ != nullptr) {
-    const Nanos done = client_net_->Transfer(ctx.now, bytes);
+    const Nanos done = sim::ChargeChannel(ctx, *client_net_, ctx.now, bytes);
     ctx.now = std::max(ctx.now, done);
   }
 }

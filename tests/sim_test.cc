@@ -418,6 +418,33 @@ TEST(ExecutorTest, RunUntilStopsBeforeBoundary) {
   EXPECT_EQ(ex.MinClock(), 10000);
 }
 
+// Pins the RunUntil(t) boundary contract documented in executor.h: a lane
+// is stepped only while its clock is < t, and the step that crosses t runs
+// to completion, leaving the clock past the boundary by up to one step's
+// virtual cost (never rolled back, never split).
+TEST(ExecutorTest, RunUntilOvershootContract) {
+  Executor ex;
+  int steps = 0;
+  const uint32_t id = ex.AddLane(
+      [&](ExecContext& ctx) {
+        steps++;
+        ctx.Advance(300);
+        return true;
+      },
+      0, nullptr, 0);
+  ex.RunUntil(1000);
+  // Stepped at t=0,300,600,900; the t=900 step overshoots the boundary.
+  EXPECT_EQ(steps, 4);
+  EXPECT_EQ(ex.context(id).now, 1200);
+  // The lane sits exactly at the next boundary: "< t" means not stepped.
+  ex.RunUntil(1200);
+  EXPECT_EQ(steps, 4);
+  // One tick past its clock admits exactly one more step.
+  ex.RunUntil(1201);
+  EXPECT_EQ(steps, 5);
+  EXPECT_EQ(ex.context(id).now, 1500);
+}
+
 TEST(ExecutorTest, ParkedLaneStops) {
   Executor ex;
   int steps = 0;

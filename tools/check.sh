@@ -11,6 +11,9 @@
 #   tools/check.sh --faults   # tier-1 + sanitized fault suite + chaos gate
 #   tools/check.sh --snapshot # tier-1 + sanitized snapshot suite +
 #                             #   cold-vs-fork bit-identity on the fig7 point
+#   tools/check.sh --parallel # tier-1 + epoch-parallel bit-identity gate
+#                             #   (POLAR_WORLD_THREADS sweep) + TSan leg over
+#                             #   the executor/snapshot/faults suites
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +29,13 @@ BENCH_EXPECT_QUICK="22105,17460"
 # under the canonical fault schedule). Keep in sync with the pinned
 # constants in tests/faults_test.cc (CanonicalScheduleLaneStepsPinned).
 CHAOS_EXPECT_QUICK="27857,35212,25375"
+
+# Quick-scale fig7 lane_steps under the epoch-parallel discipline
+# (POLAR_WORLD_THREADS >= 1). Differs from BENCH_EXPECT_QUICK by design:
+# deferred cross-shard charges observe window-frozen channel ledgers, which
+# shifts a handful of completions on multi-instance shared channels. The
+# value is identical for EVERY thread count — that is the gate.
+BENCH_EXPECT_QUICK_EPOCH="22107,17460"
 
 # Ceiling on the engine+cache_sim share of profiled self CPU time (see
 # POLAR_BENCH_MAX_HOT_SHARE in bench_sim_throughput.cc). The third-wave
@@ -115,6 +125,37 @@ if [[ "${1:-}" == "--snapshot" ]]; then
     POLAR_BENCH_EXPECT="$BENCH_EXPECT_QUICK" \
     build/bench/bench_sim_throughput
   echo "==> OK (snapshot mode)"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--parallel" ]]; then
+  echo "==> parallel: epoch-parallel determinism suite"
+  build/tests/parallel_world_test
+  echo "==> parallel: quick-scale bench identity across POLAR_WORLD_THREADS"
+  # Same world, sharded 1/2/4 ways: lane_steps must hit the epoch pins at
+  # every thread count. Wall-clock is informational (see in_world_scaling
+  # in BENCH_sim_throughput.json for the honest scaling numbers).
+  for n in 1 2 4; do
+    echo "==> POLAR_WORLD_THREADS=$n"
+    POLAR_WORLD_THREADS="$n" POLAR_BENCH_SCALE=0.1 POLAR_BENCH_REPS=1 \
+      POLAR_BENCH_EXPECT="$BENCH_EXPECT_QUICK_EPOCH" \
+      build/bench/bench_sim_throughput >/dev/null
+  done
+  echo "==> parallel: chaos gate at POLAR_WORLD_THREADS=2 (serial pins)"
+  # Chaos worlds are single-group, so the epoch discipline replays the
+  # serial timeline exactly — the UNCHANGED serial pins must hold.
+  POLAR_WORLD_THREADS=2 POLAR_BENCH_SCALE=0.1 POLAR_BENCH_REPS=1 \
+    POLAR_SWEEP_THREADS=1 POLAR_CHAOS_EXPECT="$CHAOS_EXPECT_QUICK" \
+    build/bench/bench_fig14_fault_resilience >/dev/null
+  echo "==> parallel: TSan build of executor/snapshot/faults suites"
+  cmake -B build-tsan -S . -DPOLAR_SANITIZE=thread -DPOLAR_LTO=OFF >/dev/null
+  cmake --build build-tsan -j "$JOBS" \
+    --target sim_test snapshot_test faults_test parallel_world_test >/dev/null
+  for t in sim_test snapshot_test faults_test parallel_world_test; do
+    echo "==> build-tsan/tests/$t"
+    "build-tsan/tests/$t"
+  done
+  echo "==> OK (parallel mode)"
   exit 0
 fi
 
