@@ -52,6 +52,7 @@ struct BufferPoolStats {
   uint64_t degraded_fetches = 0;   // served from a fallback tier mid-fault
   uint64_t fault_rejections = 0;   // fetches refused with a fault Status
   uint64_t fault_retries = 0;      // verbs ops retried after a fault error
+  uint64_t retries_exhausted = 0;  // ops failed fast: retry budget spent
 
   double HitRate() const {
     return fetches == 0 ? 0.0

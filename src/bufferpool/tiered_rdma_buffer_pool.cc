@@ -22,6 +22,17 @@ TieredRdmaBufferPool::TieredRdmaBufferPool(Options options,
        b--) {
     free_list_.push_back(b - 1);
   }
+  retry_budget_left_ = opt_.retry_budget;
+}
+
+bool TieredRdmaBufferPool::ConsumeRetryBudget(Nanos backoff) {
+  if (opt_.retry_budget == 0) return true;  // unlimited (legacy)
+  if (retry_budget_left_ < backoff) {
+    stats_.retries_exhausted++;
+    return false;
+  }
+  retry_budget_left_ -= backoff;
+  return true;
 }
 
 Status TieredRdmaBufferPool::RemoteReadRetry(sim::ExecContext& ctx,
@@ -29,7 +40,14 @@ Status TieredRdmaBufferPool::RemoteReadRetry(sim::ExecContext& ctx,
   Nanos backoff = kVerbsBackoffBase;
   for (int attempt = 1;; attempt++) {
     Status s = remote_->ReadPage(ctx, opt_.node, opt_.tenant, page_id, dst);
-    if (s.ok() || !s.IsIOError() || attempt == kVerbsAttempts) return s;
+    if (s.ok()) {
+      retry_budget_left_ = opt_.retry_budget;  // healthy NIC refills budget
+      return s;
+    }
+    if (!s.IsIOError() || attempt == kVerbsAttempts) return s;
+    if (!ConsumeRetryBudget(backoff)) {
+      return Status::Unavailable("verbs retry budget exhausted");
+    }
     stats_.fault_retries++;
     ctx.t_net += backoff;
     ctx.Advance(backoff);
@@ -44,7 +62,14 @@ Status TieredRdmaBufferPool::RemoteWriteRetry(sim::ExecContext& ctx,
   for (int attempt = 1;; attempt++) {
     Status s =
         remote_->WritePage(ctx, opt_.node, opt_.tenant, page_id, data);
-    if (s.ok() || !s.IsIOError() || attempt == kVerbsAttempts) return s;
+    if (s.ok()) {
+      retry_budget_left_ = opt_.retry_budget;
+      return s;
+    }
+    if (!s.IsIOError() || attempt == kVerbsAttempts) return s;
+    if (!ConsumeRetryBudget(backoff)) {
+      return Status::Unavailable("verbs retry budget exhausted");
+    }
     stats_.fault_retries++;
     ctx.t_net += backoff;
     ctx.Advance(backoff);
@@ -104,9 +129,10 @@ Result<PageRef> TieredRdmaBufferPool::FetchImpl(sim::ExecContext& ctx,
   Status s = RemoteReadRetry(ctx, page_id, FrameData(b));
   if (s.ok()) {
     remote_hits_++;
-  } else if (s.IsIOError()) {
-    // NIC still down after the retry budget: serve from storage and skip
-    // the remote populate (it would only burn more retries).
+  } else if (s.IsIOError() || s.IsUnavailable()) {
+    // NIC still down after the per-op retries — or the total retry budget
+    // is spent: serve from storage and skip the remote populate (it would
+    // only burn more retries).
     stats_.degraded_fetches++;
     store_->ReadPage(ctx, page_id, FrameData(b));
   } else {
@@ -174,6 +200,7 @@ struct TieredPoolSnapshot : PoolSnapshot {
   PageMap page_table;
   BufferPoolStats stats;
   uint64_t remote_hits = 0;
+  Nanos retry_budget_left = 0;
 };
 
 std::unique_ptr<PoolSnapshot> TieredRdmaBufferPool::CaptureState() const {
@@ -185,6 +212,7 @@ std::unique_ptr<PoolSnapshot> TieredRdmaBufferPool::CaptureState() const {
   s->page_table = page_table_;
   s->stats = stats_;
   s->remote_hits = remote_hits_;
+  s->retry_budget_left = retry_budget_left_;
   return s;
 }
 
@@ -198,6 +226,7 @@ void TieredRdmaBufferPool::RestoreState(const PoolSnapshot& base) {
   page_table_ = s.page_table;
   stats_ = s.stats;
   remote_hits_ = s.remote_hits;
+  retry_budget_left_ = s.retry_budget_left;
 }
 
 }  // namespace polarcxl::bufferpool

@@ -27,6 +27,13 @@ class TieredRdmaBufferPool final : public StaticDispatchPool<TieredRdmaBufferPoo
     NodeId node = 0;    // this host's NIC identity
     NodeId tenant = 0;  // tenant key in the remote pool
     uint64_t phys_base = 1ULL << 45;
+    /// Total verbs retry budget in virtual time (0 = unlimited, the legacy
+    /// behavior). Each backoff wait consumes budget; a successful remote op
+    /// refills it. Once spent, verbs ops fail fast with
+    /// Status::Unavailable (stats().retries_exhausted counts them) instead
+    /// of burning more backoff — overload protection for open-loop serving,
+    /// where every microsecond of retry wait grows the admission queue.
+    Nanos retry_budget = 0;
   };
 
   TieredRdmaBufferPool(Options options, sim::MemorySpace* dram,
@@ -76,10 +83,15 @@ class TieredRdmaBufferPool final : public StaticDispatchPool<TieredRdmaBufferPoo
 
   /// remote_->ReadPage/WritePage with the retry/backoff policy. Only
   /// IOError (a faulted NIC / dropped verbs op) is retried; NotFound and
-  /// OutOfMemory are semantic outcomes and return immediately.
+  /// OutOfMemory are semantic outcomes and return immediately. With a
+  /// finite Options::retry_budget, a backoff that would overdraw the
+  /// remaining budget is skipped and the op returns Status::Unavailable.
   Status RemoteReadRetry(sim::ExecContext& ctx, PageId page_id, void* dst);
   Status RemoteWriteRetry(sim::ExecContext& ctx, PageId page_id,
                           const void* data);
+  /// True (and budget consumed) if the retry loop may back off another
+  /// `backoff` ns; false once the budget is spent.
+  bool ConsumeRetryBudget(Nanos backoff);
   struct BlockMeta {
     PageId page_id = kInvalidPageId;
     bool in_use = false;
@@ -107,6 +119,9 @@ class TieredRdmaBufferPool final : public StaticDispatchPool<TieredRdmaBufferPoo
   PageMap page_table_;
   BufferPoolStats stats_;
   uint64_t remote_hits_ = 0;
+  /// Remaining verbs backoff budget (meaningful only when
+  /// opt_.retry_budget > 0; refilled by any successful remote op).
+  Nanos retry_budget_left_ = 0;
 };
 
 }  // namespace polarcxl::bufferpool

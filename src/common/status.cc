@@ -21,6 +21,8 @@ const char* CodeName(Status::Code code) {
       return "IOError";
     case Status::Code::kNotSupported:
       return "NotSupported";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -21,6 +21,7 @@ class Status {
     kBusy,
     kIOError,
     kNotSupported,
+    kUnavailable,
   };
 
   Status() : code_(Code::kOk) {}
@@ -47,6 +48,13 @@ class Status {
   static Status NotSupported(std::string msg = "") {
     return Status(Code::kNotSupported, std::move(msg));
   }
+  /// Overload / retry-budget exhaustion: the operation was well-formed but
+  /// the service cannot take it right now (admission shed, verbs retry
+  /// budget spent). Distinct from IOError (a faulted device) so clients can
+  /// tell "back off and retry later" from "the device is broken".
+  static Status Unavailable(std::string msg = "") {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -56,6 +64,7 @@ class Status {
   bool IsBusy() const { return code_ == Code::kBusy; }
   bool IsIOError() const { return code_ == Code::kIOError; }
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -58,6 +58,7 @@ Result<std::unique_ptr<bufferpool::BufferPool>> Database::BuildFreshPool(
                                                      : opt_.node;
       o.tenant = opt_.node;
       o.phys_base = (1ULL << 45) + (static_cast<uint64_t>(opt_.node) << 38);
+      o.retry_budget = opt_.verbs_retry_budget;
       return {std::make_unique<bufferpool::TieredRdmaBufferPool>(
           o, dram_space_.get(), env_.remote, env_.store)};
     }

@@ -57,6 +57,9 @@ struct DatabaseOptions {
   Nanos group_commit_window = 0;
   /// This instance's share of the host LLC.
   uint64_t cpu_cache_bytes = 28ULL << 20;
+  /// Total verbs retry budget in virtual time for the tiered-RDMA pool
+  /// (0 = unlimited; see TieredRdmaBufferPool::Options::retry_budget).
+  Nanos verbs_retry_budget = 0;
   sim::CpuCostModel costs;
   sim::LatencyModel latency;
 };

@@ -127,6 +127,28 @@ Status FaultPlan::Validate() const {
                                      ": negative latency inflation");
     }
   }
+  // Reject overlapping windows of the same kind aimed at the same target
+  // (including via the any-target wildcard). The injector resolves such
+  // overlaps last-writer-wins, which silently drops the earlier window's
+  // parameters — almost always a plan-authoring mistake.
+  for (size_t i = 0; i < events.size(); i++) {
+    for (size_t j = i + 1; j < events.size(); j++) {
+      const FaultEvent& a = events[i];
+      const FaultEvent& b = events[j];
+      if (a.kind != b.kind) continue;
+      const bool same_target = a.target == b.target ||
+                               a.target == kAnyTarget ||
+                               b.target == kAnyTarget;
+      if (!same_target) continue;
+      if (a.at < b.until && b.at < a.until) {
+        return Status::InvalidArgument(
+            std::string(FaultKindName(a.kind)) + ": overlapping windows [" +
+            FmtDuration(a.at) + "," + FmtDuration(a.until) + ") and [" +
+            FmtDuration(b.at) + "," + FmtDuration(b.until) +
+            ") for the same target");
+      }
+    }
+  }
   return Status::OK();
 }
 
@@ -235,7 +257,8 @@ Result<FaultPlan> FaultPlan::Parse(std::string_view text) {
                                        std::string(key) + "'");
       }
       if (!ok) {
-        return Status::InvalidArgument(where + "bad value for '" +
+        return Status::InvalidArgument(where + "bad value '" +
+                                       std::string(val) + "' for key '" +
                                        std::string(key) + "'");
       }
     }

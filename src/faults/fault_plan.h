@@ -75,8 +75,10 @@ struct FaultPlan {
   /// sharing a timestamp is part of the deterministic contract.
   void Normalize();
 
-  /// Rejects inverted windows, out-of-range probabilities and negative
-  /// latencies. Call after building or parsing a plan.
+  /// Rejects inverted windows, out-of-range probabilities, negative
+  /// latencies, and overlapping same-kind windows aimed at the same target
+  /// (silent last-writer-wins is never what the plan author meant). Call
+  /// after building or parsing a plan.
   Status Validate() const;
 
   /// Round-trippable text form (one event per line, same syntax as Parse).

@@ -1,0 +1,507 @@
+#include "harness/traffic_driver.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/slice.h"
+#include "sim/executor.h"
+
+namespace polarcxl::harness {
+
+namespace {
+
+/// Per-instance run state: the admission queue, the merged arrival
+/// schedule (client-lane cursor), and instance-local timelines. Owned by
+/// the cached world via unique_ptr so lane lambdas hold stable pointers;
+/// rebuilt from the config at the start of every run. In epoch-parallel
+/// mode all of an instance's lanes share one group, so this state is only
+/// ever touched by one shard — no cross-thread races by construction.
+struct InstanceRun {
+  AdmissionQueue queue;
+  std::vector<AdmittedOp> schedule;  // absolute times, sorted
+  size_t next = 0;                   // client-lane cursor
+  TimeSeries ok{Millis(10)};
+  TimeSeries failed{Millis(10)};
+  TimeSeries shed{Millis(10)};
+};
+
+/// Per-tenant run parameters + accounting (a tenant routes to exactly one
+/// instance, so its stats are single-writer even in epoch mode).
+struct TenantRun {
+  QosClass qos = QosClass::kBestEffort;
+  double write_fraction = 0.25;
+  TenantStats stats;
+};
+
+/// Per-run parameters shared by every lane, overwritten before each
+/// measurement window (the world key excludes all of it).
+struct OpenLoopShared {
+  std::vector<TenantRun> tenants;
+  Nanos t0 = 0;
+  Nanos t1 = 0;
+  Nanos slo_latency = 0;
+  Nanos deadline[kNumQosClasses] = {0, 0};
+  int op_retries = 0;
+  Nanos shed_cost = 200;
+  Nanos error_backoff = 0;
+};
+
+/// Client-lane bookkeeping (one per instance): walks the merged schedule,
+/// offering each arrival to the admission queue at its exact timestamp.
+struct ClientLaneState {
+  InstanceRun* inst = nullptr;
+  OpenLoopShared* shared = nullptr;
+};
+
+/// Server-lane bookkeeping: closed-loop warmup before `open_after`, then
+/// pop-admit-serve with deadline shedding and bounded retries.
+struct ServerLaneState {
+  engine::Database* db = nullptr;
+  InstanceRun* inst = nullptr;
+  OpenLoopShared* shared = nullptr;
+  Rng rng{0};
+  uint32_t tables = 0;
+  uint32_t rows = 0;
+  double warmup_write_fraction = 0.25;
+  Nanos open_after = 0;  // warmup/open-loop boundary (fixed at build)
+  std::string scratch;
+};
+
+struct OpenLoopWorld : CachedWorld {
+  explicit OpenLoopWorld(const SimWorld::Spec& spec) : world(spec) {}
+  SimWorld world;
+  OpenLoopShared shared;
+  std::vector<std::unique_ptr<InstanceRun>> inst_runs;
+  std::vector<std::unique_ptr<ClientLaneState>> client_states;
+  std::vector<std::unique_ptr<ServerLaneState>> server_states;
+  /// Lane-id span of each instance (client + checkpoint + servers), for
+  /// instance-scoped node-crash freezes.
+  std::vector<std::pair<uint32_t, uint32_t>> lane_span;
+  std::vector<uint64_t> rng_states;  // post-warmup server-lane RNGs
+};
+
+/// One sysbench-style point op (read or single-column update) against a
+/// Status-returning table surface — the chaos driver's error-tolerant loop.
+Status DoOp(sim::ExecContext& ctx, engine::Database* db, Rng& rng,
+            uint32_t tables, uint32_t rows, double write_fraction,
+            std::string* scratch) {
+  engine::Table* t = db->table(rng.Uniform(tables));
+  const uint64_t id = 1 + rng.Uniform(rows);
+  Status s;
+  if (rng.Chance(write_fraction)) {
+    const uint32_t k = static_cast<uint32_t>(rng.Next());
+    s = t->UpdateColumn(ctx, id, 4,
+                        Slice(reinterpret_cast<const char*>(&k), sizeof(k)));
+    if (s.ok()) db->CommitTransaction(ctx);
+  } else {
+    s = t->GetTo(ctx, id, scratch);
+    db->FinishReadOnly(ctx);
+  }
+  return s;
+}
+
+SimWorld::Spec SpecFor(const OpenLoopConfig& config) {
+  SimWorld::Spec spec;
+  spec.kind = config.kind;
+  spec.instances = config.instances;
+  spec.sysbench = config.sysbench;
+  spec.lbp_fraction = config.lbp_fraction;
+  spec.cpu_cache_bytes = config.cpu_cache_bytes;
+  spec.verbs_retry_budget = config.verbs_retry_budget;
+  spec.wire_faults = true;
+  return spec;
+}
+
+/// Setup key: everything that shapes the world through warmup. Tenants,
+/// rates, plan, deadlines, SLO, retries and the measure window are all
+/// per-run — one warmed world serves an entire rate sweep.
+std::string OpenLoopKey(const OpenLoopConfig& c, bool epoch) {
+  std::ostringstream os;
+  os << "openloop:e" << (epoch ? 1 : 0) << ':' << static_cast<int>(c.kind)
+     << ':' << c.instances << ':' << c.lanes_per_instance << ':'
+     << c.sysbench.tables << ':' << c.sysbench.rows_per_table << ':'
+     << c.sysbench.range_size << ':' << c.sysbench.row_size << ':'
+     << static_cast<int>(c.sysbench.distribution) << ':'
+     << c.sysbench.zipf_theta << ':' << c.sysbench.num_nodes << ':'
+     << c.sysbench.shared_fraction << ':' << c.warmup_write_fraction << ':'
+     << c.lbp_fraction << ':' << c.cpu_cache_bytes << ':' << c.warmup << ':'
+     << c.checkpoint_interval << ':' << c.verbs_retry_budget << ':'
+     << c.seed;
+  return os.str();
+}
+
+std::unique_ptr<OpenLoopWorld> BuildOpenLoopWorld(const OpenLoopConfig& config,
+                                                  uint32_t world_threads) {
+  auto cw = std::make_unique<OpenLoopWorld>(SpecFor(config));
+  SimWorld& world = cw->world;
+  sim::Executor& executor = world.executor();
+  executor.ReserveLanes(config.instances * (config.lanes_per_instance + 2));
+  const Nanos setup_end = world.setup_end();
+  const Nanos open_after = setup_end + config.warmup;
+
+  for (uint32_t i = 0; i < config.instances; i++) {
+    engine::Database* db = world.db(i);
+    const NodeId node = i + 1;  // world_builder tenant identity
+    auto inst = std::make_unique<InstanceRun>();
+    InstanceRun* ir = inst.get();
+    cw->inst_runs.push_back(std::move(inst));
+
+    // Client lane first: on a clock tie with a server lane its lower id
+    // steps first, so arrivals at time T are enqueued before any server
+    // pops at T. Starts exactly at the window open (inert through warmup),
+    // which also pins MinClock(open_after) == open_after for every run.
+    auto client = std::make_unique<ClientLaneState>();
+    client->inst = ir;
+    client->shared = &cw->shared;
+    ClientLaneState* craw = client.get();
+    cw->client_states.push_back(std::move(client));
+    const uint32_t first_lane = executor.AddLane(
+        [craw](sim::ExecContext& ctx) {
+          InstanceRun& inst = *craw->inst;
+          if (inst.next >= inst.schedule.size()) return false;  // park
+          while (inst.next < inst.schedule.size() &&
+                 inst.schedule[inst.next].arrival <= ctx.now) {
+            const AdmittedOp op = inst.schedule[inst.next++];
+            TenantRun& tr = craw->shared->tenants[op.tenant];
+            tr.stats.offered++;
+            if (inst.queue.Offer(tr.qos, op)) {
+              tr.stats.admitted++;
+            } else {
+              tr.stats.shed_queue++;
+              inst.shed.Add(ctx.now - craw->shared->t0);
+            }
+          }
+          if (inst.next >= inst.schedule.size()) return false;
+          ctx.Advance(inst.schedule[inst.next].arrival - ctx.now);
+          return true;
+        },
+        node, db->cache(), open_after);
+
+    if (config.checkpoint_interval > 0) {
+      const Nanos interval = config.checkpoint_interval;
+      executor.AddLane(
+          [db, interval](sim::ExecContext& ctx) {
+            db->Checkpoint(ctx);
+            ctx.Advance(interval);
+            return true;
+          },
+          node, db->cache(), setup_end + interval);
+    }
+
+    uint32_t last_lane = first_lane;
+    for (uint32_t l = 0; l < config.lanes_per_instance; l++) {
+      auto state = std::make_unique<ServerLaneState>();
+      state->db = db;
+      state->inst = ir;
+      state->shared = &cw->shared;
+      state->rng = Rng(config.seed + i * config.lanes_per_instance + l);
+      state->tables = static_cast<uint32_t>(db->num_tables());
+      state->rows = config.sysbench.rows_per_table;
+      state->warmup_write_fraction = config.warmup_write_fraction;
+      state->open_after = open_after;
+      ServerLaneState* raw = state.get();
+      cw->server_states.push_back(std::move(state));
+      last_lane = executor.AddLane(
+          [raw](sim::ExecContext& ctx) {
+            if (ctx.now < raw->open_after) {
+              // Warmup: closed-loop, fault-free, nothing recorded.
+              DoOp(ctx, raw->db, raw->rng, raw->tables, raw->rows,
+                   raw->warmup_write_fraction, &raw->scratch);
+              return true;
+            }
+            OpenLoopShared& sh = *raw->shared;
+            InstanceRun& inst = *raw->inst;
+            AdmittedOp op;
+            if (!inst.queue.Pop(&op)) {
+              // Idle: jump to the next scheduled arrival (the client lane
+              // wins the clock tie and enqueues it first), or park once
+              // the schedule is drained.
+              if (inst.next >= inst.schedule.size()) return false;
+              const Nanos next_at = inst.schedule[inst.next].arrival;
+              ctx.Advance(next_at > ctx.now ? next_at - ctx.now : 1);
+              return true;
+            }
+            TenantRun& tr = sh.tenants[op.tenant];
+            const Nanos wait = ctx.now - op.arrival;
+            const Nanos deadline = sh.deadline[static_cast<int>(tr.qos)];
+            if (deadline > 0 && wait > deadline) {
+              // Serving it now would blow the SLO anyway: shed, charge the
+              // rejection cost (also guarantees forward progress when a
+              // backlog of expired ops drains at one timestamp).
+              tr.stats.shed_deadline++;
+              if (ctx.now <= sh.t1) inst.shed.Add(ctx.now - sh.t0);
+              ctx.Advance(sh.shed_cost);
+              return true;
+            }
+            tr.stats.queue_wait.Add(wait);
+            Status s;
+            for (int attempt = 0;; attempt++) {
+              s = DoOp(ctx, raw->db, raw->rng, raw->tables, raw->rows,
+                       tr.write_fraction, &raw->scratch);
+              if (s.ok() || attempt >= sh.op_retries) break;
+              tr.stats.retried_ops++;
+              ctx.Advance(sh.error_backoff);
+            }
+            const Nanos latency = ctx.now - op.arrival;
+            if (s.ok()) {
+              tr.stats.ok_ops++;
+              tr.stats.latency.Add(latency);
+              if (latency <= sh.slo_latency) tr.stats.ok_in_slo++;
+              if (ctx.now <= sh.t1) inst.ok.Add(ctx.now - sh.t0);
+            } else {
+              // Retries exhausted: the client sees Unavailable; back off
+              // before touching the next request.
+              tr.stats.failed_ops++;
+              if (ctx.now <= sh.t1) inst.failed.Add(ctx.now - sh.t0);
+              ctx.Advance(sh.error_backoff);
+            }
+            return true;
+          },
+          node, db->cache(), setup_end);
+    }
+    cw->lane_span.emplace_back(first_lane, last_lane);
+  }
+
+  if (world_threads >= 1) world.EnableInWorldParallelism(world_threads);
+  executor.RunUntil(open_after);
+  return cw;
+}
+
+void MergeSeries(TimeSeries* dst, const TimeSeries& src) {
+  for (size_t i = 0; i < src.num_buckets(); i++) {
+    if (src.bucket(i) != 0) {
+      dst->Add(static_cast<Nanos>(i) * dst->bucket_width(), src.bucket(i));
+    }
+  }
+}
+
+}  // namespace
+
+OpenLoopResult RunOpenLoop(const OpenLoopConfig& config, WorldCache* cache) {
+  POLAR_CHECK_MSG(!config.tenants.empty(), "open-loop run needs tenants");
+  POLAR_CHECK_MSG(config.shed_cost > 0, "shed_cost must advance time");
+  for (const TenantSpec& t : config.tenants) {
+    POLAR_CHECK_MSG(t.instance < config.instances,
+                    "tenant routed to a nonexistent instance");
+  }
+  const double wall_start = ThreadCpuSeconds();
+  const uint32_t world_threads = ResolveWorldThreads(config.world_threads);
+  const bool epoch = world_threads >= 1;
+
+  // ---- acquire a warmed world: fork a snapshot or build cold ----
+  WorldCache::Lease lease;
+  std::unique_ptr<OpenLoopWorld> local;
+  OpenLoopWorld* cw = nullptr;
+  bool hit = false;
+  if (cache != nullptr) {
+    lease = cache->Acquire(OpenLoopKey(config, epoch));
+    cw = static_cast<OpenLoopWorld*>(lease.get());
+    hit = cw != nullptr;
+  }
+  if (cw == nullptr) {
+    auto fresh = BuildOpenLoopWorld(config, world_threads);
+    if (cache != nullptr) {
+      fresh->world.CaptureSnapshot();
+      fresh->rng_states.reserve(fresh->server_states.size());
+      for (const auto& state : fresh->server_states) {
+        fresh->rng_states.push_back(state->rng.raw_state());
+      }
+      cw = fresh.get();
+      lease.put(std::move(fresh));
+    } else {
+      local = std::move(fresh);
+      cw = local.get();
+    }
+  } else {
+    if (epoch) cw->world.executor().SetThreads(world_threads);
+    cw->world.RestoreSnapshot();
+    for (size_t i = 0; i < cw->server_states.size(); i++) {
+      cw->server_states[i]->rng.set_raw_state(cw->rng_states[i]);
+    }
+  }
+
+  // ---- per-run state: tenants, schedules, queues (identical for cold and
+  // forked worlds; nothing below is in the world key) ----
+  SimWorld& world = cw->world;
+  sim::Executor& executor = world.executor();
+  faults::FaultInjector& injector = world.injector();
+  const Nanos setup_end = world.setup_end();
+  const Nanos t0 = executor.MinClock(setup_end + config.warmup);
+  const Nanos t1 = t0 + config.measure;
+
+  OpenLoopShared& sh = cw->shared;
+  sh.tenants.clear();
+  sh.tenants.resize(config.tenants.size());
+  for (size_t t = 0; t < config.tenants.size(); t++) {
+    sh.tenants[t].qos = config.tenants[t].qos;
+    sh.tenants[t].write_fraction = config.tenants[t].write_fraction;
+    sh.tenants[t].stats.name = config.tenants[t].name;
+    sh.tenants[t].stats.qos = config.tenants[t].qos;
+  }
+  sh.t0 = t0;
+  sh.t1 = t1;
+  sh.slo_latency = config.slo_latency;
+  sh.deadline[static_cast<int>(QosClass::kGold)] = config.gold_deadline;
+  sh.deadline[static_cast<int>(QosClass::kBestEffort)] =
+      config.best_effort_deadline;
+  sh.op_retries = config.op_retries;
+  sh.shed_cost = config.shed_cost;
+  sh.error_backoff = config.error_backoff;
+
+  for (uint32_t i = 0; i < config.instances; i++) {
+    InstanceRun& inst = *cw->inst_runs[i];
+    inst.queue = AdmissionQueue(config.admission);
+    inst.schedule.clear();
+    inst.next = 0;
+    inst.ok = TimeSeries(config.bucket);
+    inst.failed = TimeSeries(config.bucket);
+    inst.shed = TimeSeries(config.bucket);
+  }
+  for (size_t t = 0; t < config.tenants.size(); t++) {
+    const TenantSpec& spec = config.tenants[t];
+    const std::vector<Nanos> rel = GenerateArrivals(
+        spec.arrivals, config.arrival_seed, static_cast<uint32_t>(t),
+        config.measure);
+    std::vector<AdmittedOp>& sched = cw->inst_runs[spec.instance]->schedule;
+    sched.reserve(sched.size() + rel.size());
+    for (Nanos r : rel) sched.push_back({t0 + r, static_cast<uint32_t>(t)});
+  }
+  for (auto& inst : cw->inst_runs) {
+    // Stable tie-break on tenant index: the merge order is part of the
+    // determinism contract, not an accident of the sort.
+    std::stable_sort(inst->schedule.begin(), inst->schedule.end(),
+                     [](const AdmittedOp& a, const AdmittedOp& b) {
+                       if (a.arrival != b.arrival) return a.arrival < b.arrival;
+                       return a.tenant < b.tenant;
+                     });
+  }
+
+  faults::FaultPlan armed = config.plan;
+  armed.ShiftBy(t0);
+  POLAR_CHECK(injector.Arm(std::move(armed)).ok());
+
+  const uint64_t epochs_before = executor.epochs_run();
+  const uint64_t divergence_before = executor.drain_divergence();
+  const double setup_done = ThreadCpuSeconds();
+
+  // Node-crash windows freeze the crashed instance's lanes (client
+  // included — arrivals pile up behind the dead endpoint and age out at
+  // the deadline check on resume).
+  std::vector<faults::FaultEvent> crashes =
+      injector.EventsOfKind(faults::FaultKind::kNodeCrash);
+  for (const faults::FaultEvent& crash : crashes) {
+    if (crash.at >= t1) break;  // plan is normalized (sorted by `at`)
+    executor.RunUntil(crash.at);
+    for (uint32_t i = 0; i < config.instances; i++) {
+      if (!crash.Matches(i + 1)) continue;
+      for (uint32_t l = cw->lane_span[i].first; l <= cw->lane_span[i].second;
+           l++) {
+        executor.ParkLane(l);
+        const Nanos now = executor.context(l).now;
+        executor.ResumeLane(l, std::max(now, crash.until));
+      }
+    }
+  }
+  executor.RunUntil(t1);
+  injector.Disarm();
+
+  const double measure_done = ThreadCpuSeconds();
+
+  // ---- merge per-tenant / per-instance accounting in declaration order ----
+  OpenLoopResult result;
+  result.ok = TimeSeries(config.bucket);
+  result.failed = TimeSeries(config.bucket);
+  result.shed = TimeSeries(config.bucket);
+  result.window = config.measure;
+  result.tenants.reserve(sh.tenants.size());
+  for (const TenantRun& tr : sh.tenants) {
+    result.tenants.push_back(tr.stats);
+    result.offered += tr.stats.offered;
+    result.admitted += tr.stats.admitted;
+    result.shed_queue += tr.stats.shed_queue;
+    result.shed_deadline += tr.stats.shed_deadline;
+    result.ok_ops += tr.stats.ok_ops;
+    result.ok_in_slo += tr.stats.ok_in_slo;
+    result.failed_ops += tr.stats.failed_ops;
+    result.retried_ops += tr.stats.retried_ops;
+    result.latency.Merge(tr.stats.latency);
+    result.queue_wait.Merge(tr.stats.queue_wait);
+  }
+  for (uint32_t i = 0; i < config.instances; i++) {
+    MergeSeries(&result.ok, cw->inst_runs[i]->ok);
+    MergeSeries(&result.failed, cw->inst_runs[i]->failed);
+    MergeSeries(&result.shed, cw->inst_runs[i]->shed);
+    const bufferpool::BufferPoolStats& ps = world.db(i)->pool()->stats();
+    result.degraded_fetches += ps.degraded_fetches;
+    result.fault_rejections += ps.fault_rejections;
+    result.fault_retries += ps.fault_retries;
+    result.retries_exhausted += ps.retries_exhausted;
+  }
+  result.p99 = result.latency.Percentile(99.0);
+  const double window_sec =
+      static_cast<double>(config.measure) / kNanosPerSec;
+  result.goodput = static_cast<double>(result.ok_in_slo) / window_sec;
+  result.loss_fraction =
+      result.offered == 0
+          ? 0.0
+          : static_cast<double>(result.shed_queue + result.shed_deadline +
+                                result.failed_ops) /
+                static_cast<double>(result.offered);
+  result.slo_met = result.p99 <= config.slo_latency &&
+                   result.loss_fraction <= config.max_loss_fraction;
+  result.injected = injector.stats();
+  result.lane_steps = executor.total_steps();
+  result.virtual_end = executor.MaxClock();
+  result.setup_wall_sec = setup_done - wall_start;
+  result.measure_wall_sec = measure_done - setup_done;
+  result.snapshot_hit = hit;
+  result.epochs = executor.epochs_run() - epochs_before;
+  result.drain_divergence =
+      executor.drain_divergence() - divergence_before;
+  return result;
+}
+
+OpenLoopConfig ScaleArrivals(const OpenLoopConfig& base, double scale) {
+  OpenLoopConfig scaled = base;
+  for (TenantSpec& t : scaled.tenants) {
+    t.arrivals.rate_per_sec *= scale;
+  }
+  return scaled;
+}
+
+CapacityPoint FindSloCapacity(const OpenLoopConfig& base,
+                              const CapacitySearch& search, WorldCache* cache,
+                              std::vector<CapacityPoint>* trace) {
+  const double window_sec =
+      static_cast<double>(base.measure) / kNanosPerSec;
+  const auto eval = [&](double scale) {
+    CapacityPoint p;
+    p.scale = scale;
+    p.result = RunOpenLoop(ScaleArrivals(base, scale), cache);
+    p.offered_rate = static_cast<double>(p.result.offered) / window_sec;
+    if (trace != nullptr) trace->push_back(p);
+    return p;
+  };
+
+  CapacityPoint lo = eval(search.lo_scale);
+  if (!lo.result.slo_met) return lo;  // overloaded even at the floor
+  CapacityPoint hi = eval(search.hi_scale);
+  if (hi.result.slo_met) return hi;  // never saturated in the bracket
+  for (int i = 0; i < search.iters; i++) {
+    CapacityPoint mid = eval((lo.scale + hi.scale) / 2.0);
+    if (mid.result.slo_met) {
+      lo = std::move(mid);
+    } else {
+      hi = std::move(mid);
+    }
+  }
+  return lo;
+}
+
+}  // namespace polarcxl::harness

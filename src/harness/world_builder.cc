@@ -120,6 +120,7 @@ SimWorld::SimWorld(const Spec& spec)
     opt.pool_pages = pool_pages;
     opt.cpu_cache_bytes = spec.cpu_cache_bytes;
     opt.group_commit_window = spec.group_commit_window;
+    opt.verbs_retry_budget = spec.verbs_retry_budget;
 
     sim::ExecContext setup_ctx;
     auto db = CreateAndLoad(setup_ctx, env, opt, wl);

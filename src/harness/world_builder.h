@@ -88,6 +88,8 @@ class SimWorld {
     double lbp_fraction = 0.3;
     uint64_t cpu_cache_bytes = 28ULL << 20;
     Nanos group_commit_window = 0;
+    /// Verbs retry budget for kTieredRdma instances (0 = unlimited).
+    Nanos verbs_retry_budget = 0;
     /// Wire the fault injector into fabric/manager/net/disk. Off for the
     /// fault-free figures so their pools keep the injector-null fast path
     /// (bit-identical to the pre-snapshot drivers).

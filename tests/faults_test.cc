@@ -123,6 +123,71 @@ TEST(FaultPlanTest, ValidateRejectsBadWindows) {
   EXPECT_TRUE(ok.Validate().ok());
 }
 
+TEST(FaultPlanTest, ParseErrorsNameLineAndToken) {
+  auto bad_kind =
+      FaultPlan::Parse("seed 1\nwarp-core-breach at=1ms for=1ms");
+  ASSERT_FALSE(bad_kind.ok());
+  EXPECT_NE(bad_kind.status().message().find("line 2"), std::string::npos)
+      << bad_kind.status().ToString();
+  EXPECT_NE(bad_kind.status().message().find("warp-core-breach"),
+            std::string::npos);
+
+  auto bad_value = FaultPlan::Parse("cxl-down at=1parsec for=1ms");
+  ASSERT_FALSE(bad_value.ok());
+  EXPECT_NE(bad_value.status().message().find("line 1"), std::string::npos);
+  EXPECT_NE(bad_value.status().message().find("1parsec"), std::string::npos)
+      << bad_value.status().ToString();
+  EXPECT_NE(bad_value.status().message().find("'at'"), std::string::npos);
+}
+
+TEST(FaultPlanTest, ValidateRejectsOverlappingWindowsForSameTarget) {
+  // Same kind, both wildcard target, intersecting windows: rejected.
+  FaultPlan overlap;
+  overlap.Add({FaultKind::kCxlDown, Millis(1), Millis(3)});
+  overlap.Add({FaultKind::kCxlDown, Millis(2), Millis(4)});
+  const Status s = overlap.Validate();
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("overlapping"), std::string::npos)
+      << s.ToString();
+
+  // A wildcard window overlaps every specific target of its kind.
+  FaultPlan wild;
+  wild.Add({FaultKind::kNicDown, Millis(1), Millis(3)});
+  {
+    FaultEvent e{FaultKind::kNicDown, Millis(2), Millis(4)};
+    e.target = 1;
+    wild.Add(e);
+  }
+  EXPECT_TRUE(wild.Validate().IsInvalidArgument());
+
+  // Distinct targets may overlap freely.
+  FaultPlan distinct;
+  {
+    FaultEvent e{FaultKind::kNicDown, Millis(1), Millis(3)};
+    e.target = 1;
+    distinct.Add(e);
+  }
+  {
+    FaultEvent e{FaultKind::kNicDown, Millis(2), Millis(4)};
+    e.target = 2;
+    distinct.Add(e);
+  }
+  EXPECT_TRUE(distinct.Validate().ok());
+
+  // Different kinds may overlap, and back-to-back windows ([1,2) then
+  // [2,3)) do not intersect.
+  FaultPlan adjacent;
+  adjacent.Add({FaultKind::kCxlDown, Millis(1), Millis(2)});
+  adjacent.Add({FaultKind::kCxlDown, Millis(2), Millis(3)});
+  adjacent.Add({FaultKind::kNicDown, Millis(1), Millis(3)});
+  EXPECT_TRUE(adjacent.Validate().ok());
+
+  // Parse runs the same validation.
+  EXPECT_FALSE(
+      FaultPlan::Parse("cxl-down at=1ms for=5ms\ncxl-down at=2ms for=5ms")
+          .ok());
+}
+
 TEST(FaultPlanTest, NormalizeOrdersByTimeKindTarget) {
   FaultPlan plan;
   FaultEvent b{FaultKind::kNicDown, 100, 200};

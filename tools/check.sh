@@ -14,6 +14,9 @@
 #   tools/check.sh --parallel # tier-1 + epoch-parallel bit-identity gate
 #                             #   (POLAR_WORLD_THREADS sweep) + TSan leg over
 #                             #   the executor/snapshot/faults suites
+#   tools/check.sh --slo      # tier-1 + quick-scale open-loop SLO-capacity
+#                             #   gate: lane_steps pins across sweep/world
+#                             #   thread counts + sanitized open-loop suite
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,6 +39,12 @@ CHAOS_EXPECT_QUICK="27857,35212,25375"
 # shifts a handful of completions on multi-instance shared channels. The
 # value is identical for EVERY thread count — that is the gate.
 BENCH_EXPECT_QUICK_EPOCH="22107,17460"
+
+# Quick-scale lane_steps for the slo-capacity bench (the scale-1.0 sweep
+# point for cxl, dram, tiered_rdma, plus the chaos-under-peak run). Pure
+# virtual-time output: every admission, shed, retry, and arrival is on the
+# simulated clock, so the pins hold for ANY sweep/world thread count.
+SLO_EXPECT_QUICK="47468,47328,41387,35498"
 
 # Ceiling on the engine+cache_sim share of profiled self CPU time (see
 # POLAR_BENCH_MAX_HOT_SHARE in bench_sim_throughput.cc). The third-wave
@@ -156,6 +165,30 @@ if [[ "${1:-}" == "--parallel" ]]; then
     "build-tsan/tests/$t"
   done
   echo "==> OK (parallel mode)"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--slo" ]]; then
+  echo "==> slo: ASan+UBSan build of the open-loop suite"
+  cmake -B build-asan -S . -DPOLAR_SANITIZE=ON -DPOLAR_LTO=OFF >/dev/null
+  cmake --build build-asan -j "$JOBS" --target open_loop_test >/dev/null
+  echo "==> build-asan/tests/open_loop_test"
+  build-asan/tests/open_loop_test
+  echo "==> slo: quick-scale capacity bit-identity gate (thread sweep)"
+  # Open-loop arrival schedules are counter-mode (a pure function of seed,
+  # tenant, and index) and all serving runs on the virtual clock, so the
+  # same pins must hold serial, sweep-parallel, and epoch-parallel
+  # (POLAR_SLO_EXPECT exits 1 on drift).
+  POLAR_BENCH_SCALE=0.1 POLAR_SWEEP_THREADS=1 \
+    POLAR_SLO_EXPECT="$SLO_EXPECT_QUICK" \
+    build/bench/bench_slo_capacity >/dev/null
+  POLAR_BENCH_SCALE=0.1 POLAR_SWEEP_THREADS=4 \
+    POLAR_SLO_EXPECT="$SLO_EXPECT_QUICK" \
+    build/bench/bench_slo_capacity >/dev/null
+  POLAR_BENCH_SCALE=0.1 POLAR_WORLD_THREADS=4 \
+    POLAR_SLO_EXPECT="$SLO_EXPECT_QUICK" \
+    build/bench/bench_slo_capacity
+  echo "==> OK (slo mode)"
   exit 0
 fi
 
