@@ -4,25 +4,64 @@
 
 namespace polarcxl::cxl {
 
+namespace {
+fabric::TopologySpec ResolveTopology(const CxlFabric::Options& options) {
+  if (!options.topology.empty()) return options.topology;
+  fabric::TopologySpec spec;
+  spec.switches.push_back({"cxl-switch", options.switch_options});
+  return spec;
+}
+}  // namespace
+
 CxlFabric::CxlFabric(Options options)
     : lat_(options.latency != nullptr ? *options.latency
                                       : sim::LatencyModel{}),
-      switch_("cxl-switch", options.switch_options) {}
+      topo_(ResolveTopology(options)),
+      routed_(!options.topology.empty()),
+      interleave_(options.interleave) {}
 
-Status CxlFabric::AddDevice(uint64_t capacity) {
-  auto port = switch_.BindPort(CxlSwitch::PortKind::kDevice);
+Status CxlFabric::AddDevice(uint64_t capacity, uint32_t switch_idx) {
+  POLAR_CHECK_MSG(switch_idx < topo_.num_switches(),
+                  "device bound to unknown switch");
+  CxlSwitch& sw = topo_.sw(switch_idx);
+  auto port = sw.BindPort(CxlSwitch::PortKind::kDevice);
   if (!port.ok()) return port.status();
   devices_.push_back(std::make_unique<CxlMemoryDevice>(
       static_cast<uint32_t>(devices_.size()), capacity));
-  device_base_.push_back(capacity_);
-  capacity_ += capacity;
-  single_device_data_ =
-      devices_.size() == 1 ? devices_[0]->data() : nullptr;
+  device_capacity_.push_back(capacity);
+  device_switch_.push_back(switch_idx);
+  device_port_.push_back(sw.port_channel(*port));
+  RebuildLayout();
   return Status::OK();
 }
 
-Result<CxlAccessor*> CxlFabric::AttachHost(NodeId node, bool remote_numa) {
-  auto port = switch_.BindPort(CxlSwitch::PortKind::kHost);
+void CxlFabric::RebuildLayout() {
+  decoder_ = fabric::HdmDecoder(device_capacity_, device_switch_, interleave_);
+  capacity_ = decoder_.capacity();
+  single_device_data_ =
+      devices_.size() == 1 ? devices_[0]->data() : nullptr;
+  // All-pairs (home switch, device) route costs. Routes themselves are
+  // fixed at topology construction; this just flattens them — plus the
+  // destination device's port channel — into per-access RouteCost entries.
+  routes_.assign(
+      static_cast<size_t>(topo_.num_switches()) * devices_.size(),
+      sim::RouteCost{});
+  for (uint32_t s = 0; s < topo_.num_switches(); s++) {
+    for (size_t d = 0; d < devices_.size(); d++) {
+      sim::RouteCost& rc = routes_[s * devices_.size() + d];
+      topo_.AppendRouteCost(s, device_switch_[d], &rc);
+      POLAR_CHECK(rc.num_channels < sim::RouteCost::kMaxChannels);
+      rc.channels[rc.num_channels++] = device_port_[d];
+    }
+  }
+}
+
+Result<CxlAccessor*> CxlFabric::AttachHost(NodeId node, bool remote_numa,
+                                           uint32_t switch_idx) {
+  POLAR_CHECK_MSG(switch_idx < topo_.num_switches(),
+                  "host bound to unknown switch");
+  CxlSwitch& sw = topo_.sw(switch_idx);
+  auto port = sw.BindPort(CxlSwitch::PortKind::kHost);
   if (!port.ok()) return port.status();
 
   sim::MemorySpace::Options mo;
@@ -31,31 +70,30 @@ Result<CxlAccessor*> CxlFabric::AttachHost(NodeId node, bool remote_numa) {
       remote_numa ? lat_.line.cxl_switch_remote : lat_.line.cxl_switch_local;
   mo.stream_read = lat_.cxl_stream_read;
   mo.stream_write = lat_.cxl_stream_write;
-  mo.link = switch_.port_channel(*port);
-  mo.pool = switch_.fabric_channel();
+  mo.link = sw.port_channel(*port);
+  mo.pool = sw.fabric_channel();
+  if (routed_) {
+    routers_.push_back(std::make_unique<HostRouter>(this, switch_idx));
+    mo.router = routers_.back().get();
+  }
   mo.cacheable = true;
   mo.clflush_line = lat_.cxl_clflush_line;
   mo.invalidate_line = lat_.invalidate_line;
 
   hosts_.push_back(std::make_unique<CxlAccessor>(
-      this, node, remote_numa, std::make_unique<sim::MemorySpace>(mo)));
+      this, node, remote_numa, switch_idx,
+      std::make_unique<sim::MemorySpace>(mo)));
   return hosts_.back().get();
 }
 
 uint8_t* CxlFabric::TranslateSlow(MemOffset off) {
-  // Devices are laid out back-to-back; binary search the base table.
-  const auto it =
-      std::upper_bound(device_base_.begin(), device_base_.end(), off);
-  const size_t idx = static_cast<size_t>(it - device_base_.begin()) - 1;
-  return devices_[idx]->data() + (off - device_base_[idx]);
+  const fabric::HdmDecoder::Target t = decoder_.Decode(off);
+  return devices_[t.device]->data() + t.offset;
 }
 
 uint64_t CxlFabric::ContiguousAtSlow(MemOffset off) const {
   POLAR_CHECK(off < capacity_);
-  const auto it =
-      std::upper_bound(device_base_.begin(), device_base_.end(), off);
-  const size_t idx = static_cast<size_t>(it - device_base_.begin()) - 1;
-  return device_base_[idx] + devices_[idx]->capacity() - off;
+  return decoder_.ContiguousAt(off);
 }
 
 void CxlFabric::CopyOutSlow(MemOffset off, void* dst, uint64_t len) {
@@ -77,6 +115,27 @@ void CxlFabric::CopyInSlow(MemOffset off, const void* src, uint64_t len) {
     off += chunk;
     in += chunk;
     len -= chunk;
+  }
+}
+
+uint64_t CxlFabric::host_port_bytes() const {
+  uint64_t total = 0;
+  for (const auto& h : hosts_) {
+    total += h->space()->link()->total_bytes();
+  }
+  return total;
+}
+
+void CxlFabric::MarkChannelsShared() {
+  for (uint32_t s = 0; s < topo_.num_switches(); s++) {
+    CxlSwitch& sw = topo_.sw(s);
+    for (uint32_t p = 0; p < sw.num_ports(); p++) {
+      sw.port_channel(p)->set_shared(true);
+    }
+    sw.fabric_channel()->set_shared(true);
+  }
+  for (size_t u = 0; u < topo_.num_uplinks(); u++) {
+    topo_.uplink(u)->set_shared(true);
   }
 }
 

@@ -1,8 +1,13 @@
 // Copyright 2026 The PolarCXLMem Reproduction Authors.
-// The assembled CXL-enabled cluster: a switch, the memory devices behind it,
-// and one access port per host. Hosts see a flat fabric address space
-// (devices interleaved back-to-back) and access it through a CxlAccessor,
-// which performs the real byte movement *and* charges virtual time.
+// The assembled CXL-enabled cluster: a fabric of one or more switches, the
+// memory devices behind them, and one access port per host. Hosts see a
+// flat fabric address space — laid out across devices by an HdmDecoder
+// (back-to-back by default, interleaved on request) — and access it through
+// a CxlAccessor, which performs the real byte movement *and* charges
+// virtual time. With a multi-switch TopologySpec every access additionally
+// rides the uplinks/switch fabrics/device port its route crosses (see
+// fabric/fabric_topology.h); the single-switch default charges exactly the
+// historical link+pool pair.
 #pragma once
 
 #include <cstdint>
@@ -16,10 +21,13 @@
 #include "common/types.h"
 #include "cxl/cxl_device.h"
 #include "cxl/cxl_switch.h"
+#include "fabric/fabric_topology.h"
+#include "fabric/hdm_decoder.h"
 #include "faults/fault_injector.h"
 #include "sim/exec_context.h"
 #include "sim/latency_model.h"
 #include "sim/memory_space.h"
+#include "sim/route.h"
 
 namespace polarcxl::cxl {
 
@@ -32,10 +40,11 @@ class CxlFabric;
 class CxlAccessor {
  public:
   CxlAccessor(CxlFabric* fabric, NodeId node, bool remote_numa,
-              std::unique_ptr<sim::MemorySpace> space)
+              uint32_t home_switch, std::unique_ptr<sim::MemorySpace> space)
       : fabric_(fabric),
         node_(node),
         remote_numa_(remote_numa),
+        home_switch_(home_switch),
         space_(std::move(space)) {}
   POLAR_DISALLOW_COPY(CxlAccessor);
 
@@ -112,6 +121,8 @@ class CxlAccessor {
 
   sim::MemorySpace* space() { return space_.get(); }
   NodeId node() const { return node_; }
+  /// Switch this host's port is bound to.
+  uint32_t home_switch() const { return home_switch_; }
 
   /// True when a fault injector is wired into the fabric (single pointer
   /// compare — callers gate their fault paths on this so the common case
@@ -131,38 +142,51 @@ class CxlAccessor {
   CxlFabric* fabric_;
   NodeId node_;
   bool remote_numa_;
+  uint32_t home_switch_;
   std::unique_ptr<sim::MemorySpace> space_;
 };
 
-/// The cluster: switch + devices + host ports. Owns the devices, whose
-/// contents survive host crashes (independent power domain).
+/// The cluster: switch fabric + devices + host ports. Owns the devices,
+/// whose contents survive host crashes (independent power domain).
 class CxlFabric {
  public:
   struct Options {
+    /// Single-switch options (the legacy default construction). Ignored
+    /// when `topology` names explicit switches.
     CxlSwitch::Options switch_options;
     const sim::LatencyModel* latency = nullptr;  // defaults if null
+    /// Explicit multi-switch topology. Leaving it empty builds the
+    /// historical one-switch fabric and keeps routing off (bit-identical
+    /// cost model); a non-empty spec — even with a single switch — turns
+    /// on per-address routing, including destination device port charges.
+    fabric::TopologySpec topology;
+    /// Address layout across devices (contiguous default = legacy).
+    fabric::InterleaveSpec interleave;
   };
 
   CxlFabric() : CxlFabric(Options()) {}
   explicit CxlFabric(Options options);
   POLAR_DISALLOW_COPY(CxlFabric);
 
-  /// Adds a memory device of `capacity` bytes behind the switch.
-  Status AddDevice(uint64_t capacity);
+  /// Adds a memory device of `capacity` bytes behind switch `switch_idx`.
+  Status AddDevice(uint64_t capacity, uint32_t switch_idx = 0);
 
-  /// Attaches a host and returns its accessor. `remote_numa` models a CPU
-  /// socket not directly wired to the switch (Table 1's "Remote" column).
-  Result<CxlAccessor*> AttachHost(NodeId node, bool remote_numa = false);
+  /// Attaches a host to switch `switch_idx` and returns its accessor.
+  /// `remote_numa` models a CPU socket not directly wired to the switch
+  /// (Table 1's "Remote" column).
+  Result<CxlAccessor*> AttachHost(NodeId node, bool remote_numa = false,
+                                  uint32_t switch_idx = 0);
 
   /// Total pooled capacity.
   uint64_t capacity() const { return capacity_; }
 
   /// Resolve a fabric offset to its backing device bytes. The returned
-  /// pointer is only valid up to the end of the backing device; use
-  /// CopyOut/CopyIn for ranges that may span devices.
+  /// pointer is only valid up to the end of the backing device (or
+  /// interleave stripe); use CopyOut/CopyIn for longer ranges.
   /// (Inline single-device fast path: the common deployment backs the
-  /// whole fabric with one device, and this is called once per simulated
-  /// load/store, so the binary search is hoisted out of the hot path.)
+  /// whole fabric with one device — any interleave of one device is the
+  /// identity — and this is called once per simulated load/store, so the
+  /// decoder is hoisted out of the hot path.)
   uint8_t* Translate(MemOffset off) {
     POLAR_CHECK_MSG(off < capacity_, "fabric offset out of range");
     if (single_device_data_ != nullptr) return single_device_data_ + off;
@@ -187,7 +211,7 @@ class CxlFabric {
     CopyInSlow(off, src, len);
   }
 
-  /// Bytes remaining in the device backing `off`.
+  /// Bytes mapped contiguously on one device starting at `off`.
   uint64_t ContiguousAt(MemOffset off) const {
     if (single_device_data_ != nullptr) {
       POLAR_CHECK(off < capacity_);
@@ -196,8 +220,46 @@ class CxlFabric {
     return ContiguousAtSlow(off);
   }
 
-  CxlSwitch& cxl_switch() { return switch_; }
+  /// The first (legacy single-) switch.
+  CxlSwitch& cxl_switch() { return topo_.sw(0); }
+  fabric::FabricTopology& topology() { return topo_; }
+  const fabric::HdmDecoder& decoder() const { return decoder_; }
+  uint32_t num_switches() const { return topo_.num_switches(); }
+  /// Whether per-address routing is active (explicit topology spec).
+  bool routing_enabled() const { return routed_; }
+  /// Switch a device hangs off.
+  uint32_t device_switch(uint32_t device) const {
+    POLAR_CHECK(device < device_switch_.size());
+    return device_switch_[device];
+  }
   const sim::LatencyModel& latency() const { return lat_; }
+
+  /// Route table entry for an access from `home_switch` to the device
+  /// backing `off` (null when routing is off). Hot: called per miss by the
+  /// hosts' AddressRouters.
+  const sim::RouteCost* RouteFor(uint32_t home_switch, MemOffset off) const {
+    if (!routed_) return nullptr;
+    const uint32_t dev = decoder_.DeviceOf(off);
+    return &routes_[static_cast<size_t>(home_switch) * devices_.size() + dev];
+  }
+
+  /// Total bytes delivered over every host port (the CXL-side interconnect
+  /// probe; equals the single host port's counter on the legacy layout).
+  uint64_t host_port_bytes() const;
+
+  /// Marks every fabric channel — all switch ports + switching fabrics and
+  /// all uplinks — shared, so epoch-parallel execution defers charges on
+  /// them (see sim/epoch.h). Device/unused ports are never charged on the
+  /// legacy layout, so marking them is harmless there.
+  void MarkChannelsShared();
+
+  /// Channel ledgers of the whole fabric graph (world snapshots).
+  fabric::FabricTopology::State CaptureChannels() const {
+    return topo_.Capture();
+  }
+  void RestoreChannels(const fabric::FabricTopology::State& s) {
+    topo_.Restore(s);
+  }
 
   /// Fault-injection hook point (nullable; null = zero-cost pass-through).
   void set_fault_injector(faults::FaultInjector* injector) {
@@ -212,19 +274,43 @@ class CxlFabric {
   static constexpr uint64_t kPhysBase = 1ULL << 40;
 
  private:
+  /// Resolves fabric offsets of one host through the fabric's route table.
+  class HostRouter final : public sim::AddressRouter {
+   public:
+    HostRouter(const CxlFabric* fabric, uint32_t home_switch)
+        : fabric_(fabric), home_switch_(home_switch) {}
+    const sim::RouteCost* Resolve(uint64_t addr) const override {
+      return fabric_->RouteFor(home_switch_, addr - kPhysBase);
+    }
+
+   private:
+    const CxlFabric* fabric_;
+    uint32_t home_switch_;
+  };
+
   uint8_t* TranslateSlow(MemOffset off);
   uint64_t ContiguousAtSlow(MemOffset off) const;
   void CopyOutSlow(MemOffset off, void* dst, uint64_t len);
   void CopyInSlow(MemOffset off, const void* src, uint64_t len);
+  /// Rebuilds the decoder + per-(switch, device) route table after a
+  /// device is added (construction-time only).
+  void RebuildLayout();
 
   sim::LatencyModel lat_;
-  CxlSwitch switch_;
+  fabric::FabricTopology topo_;
+  bool routed_ = false;
+  fabric::InterleaveSpec interleave_;
+  fabric::HdmDecoder decoder_;
   std::vector<std::unique_ptr<CxlMemoryDevice>> devices_;
-  std::vector<uint64_t> device_base_;  // fabric offset of each device
+  std::vector<uint64_t> device_capacity_;
+  std::vector<uint32_t> device_switch_;
+  std::vector<sim::BandwidthChannel*> device_port_;  // per-device port chan
+  std::vector<sim::RouteCost> routes_;  // [home_switch * num_devices + dev]
   uint64_t capacity_ = 0;
   /// Backing bytes when exactly one device serves the fabric (else null).
   uint8_t* single_device_data_ = nullptr;
   std::vector<std::unique_ptr<CxlAccessor>> hosts_;
+  std::vector<std::unique_ptr<HostRouter>> routers_;
   faults::FaultInjector* faults_ = nullptr;
 };
 

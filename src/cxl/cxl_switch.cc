@@ -12,13 +12,22 @@ CxlSwitch::CxlSwitch(std::string name, Options options)
 
 Result<uint32_t> CxlSwitch::BindPort(PortKind kind) {
   if (num_ports() >= max_ports()) {
-    return Status::OutOfMemory("no free switch ports on " + name_);
+    return Status::OutOfMemory(
+        "switch '" + name_ + "' has no free ports: " +
+        std::to_string(lanes_in_use()) + "/" +
+        std::to_string(opt_.total_lanes) + " lanes in use (" +
+        std::to_string(ports_bound(PortKind::kHost)) + " host + " +
+        std::to_string(ports_bound(PortKind::kDevice)) + " device ports x " +
+        std::to_string(opt_.lanes_per_port) + " lanes)");
   }
   const uint32_t idx = num_ports();
   Port port;
   port.kind = kind;
+  const uint64_t bps = kind == PortKind::kDevice && opt_.device_port_bps > 0
+                           ? opt_.device_port_bps
+                           : opt_.port_bps;
   port.channel = std::make_unique<sim::BandwidthChannel>(
-      name_ + ".port" + std::to_string(idx), opt_.port_bps);
+      name_ + ".port" + std::to_string(idx), bps);
   ports_.push_back(std::move(port));
   return idx;
 }

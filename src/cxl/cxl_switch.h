@@ -27,6 +27,10 @@ class CxlSwitch {
     uint64_t switching_capacity_bps = 2ULL * 1000 * 1000 * 1000 * 1000;
     /// Per-x16-port usable bandwidth (PCIe 5.0).
     uint64_t port_bps = 56ULL * 1000 * 1000 * 1000;
+    /// Device-port bandwidth when memory devices attach with narrower links
+    /// than hosts (x8/x4 expanders, or oversubscribed rack trunks). 0 keeps
+    /// device ports at `port_bps`.
+    uint64_t device_port_bps = 0;
     /// Extra one-way latency the switch adds to a line access. Table 1:
     /// 549 ns (switch) - 265 ns (direct) = 284 ns.
     Nanos traversal_latency = 284;
@@ -53,6 +57,22 @@ class CxlSwitch {
   Nanos traversal_latency() const { return opt_.traversal_latency; }
   uint32_t num_ports() const { return static_cast<uint32_t>(ports_.size()); }
   uint32_t max_ports() const { return opt_.total_lanes / opt_.lanes_per_port; }
+  /// Ports currently bound (all kinds) — topology validation peeks at this
+  /// before wiring hosts/devices into a switch.
+  uint32_t ports_bound() const { return num_ports(); }
+  /// Ports of one kind currently bound.
+  uint32_t ports_bound(PortKind kind) const {
+    uint32_t n = 0;
+    for (const Port& p : ports_) n += p.kind == kind ? 1 : 0;
+    return n;
+  }
+  /// Switch lanes consumed by bound ports / total lanes.
+  uint32_t lanes_in_use() const { return num_ports() * opt_.lanes_per_port; }
+  uint32_t total_lanes() const { return opt_.total_lanes; }
+  PortKind port_kind(uint32_t port) const {
+    POLAR_CHECK(port < ports_.size());
+    return ports_[port].kind;
+  }
   const std::string& name() const { return name_; }
 
   /// Channel ledgers of every port plus the shared fabric channel. Ports

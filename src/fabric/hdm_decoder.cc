@@ -1,0 +1,134 @@
+#include "fabric/hdm_decoder.h"
+
+#include <algorithm>
+
+namespace polarcxl::fabric {
+
+const char* InterleaveModeName(InterleaveMode mode) {
+  switch (mode) {
+    case InterleaveMode::kContiguous: return "contiguous";
+    case InterleaveMode::kRoundRobin: return "round_robin";
+    case InterleaveMode::kSkewed: return "skewed";
+  }
+  return "?";
+}
+
+HdmDecoder::HdmDecoder(const std::vector<uint64_t>& device_capacity,
+                       const std::vector<uint32_t>& device_group,
+                       const InterleaveSpec& spec)
+    : spec_(spec) {
+  POLAR_CHECK(device_capacity.size() == device_group.size());
+  const size_t n = device_capacity.size();
+  device_seg_.resize(n);
+  uint32_t num_groups = 0;
+  for (uint32_t g : device_group) num_groups = std::max(num_groups, g + 1);
+  groups_.resize(num_groups);
+
+  // Groups occupy fabric space in group-id order; device order within a
+  // group follows device id. With one group the contiguous mode reproduces
+  // the legacy back-to-back CxlFabric layout exactly.
+  for (uint32_t g = 0; g < num_groups; g++) {
+    std::vector<uint32_t> members;
+    for (uint32_t d = 0; d < n; d++) {
+      if (device_group[d] == g) members.push_back(d);
+    }
+    groups_[g].base = capacity_;
+    if (members.empty()) continue;
+
+    if (spec_.mode == InterleaveMode::kContiguous) {
+      for (uint32_t d : members) {
+        POLAR_CHECK_MSG(device_capacity[d] > 0, "zero-capacity device");
+        Segment seg;
+        seg.base = capacity_;
+        seg.size = device_capacity[d];
+        seg.device = d;
+        device_seg_[d] = {static_cast<uint32_t>(segments_.size()), 0};
+        seg_base_.push_back(seg.base);
+        segments_.push_back(seg);
+        capacity_ += seg.size;
+      }
+    } else {
+      const uint32_t group_devs = static_cast<uint32_t>(members.size());
+      const uint32_t w =
+          spec_.ways == 0 ? group_devs
+                          : std::min(spec_.ways, group_devs);
+      POLAR_CHECK_MSG(group_devs % w == 0,
+                      "interleave ways must divide the group's device count");
+      POLAR_CHECK(spec_.granule > 0);
+      for (uint32_t s = 0; s < group_devs; s += w) {
+        const uint64_t cap = device_capacity[members[s]];
+        POLAR_CHECK_MSG(cap > 0 && cap % spec_.granule == 0,
+                        "striped device capacity must be a positive multiple "
+                        "of the interleave granule");
+        Segment seg;
+        seg.base = capacity_;
+        seg.size = static_cast<uint64_t>(w) * cap;
+        seg.striped = true;
+        seg.skewed = spec_.mode == InterleaveMode::kSkewed;
+        seg.lane_begin = static_cast<uint32_t>(lane_devices_.size());
+        seg.ways = w;
+        seg.granule = spec_.granule;
+        seg.div_granule = FastDiv64(spec_.granule);
+        seg.div_ways = FastDiv64(w);
+        for (uint32_t l = 0; l < w; l++) {
+          const uint32_t d = members[s + l];
+          POLAR_CHECK_MSG(device_capacity[d] == cap,
+                          "striped devices must have equal capacity");
+          device_seg_[d] = {static_cast<uint32_t>(segments_.size()), l};
+          lane_devices_.push_back(d);
+        }
+        seg_base_.push_back(seg.base);
+        segments_.push_back(seg);
+        capacity_ += seg.size;
+      }
+    }
+    groups_[g].size = capacity_ - groups_[g].base;
+  }
+}
+
+const HdmDecoder::Segment& HdmDecoder::SegmentFor(MemOffset off) const {
+  POLAR_CHECK_MSG(off < capacity_, "fabric offset out of range");
+  const auto it = std::upper_bound(seg_base_.begin(), seg_base_.end(), off);
+  return segments_[static_cast<size_t>(it - seg_base_.begin()) - 1];
+}
+
+HdmDecoder::Target HdmDecoder::Decode(MemOffset off) const {
+  const Segment& seg = SegmentFor(off);
+  const uint64_t local = off - seg.base;
+  if (!seg.striped) return {seg.device, local};
+  const uint64_t stripe = seg.div_granule.Div(local);
+  const uint64_t rem = local - stripe * seg.granule;
+  const uint64_t row = seg.div_ways.Div(stripe);
+  uint64_t lane = stripe - row * seg.ways;
+  if (seg.skewed) lane = seg.div_ways.Mod(lane + row);
+  return {lane_devices_[seg.lane_begin + lane], row * seg.granule + rem};
+}
+
+MemOffset HdmDecoder::Encode(uint32_t device, uint64_t dev_off) const {
+  POLAR_CHECK(device < device_seg_.size());
+  const DeviceSeg& ds = device_seg_[device];
+  const Segment& seg = segments_[ds.segment];
+  if (!seg.striped) {
+    POLAR_CHECK(dev_off < seg.size);
+    return seg.base + dev_off;
+  }
+  const uint64_t row = seg.div_granule.Div(dev_off);
+  const uint64_t rem = dev_off - row * seg.granule;
+  uint64_t lane = ds.lane;
+  if (seg.skewed) {
+    lane = seg.div_ways.Mod(lane + seg.ways - seg.div_ways.Mod(row));
+  }
+  const uint64_t stripe = row * seg.ways + lane;
+  const MemOffset off = seg.base + stripe * seg.granule + rem;
+  POLAR_CHECK(off < seg.base + seg.size);
+  return off;
+}
+
+uint64_t HdmDecoder::ContiguousAt(MemOffset off) const {
+  const Segment& seg = SegmentFor(off);
+  const uint64_t local = off - seg.base;
+  if (!seg.striped) return seg.size - local;
+  return seg.granule - seg.div_granule.Mod(local);
+}
+
+}  // namespace polarcxl::fabric

@@ -1,0 +1,119 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// HDM (host-managed device memory) decoder: the programmable address map
+// that CXL hosts use to spread a flat fabric address space across the
+// memory devices behind the switches. Mirrors the decoder/policy split of
+// CXLMemSim: the decoder is a pure, invertible address function; which
+// group (switch) a tenant's region lands in is the PlacementPolicy's job.
+//
+// Layout model: devices are partitioned into groups (one group per switch).
+// Groups occupy back-to-back ranges of fabric space in group-id order.
+// Within a group the interleave mode decides the map:
+//   kContiguous  — devices back-to-back (the legacy CxlFabric layout).
+//   kRoundRobin  — `granule`-sized stripes rotate across `ways` devices,
+//                  like an interleaved HDM decoder entry.
+//   kSkewed      — round robin with a per-row rotation (device index
+//                  shifts by one every row), breaking resonance between
+//                  page-strided access patterns and the device count.
+// All modes are bijections between fabric offsets and (device, offset)
+// pairs; Decode/Encode are exact inverses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fastdiv.h"
+#include "common/macros.h"
+#include "common/types.h"
+
+namespace polarcxl::fabric {
+
+enum class InterleaveMode : uint8_t {
+  kContiguous = 0,
+  kRoundRobin = 1,
+  kSkewed = 2,
+};
+
+struct InterleaveSpec {
+  InterleaveMode mode = InterleaveMode::kContiguous;
+  /// Stripe size in bytes (round-robin / skewed modes). CXL HDM decoders
+  /// support 256 B up to 16 KB; must divide every striped device's
+  /// capacity.
+  uint64_t granule = 4096;
+  /// Interleave ways per stripe set (0 = all devices of the group). When
+  /// smaller than the group, devices split into consecutive subsets of
+  /// `ways`, each striped internally and laid back-to-back.
+  uint32_t ways = 0;
+};
+
+const char* InterleaveModeName(InterleaveMode mode);
+
+/// The address map for one fabric. Built at world construction from the
+/// device list (capacity + owning group per device) and immutable after;
+/// Decode sits on the per-simulated-access Translate path.
+class HdmDecoder {
+ public:
+  struct Target {
+    uint32_t device = 0;
+    uint64_t offset = 0;  // within the device
+  };
+  struct GroupRange {
+    MemOffset base = 0;
+    uint64_t size = 0;
+  };
+
+  HdmDecoder() = default;
+  /// `device_capacity[i]` bytes on device i, owned by group
+  /// `device_group[i]` (group ids must be dense: 0..max). Striped modes
+  /// require equal capacities within each group, divisible by the granule.
+  HdmDecoder(const std::vector<uint64_t>& device_capacity,
+             const std::vector<uint32_t>& device_group,
+             const InterleaveSpec& spec);
+
+  /// Fabric offset -> backing device + device-local offset.
+  Target Decode(MemOffset off) const;
+  /// Exact inverse of Decode.
+  MemOffset Encode(uint32_t device, uint64_t dev_off) const;
+  uint32_t DeviceOf(MemOffset off) const { return Decode(off).device; }
+  /// Bytes mapped contiguously on one device starting at `off` (stripe
+  /// remainder for interleaved modes, device remainder for contiguous).
+  uint64_t ContiguousAt(MemOffset off) const;
+
+  uint64_t capacity() const { return capacity_; }
+  size_t num_devices() const { return device_seg_.size(); }
+  /// Fabric address range of each group, indexed by group id.
+  const std::vector<GroupRange>& groups() const { return groups_; }
+  const InterleaveSpec& spec() const { return spec_; }
+
+ private:
+  /// One decodable run of fabric space: a whole device (contiguous mode)
+  /// or one striped subset of `ways` equal devices.
+  struct Segment {
+    MemOffset base = 0;
+    uint64_t size = 0;
+    bool striped = false;
+    bool skewed = false;
+    uint32_t device = 0;      // contiguous: the backing device
+    uint32_t lane_begin = 0;  // striped: first index into lane_devices_
+    uint32_t ways = 1;
+    uint64_t granule = 1;
+    FastDiv64 div_granule{1};
+    FastDiv64 div_ways{1};
+  };
+  /// Per-device inverse info for Encode.
+  struct DeviceSeg {
+    uint32_t segment = 0;
+    uint32_t lane = 0;  // index within the striped subset
+  };
+
+  const Segment& SegmentFor(MemOffset off) const;
+
+  InterleaveSpec spec_;
+  uint64_t capacity_ = 0;
+  std::vector<MemOffset> seg_base_;  // search keys (parallel to segments_)
+  std::vector<Segment> segments_;
+  std::vector<uint32_t> lane_devices_;  // striped subsets' device ids
+  std::vector<DeviceSeg> device_seg_;
+  std::vector<GroupRange> groups_;
+};
+
+}  // namespace polarcxl::fabric

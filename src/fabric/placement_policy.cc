@@ -1,0 +1,44 @@
+#include "fabric/placement_policy.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace polarcxl::fabric {
+
+const char* PlacementModeName(PlacementMode mode) {
+  switch (mode) {
+    case PlacementMode::kLocalFirst: return "local_first";
+    case PlacementMode::kSpread: return "spread";
+    case PlacementMode::kCapacityBalanced: return "capacity_balanced";
+  }
+  return "?";
+}
+
+void PlacementPolicy::Order(uint32_t home_group, NodeId client,
+                            const PlacementPolicy::GroupView* views,
+                            uint32_t n, uint32_t* out) const {
+  std::iota(out, out + n, 0u);
+  switch (mode_) {
+    case PlacementMode::kLocalFirst:
+      std::stable_sort(out, out + n, [&](uint32_t a, uint32_t b) {
+        const uint32_t ha = a == home_group ? 0 : views[a].hops_from_home;
+        const uint32_t hb = b == home_group ? 0 : views[b].hops_from_home;
+        return ha != hb ? ha < hb : a < b;
+      });
+      break;
+    case PlacementMode::kSpread: {
+      const uint32_t start = static_cast<uint32_t>(client % n);
+      for (uint32_t i = 0; i < n; i++) out[i] = (start + i) % n;
+      break;
+    }
+    case PlacementMode::kCapacityBalanced:
+      std::stable_sort(out, out + n, [&](uint32_t a, uint32_t b) {
+        return views[a].free_bytes != views[b].free_bytes
+                   ? views[a].free_bytes > views[b].free_bytes
+                   : a < b;
+      });
+      break;
+  }
+}
+
+}  // namespace polarcxl::fabric

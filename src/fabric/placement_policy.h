@@ -1,0 +1,53 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// Placement policy: which switch group a tenant's region should be carved
+// from. CxlMemoryManager partitions the fabric address space into one
+// placement group per switch (the HdmDecoder's group ranges) and asks the
+// policy for a deterministic group visit order on every allocation; the
+// first group with a fitting free span wins. Because the group decides
+// which switch the backing devices hang off, placement decides how much of
+// a tenant's traffic crosses uplinks.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace polarcxl::fabric {
+
+enum class PlacementMode : uint8_t {
+  /// Prefer the tenant's home switch, then nearest by hop count (ties by
+  /// group index). Minimizes uplink crossings.
+  kLocalFirst = 0,
+  /// Rotate the starting group by tenant id, round-robin onward. Balances
+  /// tenants across switches regardless of where their host port is.
+  kSpread = 1,
+  /// Most free bytes first (ties by group index). Balances capacity.
+  kCapacityBalanced = 2,
+};
+
+const char* PlacementModeName(PlacementMode mode);
+
+class PlacementPolicy {
+ public:
+  /// Per-group inputs to one placement decision.
+  struct GroupView {
+    uint64_t free_bytes = 0;
+    uint32_t hops_from_home = 0;
+  };
+
+  explicit PlacementPolicy(PlacementMode mode) : mode_(mode) {}
+
+  PlacementMode mode() const { return mode_; }
+
+  /// Writes the visit order of groups 0..n-1 into `out` (n entries). A pure
+  /// function of (mode, home_group, client, views) — repeated calls with
+  /// identical inputs give identical orders, which keeps allocation
+  /// addresses bit-identical across runs and thread counts.
+  void Order(uint32_t home_group, NodeId client, const GroupView* views,
+             uint32_t n, uint32_t* out) const;
+
+ private:
+  PlacementMode mode_;
+};
+
+}  // namespace polarcxl::fabric

@@ -52,6 +52,7 @@ SimWorld::Spec SpecFor(const PoolingConfig& config) {
   spec.cpu_cache_bytes = config.cpu_cache_bytes;
   spec.group_commit_window = config.group_commit_window;
   spec.wire_faults = false;  // fault-free figures keep the injector-null path
+  spec.fabric = config.fabric;
   return spec;
 }
 
@@ -73,6 +74,14 @@ std::string PoolingKey(const PoolingConfig& c, bool epoch) {
      << c.sysbench.shared_fraction << ':' << c.lbp_fraction << ':'
      << c.cpu_cache_bytes << ':' << c.group_commit_window << ':' << c.warmup
      << ':' << c.seed;
+  // Fabric shape (the default tuple matches every pre-topology key's world).
+  const FabricWorldSpec& f = c.fabric;
+  os << ":f" << f.switches << ':' << f.devices_per_switch << ':'
+     << (f.ring ? 1 : 0) << ':' << f.uplink_bps << ':' << f.uplink_latency
+     << ':' << static_cast<int>(f.interleave.mode) << ':'
+     << f.interleave.granule << ':' << f.interleave.ways << ':'
+     << static_cast<int>(f.placement) << ':' << (f.topology_mode ? 1 : 0)
+     << ':' << f.port_bps << ':' << f.device_port_bps;
   return os.str();
 }
 
@@ -186,11 +195,19 @@ PoolingResult RunPooling(const PoolingConfig& config, WorldCache* cache) {
   }
 
   sim::BandwidthChannel* nic_wire = &world.net().nic(kHostNode)->wire();
-  // Port 0 is the memory device (bound by AddDevice); port 1 is the host.
-  sim::BandwidthChannel* cxl_port =
-      world.fabric().cxl_switch().port_channel(1);
+  // Sum over the host-side switch ports (one port on the legacy layout, one
+  // per switch in topology mode) and over the inter-switch uplinks.
+  auto uplink_bytes = [&world] {
+    uint64_t total = 0;
+    fabric::FabricTopology& topo = world.fabric().topology();
+    for (size_t u = 0; u < topo.num_uplinks(); u++) {
+      total += topo.uplink(u)->total_bytes();
+    }
+    return total;
+  };
   BandwidthProbe nic_probe{nic_wire->total_bytes(), 0};
-  BandwidthProbe cxl_probe{cxl_port->total_bytes(), 0};
+  BandwidthProbe cxl_probe{world.fabric().host_port_bytes(), 0};
+  BandwidthProbe uplink_probe{uplink_bytes(), 0};
 
   const uint64_t steps_before = executor.total_steps();
   // Epoch/divergence counters are cumulative over the executor's life
@@ -204,7 +221,8 @@ PoolingResult RunPooling(const PoolingConfig& config, WorldCache* cache) {
   const double measure_done = ThreadCpuSeconds();
 
   nic_probe.after = nic_wire->total_bytes();
-  cxl_probe.after = cxl_port->total_bytes();
+  cxl_probe.after = world.fabric().host_port_bytes();
+  uplink_probe.after = uplink_bytes();
 
   PoolingResult result;
   if (pw->epoch) {
@@ -220,6 +238,7 @@ PoolingResult RunPooling(const PoolingConfig& config, WorldCache* cache) {
   result.metrics = pw->metrics;
   result.nic_gbps = nic_probe.Gbps(config.measure);
   result.cxl_gbps = cxl_probe.Gbps(config.measure);
+  result.uplink_gbps = uplink_probe.Gbps(config.measure);
   result.interconnect_gbps =
       config.kind == engine::BufferPoolKind::kTieredRdma ? result.nic_gbps
                                                          : result.cxl_gbps;

@@ -40,6 +40,8 @@ struct PoolingConfig {
   /// epoch execution on that many threads. Results are bit-identical for
   /// every value (see DESIGN.md, "In-world parallelism").
   int world_threads = -1;
+  /// CXL fabric shape (default = legacy one-switch, routing off).
+  FabricWorldSpec fabric;
 };
 
 struct PoolingResult {
@@ -49,6 +51,8 @@ struct PoolingResult {
   double interconnect_gbps = 0;
   double nic_gbps = 0;
   double cxl_gbps = 0;
+  /// Delivered bandwidth over the inter-switch uplinks (0 on one switch).
+  double uplink_gbps = 0;
   double lbp_hit_rate = 0;     // tiered only
   uint64_t local_dram_bytes = 0;
   // Aggregate lane counters (diagnostics).

@@ -6,6 +6,7 @@
 
 #include "bufferpool/cxl_buffer_pool.h"
 #include "cxl/cxl_memory_manager.h"
+#include "fabric/fabric_topology.h"
 #include "harness/instance_driver.h"
 #include "rdma/remote_memory_pool.h"
 
@@ -14,6 +15,26 @@ namespace polarcxl::harness {
 namespace {
 constexpr NodeId kHostNode = 0;          // all instances share this NIC
 constexpr NodeId kMemoryServerNode = 100;
+
+cxl::CxlFabric::Options FabricOptionsFor(const SimWorld::Spec& spec) {
+  cxl::CxlFabric::Options o;
+  const FabricWorldSpec& f = spec.fabric;
+  if (f.TopologyActive()) {
+    cxl::CxlSwitch::Options sw;
+    if (f.port_bps > 0) sw.port_bps = f.port_bps;
+    sw.device_port_bps = f.device_port_bps;
+    o.topology = f.ring ? fabric::TopologySpec::Ring(f.switches, sw,
+                                                     f.uplink_bps,
+                                                     f.uplink_latency)
+                        : fabric::TopologySpec::Chain(f.switches, sw,
+                                                      f.uplink_bps,
+                                                      f.uplink_latency);
+    o.interleave = f.interleave;
+  }
+  // Inactive topology leaves Options at its legacy one-switch default:
+  // routing off, costs bit-identical to the pre-topology world.
+  return o;
+}
 }  // namespace
 
 Status LoadTables(sim::ExecContext& ctx, engine::Database* db,
@@ -53,7 +74,8 @@ Result<std::unique_ptr<engine::Database>> CreateAndLoad(
 // ---------------------------------------------------------------------------
 
 SimWorld::SimWorld(const Spec& spec)
-    : client_net_("client", bw_.client_net_bps),
+    : fabric_(FabricOptionsFor(spec)),
+      client_net_("client", bw_.client_net_bps),
       wire_faults_(spec.wire_faults) {
   const uint64_t dataset_pages = SysbenchDatasetPages(spec.sysbench);
   const uint64_t pool_pages =
@@ -68,15 +90,60 @@ SimWorld::SimWorld(const Spec& spec)
   const uint64_t fabric_bytes =
       (bufferpool::CxlBufferPool::RegionBytes(dataset_pages) + (16 << 20)) *
       spec.instances;
-  POLAR_CHECK(fabric_
-                  .AddDevice((fabric_bytes + kPageSize) / kPageSize *
-                             kPageSize)
-                  .ok());
-  auto host_acc = fabric_.AttachHost(kHostNode);
-  POLAR_CHECK(host_acc.ok());
-  host_acc_ = *host_acc;
+  const FabricWorldSpec& fs = spec.fabric;
+  if (!fs.TopologyActive()) {
+    // Legacy one-switch world: one device holding the whole pool, one host
+    // port — byte-for-byte the historical construction.
+    POLAR_CHECK(fabric_
+                    .AddDevice((fabric_bytes + kPageSize) / kPageSize *
+                               kPageSize)
+                    .ok());
+    auto host_acc = fabric_.AttachHost(kHostNode);
+    POLAR_CHECK(host_acc.ok());
+    host_accs_.push_back(*host_acc);
+  } else {
+    // Split the pool across the switches' devices; striped interleave needs
+    // equal per-device capacities divisible by the granule.
+    const uint32_t ndev = fs.switches * fs.devices_per_switch;
+    POLAR_CHECK(ndev > 0);
+    // The engine dereferences Raw() page frames and 64 B meta lines in
+    // place, which is only sound when no such object straddles a stripe
+    // boundary: world-level striping must use page-multiple granules
+    // (regions, frames, and segment bases are all page-aligned). Finer
+    // granules remain available to the raw decoder / microbenches.
+    POLAR_CHECK_MSG(fs.interleave.mode == fabric::InterleaveMode::kContiguous
+                        || fs.interleave.granule % kPageSize == 0,
+                    "world interleave granule must be a multiple of the "
+                    "page size (in-place page frames cannot straddle "
+                    "devices)");
+    const uint64_t align =
+        std::max<uint64_t>(fs.interleave.granule, kPageSize);
+    const uint64_t per_dev = (fabric_bytes / ndev + align) / align * align;
+    for (uint32_t s = 0; s < fs.switches; s++) {
+      for (uint32_t d = 0; d < fs.devices_per_switch; d++) {
+        POLAR_CHECK(fabric_.AddDevice(per_dev, s).ok());
+      }
+    }
+    // One host port per switch; instance i accesses through port
+    // i % switches, making switch i % switches its home.
+    for (uint32_t s = 0; s < fs.switches; s++) {
+      auto acc = fabric_.AttachHost(kHostNode, /*remote_numa=*/false, s);
+      POLAR_CHECK(acc.ok());
+      host_accs_.push_back(*acc);
+    }
+  }
+  host_acc_ = host_accs_[0];
   if (wire_faults_) fabric_.set_fault_injector(&injector_);
   manager_ = std::make_unique<cxl::CxlMemoryManager>(fabric_.capacity());
+  if (fs.TopologyActive()) {
+    std::vector<cxl::CxlMemoryManager::PlacementGroup> groups;
+    const auto& ranges = fabric_.decoder().groups();
+    for (uint32_t g = 0; g < ranges.size(); g++) {
+      groups.push_back({ranges[g].base, ranges[g].size, g});
+    }
+    manager_->ConfigurePlacement(std::move(groups), fs.placement,
+                                 &fabric_.topology());
+  }
   if (wire_faults_) manager_->set_fault_injector(&injector_);
 
   net_.RegisterHost(kHostNode);
@@ -109,7 +176,7 @@ SimWorld::SimWorld(const Spec& spec)
     engine::DatabaseEnv env;
     env.store = inst.store.get();
     env.log = inst.log.get();
-    env.cxl = host_acc_;
+    env.cxl = host_accs_[i % host_accs_.size()];
     env.cxl_manager = manager_.get();
     env.remote = remote_.get();
 
@@ -121,6 +188,11 @@ SimWorld::SimWorld(const Spec& spec)
     opt.cpu_cache_bytes = spec.cpu_cache_bytes;
     opt.group_commit_window = spec.group_commit_window;
     opt.verbs_retry_budget = spec.verbs_retry_budget;
+    if (fs.TopologyActive()) {
+      // Region placement anchors to the switch behind the instance's port.
+      manager_->SetTenantHome(
+          opt.node, i % static_cast<uint32_t>(host_accs_.size()));
+    }
 
     sim::ExecContext setup_ctx;
     auto db = CreateAndLoad(setup_ctx, env, opt, wl);
@@ -136,12 +208,10 @@ void SimWorld::EnableInWorldParallelism(uint32_t threads) {
   // under epoch execution. Instance-private channels (per-instance DRAM)
   // stay immediate — only their own shard ever touches them.
   client_net_.set_shared(true);
-  if (host_acc_->space()->link() != nullptr) {
-    host_acc_->space()->link()->set_shared(true);
-  }
-  if (host_acc_->space()->pool() != nullptr) {
-    host_acc_->space()->pool()->set_shared(true);
-  }
+  // Every switch port, switching fabric, and uplink. On the legacy layout
+  // this covers exactly the host link + pool pair as before (device ports
+  // are never charged there, so marking them defers nothing).
+  fabric_.MarkChannelsShared();
   for (const NodeId node : {kHostNode, kMemoryServerNode}) {
     rdma::RdmaNic* nic = net_.nic(node);
     nic->wire().set_shared(true);
@@ -160,8 +230,8 @@ void SimWorld::EnableInWorldParallelism(uint32_t threads) {
 struct SimWorld::Snapshot {
   sim::Executor::State executor;
   sim::BandwidthChannel::State client_net;
-  cxl::CxlSwitch::State cxl_switch;
-  sim::MemorySpace::State host_space;
+  fabric::FabricTopology::State fabric_channels;
+  std::vector<sim::MemorySpace::State> host_spaces;  // one per host port
   std::vector<uint8_t> device_bytes;  // [0, HighWater())
   rdma::RdmaNetwork::State net;
   rdma::RemoteMemoryPool::State remote;
@@ -184,8 +254,11 @@ void SimWorld::CaptureSnapshot() {
   auto s = std::make_unique<Snapshot>();
   s->executor = executor_.Capture();
   s->client_net = client_net_.Capture();
-  s->cxl_switch = fabric_.cxl_switch().Capture();
-  s->host_space = host_acc_->space()->Capture();
+  s->fabric_channels = fabric_.CaptureChannels();
+  s->host_spaces.reserve(host_accs_.size());
+  for (cxl::CxlAccessor* acc : host_accs_) {
+    s->host_spaces.push_back(acc->space()->Capture());
+  }
   const MemOffset high_water = manager_->HighWater();
   s->device_bytes.resize(high_water);
   if (high_water > 0) {
@@ -214,8 +287,11 @@ void SimWorld::RestoreSnapshot() {
   const Snapshot& s = *snapshot_;
   executor_.Restore(s.executor);
   client_net_.Restore(s.client_net);
-  fabric_.cxl_switch().Restore(s.cxl_switch);
-  host_acc_->space()->Restore(s.host_space);
+  fabric_.RestoreChannels(s.fabric_channels);
+  POLAR_CHECK(s.host_spaces.size() == host_accs_.size());
+  for (size_t i = 0; i < host_accs_.size(); i++) {
+    host_accs_[i]->space()->Restore(s.host_spaces[i]);
+  }
   if (!s.device_bytes.empty()) {
     fabric_.CopyIn(0, s.device_bytes.data(), s.device_bytes.size());
   }

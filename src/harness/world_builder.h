@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "engine/database.h"
+#include "fabric/hdm_decoder.h"
+#include "fabric/placement_policy.h"
 #include "faults/fault_injector.h"
 #include "sim/executor.h"
 #include "storage/disk.h"
@@ -75,7 +77,34 @@ inline double ThreadCpuSeconds() {
 // SimWorld: the shared single-host world of the pooling/chaos drivers
 // ---------------------------------------------------------------------------
 
-/// One simulated host: CXL fabric + switch, RDMA NIC pair, remote memory
+/// Shape of the CXL fabric behind the world's instances. The default — one
+/// switch, one device, routing off — is the historical single-switch world,
+/// bit-identical to the pre-topology driver. Raising `switches` (or setting
+/// `topology_mode` with one switch) activates per-address routing: every
+/// access additionally charges its route's uplinks, entered switch fabrics,
+/// and destination device port.
+struct FabricWorldSpec {
+  uint32_t switches = 1;
+  uint32_t devices_per_switch = 1;
+  /// Ring topology when true, chain otherwise (same graph below 3).
+  bool ring = true;
+  uint64_t uplink_bps = 56ULL * 1000 * 1000 * 1000;
+  Nanos uplink_latency = 100;
+  /// Port-width overrides for every switch (0 = the model defaults: x16
+  /// 56 GB/s ports). `device_port_bps` narrows only the memory-device
+  /// ports — x8/x4 expanders or oversubscribed trunks behind full-width
+  /// host links.
+  uint64_t port_bps = 0;
+  uint64_t device_port_bps = 0;
+  fabric::InterleaveSpec interleave;
+  fabric::PlacementMode placement = fabric::PlacementMode::kLocalFirst;
+  /// Forces topology-mode routing even with a single switch.
+  bool topology_mode = false;
+
+  bool TopologyActive() const { return switches > 1 || topology_mode; }
+};
+
+/// One simulated host: CXL fabric + switch(es), RDMA NIC pair, remote memory
 /// pool, client network, shared PolarFS-like disk, and `instances` database
 /// instances loaded with sysbench tables. Identical to what RunPooling and
 /// RunChaos (instances == 1, wire_faults) used to build inline.
@@ -94,6 +123,8 @@ class SimWorld {
     /// fault-free figures so their pools keep the injector-null fast path
     /// (bit-identical to the pre-snapshot drivers).
     bool wire_faults = false;
+    /// Fabric topology behind the instances (default = legacy one-switch).
+    FabricWorldSpec fabric;
   };
 
   explicit SimWorld(const Spec& spec);
@@ -109,6 +140,13 @@ class SimWorld {
   faults::FaultInjector& injector() { return injector_; }
   rdma::RdmaNetwork& net() { return net_; }
   cxl::CxlFabric& fabric() { return fabric_; }
+  cxl::CxlMemoryManager& cxl_manager() { return *manager_; }
+  /// Host CXL ports: one accessor per switch in topology mode, the single
+  /// legacy accessor otherwise. Instance i uses port i % num_host_ports().
+  uint32_t num_host_ports() const {
+    return static_cast<uint32_t>(host_accs_.size());
+  }
+  cxl::CxlAccessor* host_port(uint32_t i) { return host_accs_[i]; }
   rdma::RemoteMemoryPool& remote() { return *remote_; }
   sim::BandwidthChannel* client_net() { return &client_net_; }
   storage::SimDisk& disk() { return *disk_; }
@@ -147,7 +185,8 @@ class SimWorld {
   faults::FaultInjector injector_;
   sim::BandwidthModel bw_;
   cxl::CxlFabric fabric_;
-  cxl::CxlAccessor* host_acc_ = nullptr;
+  std::vector<cxl::CxlAccessor*> host_accs_;
+  cxl::CxlAccessor* host_acc_ = nullptr;  // == host_accs_[0]
   std::unique_ptr<cxl::CxlMemoryManager> manager_;
   rdma::RdmaNetwork net_;
   std::unique_ptr<rdma::RemoteMemoryPool> remote_;

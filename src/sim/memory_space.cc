@@ -20,37 +20,60 @@ Nanos MemorySpace::ChargeChannels(ExecContext& ctx, Nanos now,
   return done;
 }
 
-void MemorySpace::ChargeMiss(ExecContext& ctx, uint32_t miss_idx,
-                             bool write) {
+Nanos MemorySpace::ChargeRoute(ExecContext& ctx, uint64_t addr,
+                               uint64_t bytes, Nanos* service_extra) {
+  const RouteCost* rc = opt_.router->Resolve(addr);
+  if (rc == nullptr) return 0;
+  Nanos done = 0;
+  for (uint32_t i = 0; i < rc->num_channels; i++) {
+    done = std::max(done, ChargeChannel(ctx, *rc->channels[i], ctx.now,
+                                        bytes));
+  }
+  if (service_extra != nullptr) *service_extra += rc->extra_latency;
+  return done;
+}
+
+void MemorySpace::ChargeMiss(ExecContext& ctx, uint32_t miss_idx, bool write,
+                             uint64_t addr) {
   ctx.mem_line_misses++;
   demand_bytes_.fetch_add(kCacheLineSize, std::memory_order_relaxed);
-  const Nanos queued_done = ChargeChannels(ctx, ctx.now, kCacheLineSize);
-  if (queued_done > ctx.now + 1) {
-    queue_delay_.fetch_add(queued_done - ctx.now - 1,
-                           std::memory_order_relaxed);
-  }
+  Nanos queued_done = ChargeChannels(ctx, ctx.now, kCacheLineSize);
   // First miss of the call pays full latency; later misses overlap and
   // pay only the pipelined slope (memory-level parallelism).
-  const Nanos service =
+  Nanos service =
       miss_idx == 0
           ? opt_.line_latency
           : static_cast<Nanos>(write ? opt_.stream_write.per_line_ns
                                      : opt_.stream_read.per_line_ns);
+  if (opt_.router != nullptr) {
+    queued_done = std::max(
+        queued_done, ChargeRoute(ctx, addr, kCacheLineSize,
+                                 miss_idx == 0 ? &service : nullptr));
+  }
+  if (queued_done > ctx.now + 1) {
+    queue_delay_.fetch_add(queued_done - ctx.now - 1,
+                           std::memory_order_relaxed);
+  }
   ctx.now = std::max(ctx.now + service, queued_done + service - 1);
+}
+
+void MemorySpace::ChargeWriteback(ExecContext& ctx, uint64_t addr,
+                                  uint64_t bytes) {
+  ChargeChannels(ctx, ctx.now, bytes);
+  if (opt_.router != nullptr) ChargeRoute(ctx, addr, bytes, nullptr);
+  writeback_bytes_.fetch_add(bytes, std::memory_order_relaxed);
 }
 
 void MemorySpace::TouchSingleMiss(ExecContext& ctx,
                                   const CpuCacheSim::AccessResult& r,
-                                  bool write) {
+                                  bool write, uint64_t addr) {
   const Nanos entry = ctx.now;
   if (r.evicted_dirty && r.evicted_home != nullptr) {
     // Posted writeback: consumes the victim's home bandwidth but does
     // not stall the lane.
-    r.evicted_home->ChargeChannels(ctx, ctx.now, kCacheLineSize);
-    r.evicted_home->writeback_bytes_.fetch_add(kCacheLineSize,
-                                               std::memory_order_relaxed);
+    r.evicted_home->ChargeWriteback(ctx, r.evicted_addr, kCacheLineSize);
   }
-  ChargeMiss(ctx, 0, write);
+  ChargeMiss(ctx, 0, write, addr);
   ctx.t_mem += ctx.now - entry;
 }
 
@@ -61,7 +84,7 @@ void MemorySpace::TouchMulti(ExecContext& ctx, uint64_t first, uint64_t last,
   if (!opt_.cacheable || ctx.cache == nullptr) {
     // Uncacheable domain: every line is a demand miss.
     for (uint64_t line = first; line <= last; line++) {
-      ChargeMiss(ctx, miss_idx, write);
+      ChargeMiss(ctx, miss_idx, write, line * kCacheLineSize);
       miss_idx++;
     }
     ctx.t_mem += ctx.now - entry;
@@ -95,13 +118,11 @@ void MemorySpace::TouchMulti(ExecContext& ctx, uint64_t first, uint64_t last,
       if (ev < rr.num_evictions && rr.evictions[ev].index == i) {
         MemorySpace* home = rr.evictions[ev].home;
         if (home != nullptr) {
-          home->ChargeChannels(ctx, ctx.now, kCacheLineSize);
-          home->writeback_bytes_.fetch_add(kCacheLineSize,
-                                           std::memory_order_relaxed);
+          home->ChargeWriteback(ctx, rr.evictions[ev].addr, kCacheLineSize);
         }
         ev++;
       }
-      ChargeMiss(ctx, miss_idx, write);
+      ChargeMiss(ctx, miss_idx, write, (line + i) * kCacheLineSize);
       miss_idx++;
       i++;
     }
@@ -118,12 +139,18 @@ void MemorySpace::Stream(ExecContext& ctx, uint64_t addr, uint32_t len,
   const uint32_t lines = (len + kCacheLineSize - 1) / kCacheLineSize;
   const StreamCost& sc = write ? opt_.stream_write : opt_.stream_read;
   demand_bytes_.fetch_add(len, std::memory_order_relaxed);
-  const Nanos queued_done = ChargeChannels(ctx, ctx.now, len);
-  const Nanos service = sc.Cost(lines);
+  Nanos queued_done = ChargeChannels(ctx, ctx.now, len);
+  Nanos service = sc.Cost(lines);
+  if (opt_.router != nullptr) {
+    // The whole stream is one fabric transaction: the route's extra
+    // latency is paid once, and the full payload rides every crossed
+    // channel.
+    queued_done = std::max(queued_done,
+                           ChargeRoute(ctx, addr, len, &service));
+  }
   ctx.now = std::max(ctx.now + service, queued_done);
   // Streamed data may still sit in cache from earlier Touches; a subsequent
   // Touch will simply hit. We deliberately do not install streamed lines.
-  (void)addr;
   ctx.t_mem += ctx.now - entry;
 }
 
@@ -137,11 +164,16 @@ void MemorySpace::TouchUncached(ExecContext& ctx, uint64_t addr,
   uint32_t idx = 0;
   for (uint64_t line = first; line <= last; line++) {
     demand_bytes_.fetch_add(kCacheLineSize, std::memory_order_relaxed);
-    const Nanos queued_done = ChargeChannels(ctx, ctx.now, kCacheLineSize);
-    const Nanos service =
+    Nanos queued_done = ChargeChannels(ctx, ctx.now, kCacheLineSize);
+    Nanos service =
         idx == 0 ? opt_.line_latency
                  : static_cast<Nanos>(write ? opt_.stream_write.per_line_ns
                                             : opt_.stream_read.per_line_ns);
+    if (opt_.router != nullptr) {
+      queued_done = std::max(
+          queued_done, ChargeRoute(ctx, line * kCacheLineSize, kCacheLineSize,
+                                   idx == 0 ? &service : nullptr));
+    }
     ctx.now = std::max(ctx.now + service, queued_done + service - 1);
     idx++;
   }
@@ -160,9 +192,18 @@ uint32_t MemorySpace::Flush(ExecContext& ctx, uint64_t addr, uint32_t len) {
     writeback_bytes_.fetch_add(
         static_cast<uint64_t>(dirty) * kCacheLineSize,
         std::memory_order_relaxed);
-    const Nanos queued_done = ChargeChannels(
+    Nanos queued_done = ChargeChannels(
         ctx, ctx.now, static_cast<uint64_t>(dirty) * kCacheLineSize);
     const Nanos service = opt_.clflush_line * dirty;
+    if (opt_.router != nullptr) {
+      // Route resolved once at the range head: flush batches stay one
+      // fabric transaction (a range can interleave across devices, but
+      // per-line resolution is not worth the precision here).
+      queued_done = std::max(
+          queued_done,
+          ChargeRoute(ctx, addr, static_cast<uint64_t>(dirty) * kCacheLineSize,
+                      nullptr));
+    }
     ctx.now = std::max(ctx.now + service, queued_done);
   }
   ctx.now += static_cast<Nanos>(clean) * opt_.invalidate_line;
@@ -186,6 +227,10 @@ void MemorySpace::Invalidate(ExecContext& ctx, uint64_t addr, uint32_t len) {
         std::memory_order_relaxed);
     ChargeChannels(ctx, ctx.now,
                    static_cast<uint64_t>(dirty) * kCacheLineSize);
+    if (opt_.router != nullptr) {
+      ChargeRoute(ctx, addr, static_cast<uint64_t>(dirty) * kCacheLineSize,
+                  nullptr);
+    }
     ctx.now += opt_.clflush_line * dirty;
   }
   ctx.now += static_cast<Nanos>(clean) * opt_.invalidate_line;

@@ -16,6 +16,7 @@
 #include "sim/cpu_cache.h"
 #include "sim/exec_context.h"
 #include "sim/latency_model.h"
+#include "sim/route.h"
 
 namespace polarcxl::sim {
 
@@ -36,6 +37,12 @@ class MemorySpace {
     BandwidthChannel* link = nullptr;
     /// Device/pool-side channel shared by all hosts (nullable).
     BandwidthChannel* pool = nullptr;
+    /// Address-dependent fabric route (nullable). When set, every miss /
+    /// stream / writeback resolves its physical address and additionally
+    /// rides the returned channels (switch uplinks, transit fabrics, device
+    /// port) and pays the route's extra latency. Null = legacy link+pool
+    /// cost only.
+    const AddressRouter* router = nullptr;
     /// Whether the CPU cache may hold lines of this domain.
     bool cacheable = true;
     /// clflush cost per dirty line and invalidate cost per clean line.
@@ -174,7 +181,7 @@ class MemorySpace {
         ctx.t_mem += 4;
         return;
       }
-      TouchSingleMiss(ctx, r, write);
+      TouchSingleMiss(ctx, r, write, first * kCacheLineSize);
       return;
     }
     TouchMulti(ctx, first, last, write);
@@ -188,13 +195,28 @@ class MemorySpace {
 
   /// Charge one demand-miss line at ctx.now: channel traffic plus service
   /// latency (full line latency for the first miss of a call, pipelined
-  /// streaming slope for the rest — memory-level parallelism).
-  void ChargeMiss(ExecContext& ctx, uint32_t miss_idx, bool write);
+  /// streaming slope for the rest — memory-level parallelism). `addr` is
+  /// the line's physical address, used only for fabric routing.
+  void ChargeMiss(ExecContext& ctx, uint32_t miss_idx, bool write,
+                  uint64_t addr);
+
+  /// Resolve `addr` against opt_.router and charge every route channel for
+  /// `bytes` at ctx.now; returns the latest queued completion (0 when the
+  /// route is empty). When `service_extra` is non-null the route's extra
+  /// traversal latency is added to it (first miss / stream head only —
+  /// later pipelined misses overlap the path like they overlap the device).
+  Nanos ChargeRoute(ExecContext& ctx, uint64_t addr, uint64_t bytes,
+                    Nanos* service_extra);
+
+  /// Posted writeback of an evicted dirty line homed in THIS space:
+  /// consumes this home's channels (and its fabric route for `addr`)
+  /// without stalling the lane.
+  void ChargeWriteback(ExecContext& ctx, uint64_t addr, uint64_t bytes);
 
   /// Out-of-line halves of Touch(): the miss/eviction tail of a single-line
   /// access, and the chunked multi-line / uncacheable path.
   void TouchSingleMiss(ExecContext& ctx, const CpuCacheSim::AccessResult& r,
-                       bool write);
+                       bool write, uint64_t addr);
   void TouchMulti(ExecContext& ctx, uint64_t first, uint64_t last,
                   bool write);
 

@@ -1,0 +1,43 @@
+// Copyright 2026 The PolarCXLMem Reproduction Authors.
+// Address-dependent routing hook for MemorySpace. A memory domain whose
+// bytes live behind a fabric (multiple switches, interleaved devices) has
+// per-address cost: which uplinks and switch fabrics the access crosses and
+// which device port it lands on depend on where the line's backing device
+// sits. MemorySpace stays fabric-agnostic: when an AddressRouter is wired
+// into its Options, every demand miss / stream / writeback resolves its
+// physical address to a RouteCost and additionally rides those channels and
+// pays the extra traversal latency. A null router (the default, and every
+// pre-fabric world) charges exactly the legacy link+pool pair.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace polarcxl::sim {
+
+class BandwidthChannel;
+
+/// Cost of reaching one address's backing device beyond the accessor's own
+/// link+pool channels: the shared channels the traffic additionally crosses
+/// (switch-to-switch uplinks, transit/destination switch fabrics, the
+/// destination device port) and the extra one-way latency of the path.
+struct RouteCost {
+  /// 5 fabric hops (uplink + entered-switch fabric each) + device port.
+  static constexpr uint32_t kMaxChannels = 11;
+  Nanos extra_latency = 0;
+  uint32_t num_channels = 0;
+  BandwidthChannel* channels[kMaxChannels] = {};
+};
+
+/// Resolves a physical address to its route. Implementations must be
+/// deterministic pure functions of the address (routes are fixed at world
+/// construction); Resolve() runs on the per-miss hot path. Returning null
+/// means "no extra cost" (e.g., the address is local to the home switch).
+class AddressRouter {
+ public:
+  virtual ~AddressRouter() = default;
+  virtual const RouteCost* Resolve(uint64_t addr) const = 0;
+};
+
+}  // namespace polarcxl::sim

@@ -17,6 +17,10 @@
 #   tools/check.sh --slo      # tier-1 + quick-scale open-loop SLO-capacity
 #                             #   gate: lane_steps pins across sweep/world
 #                             #   thread counts + sanitized open-loop suite
+#   tools/check.sh --fabric   # tier-1 + sanitized fabric suite + quick-scale
+#                             #   multi-switch gate (serial + epoch pins,
+#                             #   POLAR_WORLD_THREADS identity inside the
+#                             #   bench)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,6 +49,12 @@ BENCH_EXPECT_QUICK_EPOCH="22107,17460"
 # virtual-time output: every admission, shed, retry, and arrival is on the
 # simulated clock, so the pins hold for ANY sweep/world thread count.
 SLO_EXPECT_QUICK="47468,47328,41387,35498"
+
+# Quick-scale lane_steps for the fabric-topology bench's 2-switch reference
+# point (8 instances, round-robin page interleave, 1 GB/s device ports):
+# serial value, then the epoch value shared by every POLAR_WORLD_THREADS
+# count (the bench itself sweeps 1/2/4 and fails on divergence).
+FABRIC_EXPECT_QUICK="5666,5666"
 
 # Ceiling on the engine+cache_sim share of profiled self CPU time (see
 # POLAR_BENCH_MAX_HOT_SHARE in bench_sim_throughput.cc). The third-wave
@@ -189,6 +199,23 @@ if [[ "${1:-}" == "--slo" ]]; then
     POLAR_SLO_EXPECT="$SLO_EXPECT_QUICK" \
     build/bench/bench_slo_capacity
   echo "==> OK (slo mode)"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--fabric" ]]; then
+  echo "==> fabric: ASan+UBSan build of the fabric suite"
+  cmake -B build-asan -S . -DPOLAR_SANITIZE=ON -DPOLAR_LTO=OFF >/dev/null
+  cmake --build build-asan -j "$JOBS" --target fabric_test >/dev/null
+  echo "==> build-asan/tests/fabric_test"
+  build-asan/tests/fabric_test
+  echo "==> fabric: quick-scale multi-switch bit-identity gate"
+  # The bench runs its 2-switch reference point serial and epoch-parallel
+  # (threads 1/2/4 must agree internally); POLAR_FABRIC_EXPECT pins the
+  # absolute serial and epoch lane_steps (exit 1 on drift).
+  POLAR_BENCH_SCALE=0.1 \
+    POLAR_FABRIC_EXPECT="$FABRIC_EXPECT_QUICK" \
+    build/bench/bench_fabric_topology
+  echo "==> OK (fabric mode)"
   exit 0
 fi
 
