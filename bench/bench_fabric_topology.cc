@@ -27,6 +27,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -108,6 +109,10 @@ void WriteJson(const std::vector<PoolingResult>& scale,
                "rows per instance, 256KB LLC share, 1 GB/s device ports, "
                "round-robin 16KB HDM interleave unless noted\",\n");
   std::fprintf(f, "  \"scale\": %.3f,\n", BenchScale());
+  // Host core count alongside any wall-clock figures: virtual-time numbers
+  // are host-invariant, wall times are not.
+  std::fprintf(f, "  \"host_cpus\": %u,\n",
+               std::thread::hardware_concurrency());
   std::fprintf(f, "  \"scale_sweep\": [\n");
   size_t idx = 0;
   for (uint32_t sw : kSwitchPoints) {

@@ -201,6 +201,111 @@ void PrintScaling(const std::vector<ScalingPoint>& points) {
   table.Print();
 }
 
+// ---------------------------------------------------------------------------
+// Scale cost: scheduler + channel-ledger work per lane-step vs instance count
+// ---------------------------------------------------------------------------
+
+/// One (instances, mode) cell of the scale-cost sweep. sched_ops and
+/// window_advances are measurement-window deltas of the monotone executor
+/// and channel diagnostics (see PoolingResult); divided by measure_steps
+/// they give the per-lane-step bookkeeping cost that must stay flat as the
+/// world grows. Wall time is reported honestly alongside but the counters
+/// are the primary evidence — this host is too small/noisy for wall-clock
+/// to gate anything.
+struct ScaleCostPoint {
+  uint32_t instances = 0;
+  bool epoch = false;
+  uint64_t lane_steps = 0;
+  uint64_t measure_steps = 0;
+  uint64_t sched_ops = 0;
+  uint64_t window_advances = 0;
+  double measure_real_sec = 0;
+  double SchedOpsPerStep() const {
+    return measure_steps > 0 ? static_cast<double>(sched_ops) / measure_steps
+                             : 0;
+  }
+  double WindowAdvPerStep() const {
+    return measure_steps > 0
+               ? static_cast<double>(window_advances) / measure_steps
+               : 0;
+  }
+};
+
+/// Pre-PR per-step costs at full scale, measured on the binary-heap
+/// scheduler and eager window ledger immediately before the timing-wheel /
+/// lazy-window rewrite (same workload, same counters). Committed here so
+/// the JSON reports the counter-gated win without rebuilding old code.
+struct ScaleBaseline {
+  uint32_t instances;
+  bool epoch;
+  double sched_ops_per_step;
+  double window_adv_per_step;
+};
+constexpr ScaleBaseline kPrePrBaseline[] = {
+    {8, false, 6.05, 1.2311},   {8, true, 15.11, 1.2311},
+    {32, false, 8.01, 0.0181},  {32, true, 17.07, 0.0181},
+    {64, false, 9.01, 0.0091},  {64, true, 18.06, 0.0091},
+    {256, false, 11.00, 0.0023}, {256, true, 20.06, 0.0024},
+};
+
+const ScaleBaseline* BaselineFor(uint32_t instances, bool epoch) {
+  for (const ScaleBaseline& b : kPrePrBaseline) {
+    if (b.instances == instances && b.epoch == epoch) return &b;
+  }
+  return nullptr;
+}
+
+/// Sweeps the fig7 CXL pooling point over instance counts, serial and
+/// epoch-parallel (1 worker — counter totals, not speed, are the object).
+/// Short 40 ms windows: cold-building a 256-instance world dominates the
+/// cost anyway, and per-step ratios converge within a few thousand steps.
+/// No WorldCache: one rep per point, and holding a 256-instance world would
+/// only add memory pressure.
+std::vector<ScaleCostPoint> RunScaleCost(const std::vector<uint32_t>& counts) {
+  std::vector<ScaleCostPoint> points;
+  for (uint32_t instances : counts) {
+    for (int mode = 0; mode < 2; mode++) {
+      const bool epoch = mode == 1;
+      harness::PoolingConfig c = BenchConfig(engine::BufferPoolKind::kCxl);
+      c.instances = instances;
+      c.measure = Scaled(Millis(40));
+      c.world_threads = epoch ? 1 : 0;
+      const harness::PoolingResult r = harness::RunPooling(c, nullptr);
+      ScaleCostPoint p;
+      p.instances = instances;
+      p.epoch = epoch;
+      p.lane_steps = r.lane_steps;
+      p.measure_steps = r.measure_steps;
+      p.sched_ops = r.sched_ops;
+      p.window_advances = r.window_advances;
+      p.measure_real_sec = r.measure_real_sec;
+      points.push_back(p);
+    }
+  }
+  return points;
+}
+
+void PrintScaleCost(const std::vector<ScaleCostPoint>& points) {
+  if (points.empty()) return;
+  harness::ReportTable table(
+      "Scale cost — fig7 CXL pooling, scheduler/channel work per lane-step "
+      "(host cpus: " +
+          std::to_string(std::thread::hardware_concurrency()) + ")",
+      {"instances", "mode", "measure steps", "sched ops/step", "window adv/step",
+       "real s"});
+  for (const ScaleCostPoint& p : points) {
+    char inst[16], steps[32], sched[32], adv[32], real[32];
+    std::snprintf(inst, sizeof(inst), "%u", p.instances);
+    std::snprintf(steps, sizeof(steps), "%llu",
+                  static_cast<unsigned long long>(p.measure_steps));
+    std::snprintf(sched, sizeof(sched), "%.2f", p.SchedOpsPerStep());
+    std::snprintf(adv, sizeof(adv), "%.4f", p.WindowAdvPerStep());
+    std::snprintf(real, sizeof(real), "%.3f", p.measure_real_sec);
+    table.AddRow({inst, p.epoch ? "epoch" : "serial", steps, sched, adv, real});
+  }
+  table.Print();
+}
+
 /// Reads the previously committed "profile" object (balanced-brace scan) so
 /// a profiler-free build — the one that produces the committed throughput
 /// numbers — does not discard the breakdown a POLAR_PROF build recorded.
@@ -343,8 +448,67 @@ void WriteScalingJson(FILE* f, const std::vector<ScalingPoint>& points) {
   std::fprintf(f, "  },\n");
 }
 
+void WriteScaleCostJson(FILE* f, const std::vector<ScaleCostPoint>& points) {
+  std::fprintf(f, "  \"scale_cost\": {\n");
+  std::fprintf(f,
+               "    \"workload\": \"fig7 point-select pooling (cxl), 8 "
+               "lanes/instance, 40ms warmup + 40ms measure, serial vs "
+               "epoch-parallel (1 worker)\",\n");
+  std::fprintf(f,
+               "    \"note\": \"sched_ops and window_advances are "
+               "measurement-window counter deltas; per-step ratios are the "
+               "gated evidence, wall time is reported honestly but moves "
+               "with host load\",\n");
+  std::fprintf(f, "    \"host_cpus\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f,
+               "    \"baseline\": {\n"
+               "      \"note\": \"pre-PR binary-heap scheduler + eager "
+               "window ledger, same workload and counters\",\n"
+               "      \"points\": [\n");
+  constexpr size_t kBaselineCount =
+      sizeof(kPrePrBaseline) / sizeof(kPrePrBaseline[0]);
+  for (size_t i = 0; i < kBaselineCount; i++) {
+    const ScaleBaseline& b = kPrePrBaseline[i];
+    std::fprintf(f,
+                 "        {\"instances\": %u, \"mode\": \"%s\", "
+                 "\"sched_ops_per_step\": %.2f, "
+                 "\"window_advances_per_step\": %.4f}%s\n",
+                 b.instances, b.epoch ? "epoch" : "serial",
+                 b.sched_ops_per_step, b.window_adv_per_step,
+                 i + 1 < kBaselineCount ? "," : "");
+  }
+  std::fprintf(f, "      ]\n    },\n");
+  std::fprintf(f, "    \"points\": [\n");
+  for (size_t i = 0; i < points.size(); i++) {
+    const ScaleCostPoint& p = points[i];
+    const ScaleBaseline* b = BaselineFor(p.instances, p.epoch);
+    const double win =
+        (b != nullptr && p.SchedOpsPerStep() > 0)
+            ? b->sched_ops_per_step / p.SchedOpsPerStep()
+            : 0;
+    std::fprintf(f,
+                 "      {\"instances\": %u, \"mode\": \"%s\", \"lane_steps\": "
+                 "%llu, \"measure_steps\": %llu, \"sched_ops\": %llu, "
+                 "\"window_advances\": %llu, \"sched_ops_per_step\": %.2f, "
+                 "\"window_advances_per_step\": %.4f, "
+                 "\"sched_ops_win_vs_baseline\": %.2f, "
+                 "\"measure_real_sec\": %.4f}%s\n",
+                 p.instances, p.epoch ? "epoch" : "serial",
+                 static_cast<unsigned long long>(p.lane_steps),
+                 static_cast<unsigned long long>(p.measure_steps),
+                 static_cast<unsigned long long>(p.sched_ops),
+                 static_cast<unsigned long long>(p.window_advances),
+                 p.SchedOpsPerStep(), p.WindowAdvPerStep(), win,
+                 p.measure_real_sec, i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n");
+  std::fprintf(f, "  },\n");
+}
+
 void WriteJson(const RepSeries& cxl, const RepSeries& rdma, int reps,
-               const std::vector<ScalingPoint>& scaling) {
+               const std::vector<ScalingPoint>& scaling,
+               const std::vector<ScaleCostPoint>& scale_cost) {
   // Must be captured before fopen("w") truncates the file.
   const std::string carried = prof::kEnabled ? "" : CarriedProfile();
   FILE* f = std::fopen("BENCH_sim_throughput.json", "w");
@@ -362,6 +526,7 @@ void WriteJson(const RepSeries& cxl, const RepSeries& rdma, int reps,
   WriteConfigJson(f, "cxl", cxl);
   WriteConfigJson(f, "tiered_rdma", rdma);
   if (!scaling.empty()) WriteScalingJson(f, scaling);
+  if (!scale_cost.empty()) WriteScaleCostJson(f, scale_cost);
   // World snapshot/fork amortization over all reps of both configs: what
   // cold-building every rep would cost vs what the cache-backed reps
   // actually cost (rep 1 of each config is a real cold build, so the
@@ -409,9 +574,73 @@ void WriteJson(const RepSeries& cxl, const RepSeries& rdma, int reps,
   std::fclose(f);
 }
 
+/// tools/check.sh --scale: POLAR_SCALE_EXPECT="<serial_steps>,<epoch_steps>"
+/// short-circuits the bench into the 64-instance scale-cost pair alone —
+/// serial vs epoch-parallel lane_steps are pinned (the at-scale determinism
+/// gate), and POLAR_MAX_SCHED_OPS_PER_STEP caps the per-step scheduler work
+/// so an O(log lanes) or O(lanes) regression in the scheduler fails CI even
+/// though wall time on a loaded runner would hide it.
+int ScaleGate(const char* expect) {
+  unsigned long long want_serial = 0;
+  unsigned long long want_epoch = 0;
+  if (std::sscanf(expect, "%llu,%llu", &want_serial, &want_epoch) != 2) {
+    std::fprintf(stderr, "bad POLAR_SCALE_EXPECT: %s\n", expect);
+    return 2;
+  }
+  const std::vector<ScaleCostPoint> points = RunScaleCost({64});
+  PrintScaleCost(points);
+  const ScaleCostPoint& serial = points[0];
+  const ScaleCostPoint& epoch = points[1];
+  if (serial.lane_steps != want_serial || epoch.lane_steps != want_epoch) {
+    std::fprintf(stderr,
+                 "64-instance lane_steps drift: got serial=%llu epoch=%llu, "
+                 "expected serial=%llu epoch=%llu\n",
+                 static_cast<unsigned long long>(serial.lane_steps),
+                 static_cast<unsigned long long>(epoch.lane_steps),
+                 want_serial, want_epoch);
+    return 1;
+  }
+  std::printf("64-instance lane_steps match POLAR_SCALE_EXPECT (%llu, %llu)\n",
+              want_serial, want_epoch);
+  if (const char* ceiling_env = std::getenv("POLAR_MAX_SCHED_OPS_PER_STEP")) {
+    const double ceiling = std::atof(ceiling_env);
+    if (ceiling <= 0) {
+      std::fprintf(stderr, "bad POLAR_MAX_SCHED_OPS_PER_STEP: %s\n",
+                   ceiling_env);
+      return 2;
+    }
+    for (const ScaleCostPoint& p : points) {
+      if (p.SchedOpsPerStep() > ceiling) {
+        std::fprintf(stderr,
+                     "sched_ops regression (%s): %.2f ops/step > ceiling "
+                     "%.2f — scheduler bookkeeping grew with world size\n",
+                     p.epoch ? "epoch" : "serial", p.SchedOpsPerStep(),
+                     ceiling);
+        return 1;
+      }
+    }
+    std::printf("sched_ops/step within ceiling %.2f (serial %.2f, epoch %.2f)\n",
+                ceiling, serial.SchedOpsPerStep(), epoch.SchedOpsPerStep());
+  }
+  return 0;
+}
+
 int Main() {
   PrintHeader("sim-core throughput",
               "n/a (infrastructure bench: lane-steps/sec of the simulator)");
+  // Scale gate short-circuit (see ScaleGate): the --scale CI job only wants
+  // the 64-instance pair, not the full rep/scaling machinery.
+  if (const char* scale_expect = std::getenv("POLAR_SCALE_EXPECT")) {
+    return ScaleGate(scale_expect);
+  }
+  // Development aid: POLAR_SCALE_COST_ONLY=1 runs just the scale-cost sweep
+  // (at the current POLAR_BENCH_SCALE) and exits without touching the JSON —
+  // how the committed baseline constants were measured.
+  if (const char* sc_only = std::getenv("POLAR_SCALE_COST_ONLY");
+      sc_only != nullptr && std::atoi(sc_only) != 0) {
+    PrintScaleCost(RunScaleCost({8u, 32u, 64u, 256u}));
+    return 0;
+  }
   // Five reps by default: forked reps cost roughly the measurement window
   // alone, so extra repetitions are nearly free and shave best-of noise.
   const char* reps_env = std::getenv("POLAR_BENCH_REPS");
@@ -455,16 +684,21 @@ int Main() {
   // it is the expensive part of the bench, and quick passes gate identity
   // through parallel_world_test / tools/check.sh --parallel instead.
   std::vector<ScalingPoint> scaling;
+  std::vector<ScaleCostPoint> scale_cost;
   if (BenchScale() == 1.0) {
     scaling = RunScaling();
     PrintScaling(scaling);
+    // Scale-cost sweep: bookkeeping work per lane-step at 8..256 instances,
+    // gated against the committed pre-PR baseline (counters, not wall time).
+    scale_cost = RunScaleCost({8u, 32u, 64u, 256u});
+    PrintScaleCost(scale_cost);
   }
 
   // Only full-scale runs refresh the committed trajectory file: a quick
   // POLAR_BENCH_SCALE pass must not silently clobber it with numbers from
   // a smaller workload.
   if (BenchScale() == 1.0) {
-    WriteJson(cxl, rdma, reps, scaling);
+    WriteJson(cxl, rdma, reps, scaling, scale_cost);
     std::printf("wrote BENCH_sim_throughput.json\n");
   } else {
     std::printf(

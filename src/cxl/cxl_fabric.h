@@ -253,6 +253,13 @@ class CxlFabric {
   /// legacy layout, so marking them is harmless there.
   void MarkChannelsShared();
 
+  /// Sum of window_advances over every fabric channel (switch ports +
+  /// switching fabrics + uplinks; device ports are switch ports).
+  uint64_t WindowAdvances() const { return topo_.WindowAdvances(); }
+
+  /// Arms watermark retirement on every fabric channel (post-setup only).
+  void SetRetireLag(size_t windows) { topo_.SetRetireLag(windows); }
+
   /// Channel ledgers of the whole fabric graph (world snapshots).
   fabric::FabricTopology::State CaptureChannels() const {
     return topo_.Capture();

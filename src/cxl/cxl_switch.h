@@ -75,6 +75,21 @@ class CxlSwitch {
   }
   const std::string& name() const { return name_; }
 
+  /// Sum of window_advances over every port channel + the fabric channel
+  /// (ledger-maintenance diagnostics, see BandwidthChannel).
+  uint64_t WindowAdvances() const {
+    uint64_t t = fabric_channel_.window_advances();
+    for (const Port& p : ports_) t += p.channel->window_advances();
+    return t;
+  }
+
+  /// Arms watermark retirement on every port + fabric channel (see
+  /// BandwidthChannel::set_retire_lag; call only after world setup).
+  void SetRetireLag(size_t windows) {
+    fabric_channel_.set_retire_lag(windows);
+    for (Port& p : ports_) p.channel->set_retire_lag(windows);
+  }
+
   /// Channel ledgers of every port plus the shared fabric channel. Ports
   /// are bound only during world construction, so the port count at
   /// capture and restore must match.

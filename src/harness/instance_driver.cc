@@ -214,6 +214,8 @@ PoolingResult RunPooling(const PoolingConfig& config, WorldCache* cache) {
   // (forks do not rewind them); report this run's deltas.
   const uint64_t epochs_before = executor.epochs_run();
   const uint64_t divergence_before = executor.drain_divergence();
+  const uint64_t sched_ops_before = executor.sched_ops();
+  const uint64_t window_adv_before = world.WindowAdvances();
   const double setup_done = ThreadCpuSeconds();
   const auto real_start = std::chrono::steady_clock::now();
   executor.RunUntil(t1);
@@ -271,6 +273,8 @@ PoolingResult RunPooling(const PoolingConfig& config, WorldCache* cache) {
   result.snapshot_hit = hit;
   result.epochs = executor.epochs_run() - epochs_before;
   result.drain_divergence = executor.drain_divergence() - divergence_before;
+  result.sched_ops = executor.sched_ops() - sched_ops_before;
+  result.window_advances = world.WindowAdvances() - window_adv_before;
   return result;
 }
 

@@ -85,6 +85,13 @@ struct PoolingResult {
   /// to a different completion time than the in-epoch observation.
   uint64_t epochs = 0;
   uint64_t drain_divergence = 0;
+  /// Scale-cost counters over the measurement window (deltas of the
+  /// monotone executor/channel diagnostics): scheduler operations charged
+  /// by the executor and window-ledger maintenance work across every
+  /// channel in the world. Divide by measure_steps for the per-lane-step
+  /// costs tracked in BENCH_sim_throughput.json's scale_cost section.
+  uint64_t sched_ops = 0;
+  uint64_t window_advances = 0;
 };
 
 /// Runs one pooling experiment end to end (build, load, warm up, measure).

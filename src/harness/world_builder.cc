@@ -200,6 +200,27 @@ SimWorld::SimWorld(const Spec& spec)
     inst.db = std::move(*db);
     setup_end_ = std::max(setup_end_, setup_ctx.now);
   }
+
+  // Setup is done: every later post is lane-driven and min-clock ordered,
+  // so the channels may retire windows far behind the posting frontier
+  // (bounding sparse-channel ledger footprints). Setup itself runs one
+  // per-instance time cursor after another — wildly out of order — which
+  // is why channels start disarmed and are only armed here. Fault-wired
+  // worlds stay disarmed entirely: a node-crash window freezes that
+  // node's lanes at crash time, and on recovery they post to the shared
+  // channels at their frozen clocks — an outage-length reorder span,
+  // bounded by the fault plan rather than the executor, which no fixed
+  // lag can promise to cover.
+  if (!wire_faults_) {
+    const size_t lag = sim::BandwidthChannel::kRetireLagWindows;
+    fabric_.SetRetireLag(lag);
+    net_.SetRetireLag(lag);
+    client_net_.set_retire_lag(lag);
+    disk_->SetRetireLag(lag);
+    for (Instance& inst : instances_) {
+      inst.db->dram_channel()->set_retire_lag(lag);
+    }
+  }
 }
 
 void SimWorld::EnableInWorldParallelism(uint32_t threads) {
@@ -220,6 +241,15 @@ void SimWorld::EnableInWorldParallelism(uint32_t threads) {
   disk_->channel().set_shared(true);
   disk_->ops_channel().set_shared(true);
   executor_.EnableEpochParallel(threads);
+}
+
+uint64_t SimWorld::WindowAdvances() const {
+  uint64_t t = fabric_.WindowAdvances() + net_.WindowAdvances() +
+               client_net_.window_advances() + disk_->WindowAdvances();
+  for (const Instance& inst : instances_) {
+    t += inst.db->dram_channel()->window_advances();
+  }
+  return t;
 }
 
 /// Everything mutable in the simulated world, captured by value. The

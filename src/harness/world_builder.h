@@ -151,6 +151,12 @@ class SimWorld {
   sim::BandwidthChannel* client_net() { return &client_net_; }
   storage::SimDisk& disk() { return *disk_; }
 
+  /// Sum of window_advances over every channel in the world — fabric
+  /// (ports/fabrics/uplinks), both NICs, client net, disk bandwidth+IOPS,
+  /// and the per-instance DRAM channels. Monotone diagnostics; drivers
+  /// meter a window by delta (see PoolingResult::window_advances).
+  uint64_t WindowAdvances() const;
+
   /// Switches the world into epoch-parallel execution on `threads` workers
   /// (POLAR_WORLD_THREADS): marks every cross-instance channel — CXL host
   /// link + fabric, both RDMA NICs' wire/doorbell, client network, disk

@@ -66,6 +66,18 @@ class RdmaNetwork {
   }
   void ResetStats();
 
+  /// Sum of window_advances over every registered NIC (diagnostics).
+  uint64_t WindowAdvances() const {
+    uint64_t t = 0;
+    for (const auto& [node, nic] : nics_) t += nic->WindowAdvances();
+    return t;
+  }
+
+  /// Arms watermark retirement on every NIC channel (post-setup only).
+  void SetRetireLag(size_t windows) {
+    for (auto& [node, nic] : nics_) nic->SetRetireLag(windows);
+  }
+
   /// Per-NIC channel ledgers + network counters, keyed by node id (restore
   /// looks nodes up by key, so map iteration order never matters).
   struct State {

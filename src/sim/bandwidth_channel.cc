@@ -33,6 +33,7 @@ BandwidthChannel::BandwidthChannel(std::string name, uint64_t bytes_per_sec,
              kNanosPerSec));
   fd_rate_ = FastDiv64(std::max<uint64_t>(1, bytes_per_sec_));
   fd_window_ = FastDiv64(static_cast<uint64_t>(window_ns_));
+  fd_bpw_ = FastDiv64(bytes_per_window_);
   // Virtual time starts at 0, so no transfer can ever land below window 0;
   // claiming those windows "consumed" is vacuous and lets the prune loop
   // advance from the very first window.
@@ -50,6 +51,23 @@ uint64_t BandwidthChannel::UsedIn(int64_t w) const {
                ring_mask_];
 }
 
+void BandwidthChannel::RetireTo(int64_t r) const {
+  while (window_count_ > 0 && base_window_ < r) {
+    if (ring_[base_slot_] != 0) {
+      window_advances_++;   // leftover budget actually forfeited
+      ring_[base_slot_] = 0;  // keep the outside-span-zero invariant
+    }
+    // Zero slots (idle gaps inside the span) retire for free: dropping
+    // them mutates nothing — the slot already holds the outside-span
+    // value — so they cost no more here than they did when the lazy
+    // extension skipped them arithmetically on the way in.
+    base_slot_ = (base_slot_ + 1) & ring_mask_;
+    base_window_++;
+    window_count_--;
+  }
+  retired_end_ = std::max(retired_end_, r);
+}
+
 void BandwidthChannel::EnsureWindow(int64_t w) const {
   if (window_count_ == 0) {
     if (ring_.empty()) {
@@ -59,7 +77,6 @@ void BandwidthChannel::EnsureWindow(int64_t w) const {
     base_window_ = w;
     base_slot_ = 0;
     window_count_ = 1;
-    ring_[base_slot_] = 0;
     return;
   }
   const int64_t end = base_window_ + static_cast<int64_t>(window_count_);
@@ -67,10 +84,11 @@ void BandwidthChannel::EnsureWindow(int64_t w) const {
 
   const int64_t new_base = std::min<int64_t>(w, base_window_);
   const int64_t new_end = std::max<int64_t>(w + 1, end);
-  size_t span = static_cast<size_t>(new_end - new_base);
+  const size_t span = static_cast<size_t>(new_end - new_base);
 
   if (span > ring_.size()) {
     // Re-layout into a larger ring, oldest window at slot 0.
+    window_advances_ += window_count_;  // slots copied
     std::vector<uint64_t> grown(NextPow2(span), 0);
     for (size_t i = 0; i < window_count_; i++) {
       grown[static_cast<size_t>(base_window_ - new_base) + i] =
@@ -82,30 +100,17 @@ void BandwidthChannel::EnsureWindow(int64_t w) const {
     base_window_ = new_base;
     window_count_ = span;
   } else if (new_base < base_window_) {
-    // Extend backward over the (empty, never-touched) gap.
-    const size_t d = static_cast<size_t>(base_window_ - new_base);
-    base_slot_ = (base_slot_ - d) & ring_mask_;
-    for (size_t i = 0; i < d; i++) {
-      ring_[(base_slot_ + i) & ring_mask_] = 0;
-    }
+    // Extend backward over the idle gap: every slot outside the tracked
+    // span is already zero (the invariant), so this is pure arithmetic —
+    // no fill walk, no per-window charge.
+    base_slot_ =
+        (base_slot_ - static_cast<size_t>(base_window_ - new_base)) &
+        ring_mask_;
     base_window_ = new_base;
-    window_count_ += d;
-  } else {
-    // Extend forward, zero-filling the idle gap.
-    for (size_t i = window_count_; i < span; i++) {
-      ring_[(base_slot_ + i) & ring_mask_] = 0;
-    }
     window_count_ = span;
-  }
-
-  if (window_count_ > kMaxRingWindows) {
-    // Safety valve: force-retire the oldest windows (treat any leftover
-    // budget as consumed). Unreachable for realistic reorder spans.
-    const size_t drop = window_count_ - kMaxRingWindows;
-    base_slot_ = (base_slot_ + drop) & ring_mask_;
-    base_window_ += static_cast<int64_t>(drop);
-    window_count_ -= drop;
-    pruned_end_ = base_window_;
+  } else {
+    // Extend forward over the idle gap: O(1) under the same invariant.
+    window_count_ = span;
   }
 }
 
@@ -118,6 +123,7 @@ void BandwidthChannel::StoreUsed(int64_t w, uint64_t used) const {
   // still holds unconsumed budget that an out-of-order post may claim).
   while (window_count_ > 0 && base_window_ == pruned_end_ &&
          ring_[base_slot_] == bytes_per_window_) {
+    window_advances_++;
     ring_[base_slot_] = 0;
     base_slot_ = (base_slot_ + 1) & ring_mask_;
     base_window_++;
@@ -135,6 +141,20 @@ Nanos BandwidthChannel::Place(Nanos now, uint64_t bytes, bool commit) const {
   // the elapsed sub-window position instead would re-introduce a FIFO
   // whenever out-of-order lanes land in one window.
   if (w < pruned_end_) w = pruned_end_;  // everything earlier is consumed
+  // A post below the retirement watermark would see forfeited budget as
+  // free. In armed worlds concurrent posts sit within the executor's
+  // reorder span (one step cost plus one epoch) of each other — orders
+  // of magnitude inside the lag — so this firing means a real scheduling
+  // bug (worlds whose lanes can freeze for plan-length spans, i.e.
+  // fault-wired ones, never arm; see SimWorld). Abort loudly rather
+  // than bend a completion.
+  POLAR_CHECK(w >= retired_end_);
+  if (commit && w - retire_lag_ > retired_end_) {
+    // Advance the watermark behind the posting frontier. Keyed on the
+    // post's own `now` — never on the newest *tracked* window, which on a
+    // saturated channel is backlog queued far ahead of virtual time.
+    RetireTo(w - retire_lag_);
+  }
 
   // Fast path for the dominant shape: the window is already tracked in the
   // ring and the whole transfer fits without filling it. No spill into
@@ -155,6 +175,37 @@ Nanos BandwidthChannel::Place(Nanos now, uint64_t bytes, bool commit) const {
   uint64_t remaining = bytes;
   Nanos completion = now;
   while (true) {
+    // Batched spill: once the cursor is past every tracked window, all
+    // remaining windows are untouched (zero consumed), so the landing
+    // window is one FastDiv64 divide away instead of a per-window walk.
+    // The arithmetic is exactly the loop's fixpoint: `full` windows take
+    // bytes_per_window_ each and the tail lands at offset `t` in window
+    // w + full.
+    if (remaining > bytes_per_window_ && w >= pruned_end_ &&
+        (window_count_ == 0 ||
+         w >= base_window_ + static_cast<int64_t>(window_count_))) {
+      const int64_t full =
+          static_cast<int64_t>(fd_bpw_.Div(remaining - 1));
+      const uint64_t t =
+          remaining - static_cast<uint64_t>(full) * bytes_per_window_;
+      if (!commit) {
+        completion = (w + full) * window_ns_ + NsForBytes(t);
+        break;
+      }
+      if (window_count_ == 0 && w == pruned_end_) {
+        // The full windows extend the implicitly-consumed prefix directly:
+        // one charge for the whole skip, never materialized in the ring.
+        window_advances_++;
+        pruned_end_ = w + full;
+        completion = (w + full) * window_ns_ + NsForBytes(t);
+        StoreUsed(w + full, t);  // prunes immediately if t fills it
+        break;
+      }
+      // A gap or partial front precedes w: the full windows must be
+      // materialized so a later out-of-order post sees them consumed.
+      // Fall through to the per-window loop (rare: a saturated channel
+      // prunes its front as it fills, landing in the branch above).
+    }
     uint64_t offset = UsedIn(w);
     const uint64_t free =
         bytes_per_window_ > offset ? bytes_per_window_ - offset : 0;
@@ -167,6 +218,7 @@ Nanos BandwidthChannel::Place(Nanos now, uint64_t bytes, bool commit) const {
     }
     if (remaining == 0) break;
     w++;
+    if (commit) window_advances_++;  // spill iteration past the first window
   }
   return std::max(completion, now + 1);
 }
@@ -196,6 +248,7 @@ Nanos BandwidthChannel::TransferDeferred(Nanos now, uint64_t bytes,
   if (bytes_per_sec_ == 0 || bytes == 0) return now;
   int64_t w = static_cast<int64_t>(fd_window_.Div(static_cast<uint64_t>(now)));
   if (w < pruned_end_) w = pruned_end_;  // everything earlier is consumed
+  POLAR_CHECK(w >= retired_end_);  // see Place
 
   uint64_t remaining = bytes;
   Nanos completion = now;

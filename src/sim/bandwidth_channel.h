@@ -18,6 +18,18 @@
 // implicitly "full"), so the footprint stays proportional to the channel's
 // reorder span instead of growing linearly over the run the way the old
 // std::map ledger did.
+//
+// Window advancement is lazy and batched: every ring slot outside the
+// tracked span is kept zero as an invariant, so sliding the span across an
+// idle gap is O(1) arithmetic (update base/count) instead of a zero-fill
+// walk, and a transfer spilling over many empty windows is placed with one
+// FastDiv64 divide instead of a per-window loop. A channel-local watermark
+// retires windows more than `retire_lag_` behind the posting frontier
+// (each committed transfer's `now`; their leftover budget is forfeited),
+// bounding the idle-front footprint of sparse channels; the executor's
+// min-clock discipline keeps concurrent posts far inside the lag, and a
+// POLAR_CHECK aborts if one ever lands below the watermark rather than
+// silently changing completions.
 #pragma once
 
 #include <cstddef>
@@ -119,6 +131,38 @@ class BandwidthChannel {
   /// stays bounded under sustained traffic; the old map grew linearly).
   size_t window_footprint() const { return window_count_; }
 
+  /// Ledger-maintenance work counter (diagnostics, monotone, committed
+  /// paths only): window slots copied/pruned/retired while sliding or
+  /// re-laying out the ring, plus spill iterations past a transfer's first
+  /// window (a batched spill over an empty suffix charges 1 for the whole
+  /// arithmetic skip; idle-gap slides charge 0 — they do no per-window
+  /// work under the zero-slot invariant). The per-transfer fast path is
+  /// NOT counted — the counter meters the window-advancement overhead,
+  /// not the transfers themselves. Deterministic (pure virtual-time
+  /// bookkeeping); deferred epoch charges never count (their barrier
+  /// replay through Transfer does).
+  uint64_t window_advances() const { return window_advances_; }
+
+  /// Watermark below which windows have been retired (budget forfeited).
+  int64_t retired_end_window() const { return retired_end_; }
+
+  /// Default retirement lag used when a world arms its channels after
+  /// setup (see set_retire_lag).
+  static constexpr size_t kRetireLagWindows = 1ULL << 13;
+
+  /// Arms (or re-tunes) watermark retirement: windows more than `windows`
+  /// behind the posting frontier are dropped. Channels start DISARMED —
+  /// world setup code posts with per-instance time cursors that are wildly
+  /// out of order, so SimWorld arms retirement only once setup is done and
+  /// every subsequent post is lane-driven (min-clock ordered). Fault-wired
+  /// worlds never arm: a node-crash outage freezes lanes for a
+  /// plan-defined span, so their resume-time posts can trail the frontier
+  /// by more than any fixed lag. Arm before any snapshot is captured; the
+  /// lag itself is configuration, not state.
+  void set_retire_lag(size_t windows) {
+    retire_lag_ = static_cast<int64_t>(windows);
+  }
+
   /// Whole mutable state of the channel (ledger ring + counters); the rate
   /// and window constants are excluded because they are fixed at
   /// construction. Restore is only valid on a channel built with the same
@@ -130,6 +174,7 @@ class BandwidthChannel {
     size_t base_slot = 0;
     size_t window_count = 0;
     int64_t pruned_end = 0;
+    int64_t retired_end = 0;
     Nanos last_completion = 0;
     Nanos busy_time = 0;
     uint64_t total_bytes = 0;
@@ -144,6 +189,7 @@ class BandwidthChannel {
     s.base_slot = base_slot_;
     s.window_count = window_count_;
     s.pruned_end = pruned_end_;
+    s.retired_end = retired_end_;
     s.last_completion = last_completion_;
     s.busy_time = busy_time_;
     s.total_bytes = total_bytes_;
@@ -158,6 +204,7 @@ class BandwidthChannel {
     base_slot_ = s.base_slot;
     window_count_ = s.window_count;
     pruned_end_ = s.pruned_end;
+    retired_end_ = s.retired_end;
     last_completion_ = s.last_completion;
     busy_time_ = s.busy_time;
     total_bytes_ = s.total_bytes;
@@ -165,14 +212,15 @@ class BandwidthChannel {
   }
 
  private:
-  // Hard cap on the ledger span: windows further than this behind the
-  // newest tracked window are force-retired (treated as fully consumed).
-  // At the default 10 us window this is > 5 min of virtual time — far
-  // beyond any reorder the min-clock executor can produce — so in practice
-  // only fully-consumed windows are ever dropped.
-  static constexpr size_t kMaxRingWindows = 1ULL << 25;
+  // Disarmed sentinel for retire_lag_: huge but far from overflowing the
+  // signed window arithmetic, so the trigger comparison is branch-free.
+  static constexpr int64_t kNeverRetire = INT64_MAX / 4;
 
   Nanos Place(Nanos now, uint64_t bytes, bool commit) const;
+  /// Drops tracked windows below `r` off the ring front (zeroing their
+  /// slots to keep the outside-span-zero invariant) and raises the
+  /// retirement watermark.
+  void RetireTo(int64_t r) const;
 
   /// Exact link time of `b` bytes (b * 1e9 / rate). Window budgets are a few
   /// hundred KB at realistic rates, so the product almost always fits in 64
@@ -200,10 +248,12 @@ class BandwidthChannel {
   bool shared_ = false;
   Nanos window_ns_;
   uint64_t bytes_per_window_;
-  // Magic-multiply forms of the two run-constant divisors on the Transfer
-  // hot path (time -> window id, bytes -> ns).
+  // Magic-multiply forms of the three run-constant divisors on the
+  // Transfer hot path (time -> window id, bytes -> ns, bytes -> windows
+  // for the batched spill skip).
   FastDiv64 fd_rate_;
   FastDiv64 fd_window_;
+  FastDiv64 fd_bpw_;
 
   // Ring ledger state (mutable: PeekCompletion shares Place with commit
   // disabled and never mutates observable state).
@@ -213,6 +263,9 @@ class BandwidthChannel {
   mutable size_t base_slot_ = 0;
   mutable size_t window_count_ = 0;      // valid span [base_, base_+count_)
   mutable int64_t pruned_end_ = INT64_MIN;  // all windows < this are full
+  mutable int64_t retired_end_ = 0;  // all windows < this are forfeited
+  int64_t retire_lag_ = kNeverRetire;       // see set_retire_lag()
+  mutable uint64_t window_advances_ = 0;    // see window_advances()
 
   Nanos last_completion_ = 0;
   Nanos busy_time_ = 0;

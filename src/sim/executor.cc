@@ -79,13 +79,18 @@ struct Executor::WorkerPool {
 // Exit sentinel for the epoch loop (virtual clocks are never negative).
 constexpr Nanos kEpochLoopExit = -1;
 
-Executor::Executor() : shards_(1) {}
+Executor::Executor() : shards_(1) {
+  sched_mode_ = LaneScheduler::ModeFromEnv();
+  shards_[0].sched.Init(&hot_, sched_mode_);
+}
 
 Executor::~Executor() { StopWorkers(); }
 
 void Executor::ReserveLanes(size_t n) {
+  reserved_lanes_ = std::max(reserved_lanes_, n);
   lanes_.reserve(n);
-  shards_[0].heap.reserve(n);
+  hot_.reserve(n);
+  for (Shard& sh : shards_) sh.sched.Reserve(n);
 }
 
 uint32_t Executor::AddLane(std::unique_ptr<Lane> lane, NodeId node_id,
@@ -104,79 +109,16 @@ uint32_t Executor::AddLane(std::unique_ptr<Lane> lane, NodeId node_id,
   }
   const uint32_t shard = rec.shard;
   lanes_.push_back(std::move(rec));
-  HeapPush(shards_[shard], {start_at, id, 0});
+  hot_.push_back(LaneHot{start_at, 0, 0});
+  shards_[shard].sched.Push({start_at, id, 0});
   return id;
-}
-
-void Executor::SiftUp(Shard& sh, size_t i) {
-  auto& heap = sh.heap;
-  HeapEntry e = heap[i];
-  while (i > 0) {
-    const size_t parent = (i - 1) / 2;
-    if (!e.Before(heap[parent])) break;
-    heap[i] = heap[parent];
-    i = parent;
-  }
-  heap[i] = e;
-}
-
-void Executor::SiftDown(Shard& sh, size_t i) {
-  auto& heap = sh.heap;
-  HeapEntry e = heap[i];
-  const size_t n = heap.size();
-  while (true) {
-    size_t child = 2 * i + 1;
-    if (child >= n) break;
-    if (child + 1 < n && heap[child + 1].Before(heap[child])) child++;
-    if (!heap[child].Before(e)) break;
-    heap[i] = heap[child];
-    i = child;
-  }
-  heap[i] = e;
-}
-
-void Executor::HeapPush(Shard& sh, HeapEntry e) {
-  sh.heap.push_back(e);
-  SiftUp(sh, sh.heap.size() - 1);
-}
-
-void Executor::HeapPopTop(Shard& sh) {
-  sh.heap[0] = sh.heap.back();
-  sh.heap.pop_back();
-  if (!sh.heap.empty()) SiftDown(sh, 0);
-}
-
-void Executor::HeapReplaceTop(Shard& sh, HeapEntry e) {
-  sh.heap[0] = e;
-  SiftDown(sh, 0);
-}
-
-void Executor::Compact(Shard& sh) {
-  auto& heap = sh.heap;
-  size_t out = 0;
-  for (size_t i = 0; i < heap.size(); i++) {
-    if (!Stale(heap[i])) heap[out++] = heap[i];
-  }
-  heap.resize(out);
-  if (out > 1) {
-    for (size_t i = out / 2; i-- > 0;) SiftDown(sh, i);
-  }
-  sh.stale_entries = 0;
-}
-
-bool Executor::SettleTop(Shard& sh) {
-  while (!sh.heap.empty()) {
-    if (!Stale(sh.heap[0])) return true;
-    HeapPopTop(sh);
-    if (sh.stale_entries > 0) sh.stale_entries--;
-  }
-  return false;
 }
 
 bool Executor::StepOne(Shard& sh) {
   POLAR_PROF_SCOPE(kExecutor);
-  if (!SettleTop(sh)) return false;
-  const HeapEntry top = sh.heap[0];
+  if (!sh.sched.Settle()) return false;
+  const SchedEntry top = sh.sched.Top();
+  sh.sched.PopTop();
   LaneRec& rec = lanes_[top.id];
   const Nanos before = rec.ctx.now;
   if (parallel_) {
@@ -188,35 +130,27 @@ bool Executor::StepOne(Shard& sh) {
   sh.steps++;
   // A step that does not advance time would live-lock the scheduler.
   if (rec.ctx.now <= before) rec.ctx.now = before + 1;
-  rec.epoch++;
-  // The stepped entry is normally still at the top; Step() may however have
-  // re-shaped the heap (a lane resuming/adding peers), in which case the old
-  // entry is left behind as epoch-stale.
-  const bool still_top = !sh.heap.empty() && sh.heap[0].id == top.id &&
-                         sh.heap[0].epoch == top.epoch &&
-                         sh.heap[0].at == top.at;
+  LaneHot& hot = hot_[top.id];
+  hot.clock = rec.ctx.now;  // the lane is off-CPU again; refresh the mirror
+  // Bumping the epoch invalidates any entry pushed for this lane while it
+  // was on-CPU (e.g. a same-group resume targeting the running lane).
+  hot.epoch++;
   if (keep) {
-    const HeapEntry next{rec.ctx.now, top.id, rec.epoch};
-    if (still_top) {
-      HeapReplaceTop(sh, next);
-    } else {
-      sh.stale_entries++;
-      HeapPush(sh, next);
+    // A lane parked mid-step (by itself or a same-group peer) is not
+    // re-queued; the eventual resume pushes the fresh entry. Equivalent to
+    // the old push-then-drop-stale sequence with one fewer entry touch.
+    if (hot.parked == 0) {
+      sh.sched.Push({rec.ctx.now, top.id, hot.epoch});
     }
   } else {
-    rec.parked = true;
-    if (still_top) {
-      HeapPopTop(sh);
-    } else {
-      sh.stale_entries++;
-    }
+    hot.parked = 1;
   }
   return true;
 }
 
 void Executor::RunShardUntil(Shard& sh, Nanos t) {
-  while (SettleTop(sh)) {
-    if (sh.heap[0].at >= t) return;
+  while (sh.sched.Settle()) {
+    if (sh.sched.Top().at >= t) return;
     if (!StepOne(sh)) return;
   }
 }
@@ -229,14 +163,28 @@ void Executor::RunUntil(Nanos t) {
   RunShardUntil(shards_[0], t);
 }
 
+bool Executor::SettledMin(SchedEntry* out) {
+  bool found = false;
+  for (Shard& sh : shards_) {
+    sh.sched_ops++;  // epoch-end shard-top probe
+    if (!sh.sched.Settle()) continue;
+    const SchedEntry& top = sh.sched.Top();
+    if (!found || top.Before(*out)) {
+      *out = top;
+      found = true;
+    }
+  }
+  return found;
+}
+
 void Executor::RunUntilParallel(Nanos t) {
   if (num_threads_ <= 1 || pool_ == nullptr) {
     // Single-thread epoch mode: same epoch discipline, no synchronization.
     for (;;) {
-      if (!AnyRunnable()) return;
-      const Nanos m = MinClock();
-      if (m >= t) return;
-      const Nanos epoch_end = std::min(t, (m / epoch_ns_ + 1) * epoch_ns_);
+      SchedEntry m;
+      if (!SettledMin(&m)) return;
+      if (m.at >= t) return;
+      const Nanos epoch_end = std::min(t, (m.at / epoch_ns_ + 1) * epoch_ns_);
       for (Shard& sh : shards_) RunShardUntil(sh, epoch_end);
       DrainBarrier();
       epochs_run_++;
@@ -265,13 +213,14 @@ void Executor::EpochLoop(uint32_t shard_idx) {
     if (shard_idx == 0) {
       // Close the epoch at the next absolute E-boundary after the earliest
       // runnable lane (idle gaps are skipped wholesale), never past the
-      // target.
+      // target. The O(shards) settled-top probe replaces the old O(lanes)
+      // scans; settling the other shards' schedulers here is safe — the
+      // workers are parked at the barrier below, whose release/acquire
+      // pair publishes these writes before they step again.
       Nanos next = kEpochLoopExit;
-      if (AnyRunnable()) {
-        const Nanos m = MinClock();
-        if (m < p.target) {
-          next = std::min(p.target, (m / epoch_ns_ + 1) * epoch_ns_);
-        }
+      SchedEntry m;
+      if (SettledMin(&m) && m.at < p.target) {
+        next = std::min(p.target, (m.at / epoch_ns_ + 1) * epoch_ns_);
       }
       p.epoch_end = next;
     }
@@ -340,8 +289,11 @@ bool Executor::StepOneGlobal() {
   // this is exactly serial semantics.
   Shard* best = nullptr;
   for (Shard& sh : shards_) {
-    if (!SettleTop(sh)) continue;
-    if (best == nullptr || sh.heap[0].Before(best->heap[0])) best = &sh;
+    sh.sched_ops++;  // global-min shard-top probe
+    if (!sh.sched.Settle()) continue;
+    if (best == nullptr || sh.sched.Top().Before(best->sched.Top())) {
+      best = &sh;
+    }
   }
   if (best == nullptr) return false;
   const bool stepped = StepOne(*best);
@@ -357,7 +309,8 @@ void Executor::RunSteps(uint64_t n) {
 
 void Executor::RunToCompletion() {
   if (parallel_) {
-    while (AnyRunnable()) RunUntilParallel(MinClock() + epoch_ns_);
+    SchedEntry m;
+    while (SettledMin(&m)) RunUntilParallel(m.at + epoch_ns_);
     return;
   }
   while (StepOne(shards_[0])) {
@@ -375,9 +328,10 @@ void Executor::ParkLane(uint32_t lane_id) {
 }
 
 void Executor::ParkImmediate(uint32_t lane_id) {
-  if (!lanes_[lane_id].parked) {
-    lanes_[lane_id].parked = true;
-    shards_[lanes_[lane_id].shard].stale_entries++;  // heap entry now dead
+  LaneHot& hot = hot_[lane_id];
+  if (hot.parked == 0) {
+    hot.parked = 1;
+    shards_[lanes_[lane_id].shard].sched.NoteStale();  // entry now dead
   }
 }
 
@@ -393,14 +347,15 @@ void Executor::ResumeLane(uint32_t lane_id, Nanos at) {
 
 void Executor::ResumeImmediate(uint32_t lane_id, Nanos at) {
   LaneRec& rec = lanes_[lane_id];
-  rec.parked = false;
+  LaneHot& hot = hot_[lane_id];
+  hot.parked = 0;
   rec.ctx.now = std::max(rec.ctx.now, at);
-  rec.epoch++;
-  Shard& sh = shards_[rec.shard];
-  HeapPush(sh, {rec.ctx.now, lane_id, rec.epoch});
-  // Park/resume cycles strand epoch-invalidated entries in the heap; once
-  // they outnumber the live lanes, rebuild without them.
-  if (sh.stale_entries > lanes_.size() + 64) Compact(sh);
+  hot.clock = rec.ctx.now;
+  // The epoch bump invalidates any entry the lane left behind (a resume of
+  // a running or never-parked lane strands a duplicate, which Settle drops
+  // or a rebuild sweeps — the scheduler owns the compaction threshold).
+  hot.epoch++;
+  shards_[rec.shard].sched.Push({rec.ctx.now, lane_id, hot.epoch});
 }
 
 uint32_t Executor::GroupFor(NodeId node_id) {
@@ -428,28 +383,34 @@ void Executor::SetThreads(uint32_t threads) {
   POLAR_CHECK(parallel_);
   POLAR_CHECK(threads >= 1);
   StopWorkers();
-  // Fold retired shard step counts into the baseline before re-sharding.
+  // Fold retired shard counters into the baselines before the old shard
+  // structures (and their schedulers' op counters) are thrown away.
   total_steps_base_ = total_steps();
+  sched_ops_base_ = sched_ops();
   num_threads_ = threads;
   shards_.assign(threads, Shard{});
   for (LaneRec& rec : lanes_) {
     rec.shard = rec.group % num_threads_;
     rec.ctx.frame = frames_[rec.group].get();
   }
-  RebuildShardHeaps();
+  RebuildShardScheds();
   StartWorkers();
 }
 
-void Executor::RebuildShardHeaps() {
+void Executor::RebuildShardScheds() {
+  // Re-applies the ReserveLanes capacity to the fresh shard schedulers —
+  // a re-shard must not degrade the wheel geometry the world was sized
+  // for (SetThreads used to silently drop the reservation).
+  const size_t sizing = std::max(reserved_lanes_, lanes_.size());
   for (Shard& sh : shards_) {
-    sh.heap.clear();
-    sh.stale_entries = 0;
+    sh.sched.Init(&hot_, sched_mode_);
+    sh.sched.Reserve(sizing);
   }
   for (uint32_t id = 0; id < lanes_.size(); id++) {
-    LaneRec& rec = lanes_[id];
-    rec.epoch++;
-    if (!rec.parked) {
-      HeapPush(shards_[rec.shard], {rec.ctx.now, id, rec.epoch});
+    LaneHot& hot = hot_[id];
+    hot.epoch++;
+    if (hot.parked == 0) {
+      shards_[lanes_[id].shard].sched.Push({hot.clock, id, hot.epoch});
     }
   }
 }
@@ -497,22 +458,22 @@ void Executor::StopWorkers() {
 
 Nanos Executor::MinClock(Nanos fallback) const {
   Nanos best = -1;
-  for (const auto& rec : lanes_) {
-    if (rec.parked) continue;
-    if (best < 0 || rec.ctx.now < best) best = rec.ctx.now;
+  for (const LaneHot& h : hot_) {
+    if (h.parked != 0) continue;
+    if (best < 0 || h.clock < best) best = h.clock;
   }
   return best < 0 ? fallback : best;
 }
 
 Nanos Executor::MaxClock() const {
   Nanos best = 0;
-  for (const auto& rec : lanes_) best = std::max(best, rec.ctx.now);
+  for (const LaneHot& h : hot_) best = std::max(best, h.clock);
   return best;
 }
 
 bool Executor::AnyRunnable() const {
-  for (const auto& rec : lanes_) {
-    if (!rec.parked) return true;
+  for (const LaneHot& h : hot_) {
+    if (h.parked == 0) return true;
   }
   return false;
 }
@@ -521,9 +482,9 @@ Executor::State Executor::Capture() const {
   State s;
   s.contexts.reserve(lanes_.size());
   s.parked.reserve(lanes_.size());
-  for (const auto& rec : lanes_) {
-    s.contexts.push_back(rec.ctx);
-    s.parked.push_back(rec.parked ? 1 : 0);
+  for (uint32_t id = 0; id < lanes_.size(); id++) {
+    s.contexts.push_back(lanes_[id].ctx);
+    s.parked.push_back(hot_[id].parked != 0 ? 1 : 0);
   }
   s.total_steps = total_steps();
   return s;
@@ -531,9 +492,11 @@ Executor::State Executor::Capture() const {
 
 void Executor::Restore(const State& s) {
   POLAR_CHECK(s.contexts.size() == lanes_.size());
+  // sched_ops is a monotone process-life diagnostic (like epochs_run_):
+  // the schedulers' op counters survive Clear, so nothing rewinds and no
+  // folding is needed; callers meter windows by delta.
   for (Shard& sh : shards_) {
-    sh.heap.clear();
-    sh.stale_entries = 0;
+    sh.sched.Clear();
     sh.steps = 0;
   }
   for (uint32_t id = 0; id < lanes_.size(); id++) {
@@ -543,13 +506,17 @@ void Executor::Restore(const State& s) {
     // state: re-derive it so a snapshot taken on one sharding restores
     // cleanly regardless of what the capturing context held.
     rec.ctx.frame = parallel_ ? frames_[rec.group].get() : nullptr;
-    rec.parked = s.parked[id] != 0;
-    // Bumping the epoch (rather than resetting it) invalidates any heap
-    // entry a caller might still hold conceptually; the rebuilt heap below
-    // is the only live one. Pop order depends only on {at, id}, never on
-    // the heap's internal array layout, so the replay is bit-identical.
-    rec.epoch++;
-    if (!rec.parked) HeapPush(shards_[rec.shard], {rec.ctx.now, id, rec.epoch});
+    LaneHot& hot = hot_[id];
+    hot.clock = rec.ctx.now;
+    hot.parked = s.parked[id] != 0 ? 1 : 0;
+    // Bumping the epoch (rather than resetting it) invalidates any entry a
+    // caller might still hold conceptually; the rebuilt scheduler below is
+    // the only live one. Pop order depends only on {at, id}, never on the
+    // container's internal layout, so the replay is bit-identical.
+    hot.epoch++;
+    if (hot.parked == 0) {
+      shards_[rec.shard].sched.Push({rec.ctx.now, id, hot.epoch});
+    }
   }
   total_steps_base_ = s.total_steps;
 }

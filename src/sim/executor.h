@@ -4,10 +4,14 @@
 // smallest clock, so shared-resource ordering is causal and runs are exactly
 // reproducible.
 //
-// Scheduling uses a hand-rolled binary min-heap: the common case (the lane
-// just stepped is re-queued) is a replace-top + sift-down instead of a
-// pop + push pair, and stale entries left behind by park/resume cycles are
-// compacted once they outnumber the live lanes.
+// Scheduling uses a hierarchical timing wheel (sim/lane_sched.h) keyed on
+// virtual-time deltas, with a binary-heap fallback selected by
+// POLAR_SCHED=heap. Pop order is a pure function of {clock, lane id} over
+// the live entries — a total order independent of container layout — so
+// both structures provably replay the identical step sequence. Hot
+// per-lane scheduling state (clock mirror, epoch, parked flag) lives in a
+// packed structure-of-arrays sidecar so staleness checks and min/max
+// scans stay cache-local instead of striding over fat lane records.
 //
 // Epoch-parallel mode (EnableEpochParallel) shards the lanes into
 // per-instance-group heaps that advance concurrently on a worker pool
@@ -29,6 +33,7 @@
 #include "common/types.h"
 #include "sim/epoch.h"
 #include "sim/exec_context.h"
+#include "sim/lane_sched.h"
 
 namespace polarcxl::sim {
 
@@ -63,8 +68,9 @@ class Executor {
   ~Executor();
   POLAR_DISALLOW_COPY(Executor);
 
-  /// Pre-sizes the lane table (and the scheduling heap) for `n` lanes, so
-  /// AddLane never reallocates mid-setup.
+  /// Pre-sizes the lane table, the hot sidecar and the shard schedulers
+  /// for `n` lanes, so AddLane never reallocates mid-setup. The capacity
+  /// is remembered and re-applied when SetThreads re-shards.
   void ReserveLanes(size_t n);
 
   /// Registers a lane starting at virtual time `start_at`. Returns lane id.
@@ -141,6 +147,19 @@ class Executor {
     for (const Shard& sh : shards_) t += sh.steps;
     return t;
   }
+  /// Scheduler work counter (diagnostics, monotone over the executor's
+  /// life): every scheduling-entry touch — sift moves, pushes, pops,
+  /// stale drops, rebuild visits (see LaneScheduler::ops()) — plus the
+  /// per-epoch shard-top probes of epoch-parallel mode counts one op.
+  /// Pure virtual-time bookkeeping (no wall-clock input), so per-step
+  /// ratios are host-independent; the absolute value varies with thread
+  /// count (sharding), so it is gated by ceiling, never pinned (see
+  /// bench_sim_throughput's scale_cost section).
+  uint64_t sched_ops() const {
+    uint64_t t = sched_ops_base_;
+    for (const Shard& sh : shards_) t += sh.sched_ops + sh.sched.ops();
+    return t;
+  }
   /// Smallest clock among runnable lanes; `fallback` if none runnable.
   Nanos MinClock(Nanos fallback = 0) const;
   /// Largest clock reached by any lane (runnable or parked).
@@ -148,11 +167,11 @@ class Executor {
   bool AnyRunnable() const;
 
   /// Scheduler state for world snapshot/restore: per-lane contexts + parked
-  /// flags + the step counter. The heap is not captured — pop order is a
-  /// pure function of {ctx.now, id} over runnable lanes (ties break on id),
-  /// so Restore rebuilds it from the restored contexts and replays the
-  /// identical step sequence. Shard membership and frames are topology, not
-  /// state: they survive Restore unchanged.
+  /// flags + the step counter. The scheduler structure is not captured —
+  /// pop order is a pure function of {ctx.now, id} over runnable lanes
+  /// (ties break on id), so Restore rebuilds it from the restored contexts
+  /// and replays the identical step sequence. Shard membership and frames
+  /// are topology, not state: they survive Restore unchanged.
   struct State {
     std::vector<ExecContext> contexts;
     std::vector<uint8_t> parked;
@@ -168,56 +187,35 @@ class Executor {
   struct LaneRec {
     std::unique_ptr<Lane> lane;
     ExecContext ctx;
-    bool parked = false;
-    uint64_t epoch = 0;   // invalidates stale heap entries
     uint32_t group = 0;   // instance group (epoch-parallel mode)
     uint32_t shard = 0;   // scheduling shard (group % num_threads_)
   };
 
-  struct HeapEntry {
-    Nanos at;
-    uint32_t id;
-    uint64_t epoch;
-    bool Before(const HeapEntry& o) const {
-      if (at != o.at) return at < o.at;
-      return id < o.id;
-    }
-  };
-
-  /// One scheduling shard: a min-heap over its lanes plus lazy-deletion
-  /// bookkeeping. Serial mode is exactly one shard holding every lane.
+  /// One scheduling shard. Serial mode is exactly one shard holding every
+  /// lane. sched_ops holds the executor-side scheduling work (epoch-end
+  /// shard-top probes); entry-level work is counted inside sched.
   struct Shard {
-    std::vector<HeapEntry> heap;
-    size_t stale_entries = 0;  // upper bound on dead entries in heap
-    uint64_t steps = 0;        // merged into total_steps() on read
+    LaneScheduler sched;
+    uint64_t steps = 0;      // merged into total_steps() on read
+    uint64_t sched_ops = 0;  // merged into sched_ops() on read
   };
 
   struct WorkerPool;  // defined in executor.cc
 
   bool StepOne(Shard& sh);  // returns false if no runnable lane in shard
 
-  bool Stale(const HeapEntry& e) const {
-    const LaneRec& rec = lanes_[e.id];
-    return rec.parked || rec.epoch != e.epoch || rec.ctx.now != e.at;
-  }
-
-  /// Drops stale entries off the top; false if the shard's heap drained.
-  bool SettleTop(Shard& sh);
-
-  void HeapPush(Shard& sh, HeapEntry e);
-  void HeapPopTop(Shard& sh);
-  void HeapReplaceTop(Shard& sh, HeapEntry e);
-  void SiftUp(Shard& sh, size_t i);
-  void SiftDown(Shard& sh, size_t i);
-  /// Rebuilds a shard's heap without stale entries (lazy-deletion
-  /// compaction).
-  void Compact(Shard& sh);
+  /// Settles every shard and returns the globally minimal live entry
+  /// (false if all drained). Replaces the O(lanes) AnyRunnable+MinClock
+  /// scans in the epoch loops with O(shards) probes of settled tops.
+  /// Non-const (settling drops stale entries); only call while the
+  /// workers are quiescent or parked at a barrier.
+  bool SettledMin(SchedEntry* out);
 
   void ParkImmediate(uint32_t lane_id);
   void ResumeImmediate(uint32_t lane_id, Nanos at);
 
   uint32_t GroupFor(NodeId node_id);
-  void RebuildShardHeaps();
+  void RebuildShardScheds();
   /// Runs one shard until its min clock reaches `t` (same loop as serial
   /// RunUntil, scoped to the shard).
   void RunShardUntil(Shard& sh, Nanos t);
@@ -236,8 +234,17 @@ class Executor {
   void StopWorkers();
 
   std::vector<LaneRec> lanes_;
+  /// Hot per-lane scheduling state (clock mirror / epoch / parked),
+  /// indexed by lane id. ctx.now stays authoritative while a lane is
+  /// on-CPU inside Step; the mirror is refreshed the moment it yields,
+  /// so every off-CPU read (staleness, min/max/runnable scans) touches
+  /// only this packed sidecar.
+  std::vector<LaneHot> hot_;
   std::vector<Shard> shards_;  // size 1 serial; size num_threads_ parallel
+  LaneScheduler::Mode sched_mode_ = LaneScheduler::Mode::kWheel;
+  size_t reserved_lanes_ = 0;      // ReserveLanes hint, re-applied on re-shard
   uint64_t total_steps_base_ = 0;  // restored baseline under shard counters
+  uint64_t sched_ops_base_ = 0;    // folded on re-shard/restore
 
   // ---- epoch-parallel state ----
   bool parallel_ = false;

@@ -63,6 +63,17 @@ class SimDisk {
   }
   void ResetStats();
 
+  /// Sum of window_advances over both ledgers (diagnostics).
+  uint64_t WindowAdvances() const {
+    return channel_.window_advances() + ops_.window_advances();
+  }
+
+  /// Arms watermark retirement on both ledgers (post-setup only).
+  void SetRetireLag(size_t windows) {
+    channel_.set_retire_lag(windows);
+    ops_.set_retire_lag(windows);
+  }
+
   /// Bandwidth/IOPS ledgers + byte/op counters, for world snapshot/restore.
   struct State {
     sim::BandwidthChannel::State channel;

@@ -131,6 +131,79 @@ TEST(BandwidthChannelTest, FootprintStaysBoundedUnderSaturation) {
   EXPECT_GT(now, Nanos{400'000'000});
 }
 
+TEST(BandwidthChannelTest, IdleGapSlideChargesNothing) {
+  // 1 GB/s, 10 KB / 10 us windows. A long idle gap between posts must be
+  // skipped arithmetically — the lazy extension never iterates (or
+  // charges for) the untouched windows in between.
+  BandwidthChannel ch("nic", 1000000000);
+  ch.Transfer(0, 1000);
+  const uint64_t before = ch.window_advances();
+  // 1 full second later: 100'000 windows of idle gap.
+  ch.Transfer(1'000'000'000, 1000);
+  EXPECT_LE(ch.window_advances() - before, 2u);
+}
+
+TEST(BandwidthChannelTest, BatchedSpillChargesOnce) {
+  // A transfer spanning ~1000 windows from a clean frontier commits as
+  // one arithmetic batch (FastDiv64), not a per-window walk.
+  BandwidthChannel ch("nic", 1000000000);
+  const Nanos done = ch.Transfer(0, 10'000'000);  // 1000 windows' budget
+  EXPECT_EQ(done, 10'000'000);
+  EXPECT_LE(ch.window_advances(), 2u);
+  // The peek path takes the same O(1) branch and must agree with commit.
+  BandwidthChannel ch2("nic2", 1000000000);
+  EXPECT_EQ(ch2.PeekCompletion(0, 10'000'000), done);
+  EXPECT_EQ(ch2.Transfer(0, 10'000'000), done);
+}
+
+TEST(BandwidthChannelTest, RetirementBoundsSparseLedgerFootprint) {
+  // Sparse periodic traffic (one partial window every 50 windows) leaves
+  // part-used windows behind that pruning alone never drops. With the
+  // watermark armed, the ledger retires everything `lag` windows behind
+  // the posting frontier and the footprint stays O(lag), while an
+  // unarmed twin fed the same schedule keeps identical completions —
+  // in-order traffic never looks behind the watermark, so forfeiting
+  // the stale budget is unobservable.
+  BandwidthChannel armed("a", 1000000000);
+  BandwidthChannel unarmed("u", 1000000000);
+  armed.set_retire_lag(4);
+  size_t max_armed = 0, max_unarmed = 0;
+  for (int i = 0; i < 2000; i++) {
+    const Nanos now = static_cast<Nanos>(i) * 500'000;  // every 50 windows
+    EXPECT_EQ(armed.Transfer(now, 1000), unarmed.Transfer(now, 1000));
+    max_armed = std::max(max_armed, armed.window_footprint());
+    max_unarmed = std::max(max_unarmed, unarmed.window_footprint());
+  }
+  EXPECT_LE(max_armed, 8u);
+  EXPECT_GT(max_unarmed, 1000u);  // the unarmed span keeps every gap
+  // The watermark tracked the posting frontier minus the lag.
+  EXPECT_GE(armed.retired_end_window(), 1999 * 50 - 4);
+  EXPECT_EQ(unarmed.retired_end_window(), 0);
+}
+
+TEST(BandwidthChannelTest, RetirementSurvivesCaptureRestore) {
+  BandwidthChannel ch("nic", 1000000000);
+  ch.set_retire_lag(4);
+  ch.Transfer(1'000'000, 1000);
+  const auto snap = ch.Capture();
+  const int64_t retired = ch.retired_end_window();
+  EXPECT_GT(retired, 0);
+  ch.Transfer(2'000'000, 1000);
+  ch.Restore(snap);
+  EXPECT_EQ(ch.retired_end_window(), retired);
+  // Replaying the post-snapshot traffic gives the same completion.
+  EXPECT_EQ(ch.Transfer(2'000'000, 1000), 2'000'000 + 1000);
+}
+
+TEST(BandwidthChannelDeathTest, PostingBehindWatermarkTrips) {
+  // Out-of-order posts below the watermark would read windows whose
+  // budget was forfeited; the ledger refuses instead of answering wrong.
+  BandwidthChannel ch("nic", 1000000000);
+  ch.set_retire_lag(2);
+  ch.Transfer(10'000'000, 1000);  // frontier at window 1000, retire to 998
+  EXPECT_DEATH(ch.Transfer(0, 1000), "POLAR_CHECK");
+}
+
 // ---------- CpuCacheSim ----------
 
 TEST(CpuCacheTest, MissThenHit) {

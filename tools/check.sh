@@ -21,6 +21,10 @@
 #                             #   multi-switch gate (serial + epoch pins,
 #                             #   POLAR_WORLD_THREADS identity inside the
 #                             #   bench)
+#   tools/check.sh --scale    # tier-1 + scheduler suite + 64-instance
+#                             #   quick-scale sweep: serial + epoch
+#                             #   lane_steps pins and a sched-ops-per-step
+#                             #   ceiling (O(active) scheduling guard)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -55,6 +59,17 @@ SLO_EXPECT_QUICK="47468,47328,41387,35498"
 # serial value, then the epoch value shared by every POLAR_WORLD_THREADS
 # count (the bench itself sweeps 1/2/4 and fails on divergence).
 FABRIC_EXPECT_QUICK="5666,5666"
+
+# Quick-scale 64-instance lane_steps for the scale-cost sweep (fig7 CXL
+# pooling world at 64 instances): serial, then epoch (POLAR_WORLD_THREADS=1).
+# Same virtual-time purity as the other pins.
+SCALE_EXPECT_QUICK="87662,87766"
+
+# Ceiling on scheduler bookkeeping per lane-step at 64 instances. The
+# timing wheel holds ~2.1-2.2 ops/step flat across 8..256 instances; the
+# old binary heap paid ~9-11 (O(log n) sift levels per step). 3.0 leaves
+# headroom for noise while catching any return to O(log n) behaviour.
+SCALE_MAX_SCHED_OPS="3.0"
 
 # Ceiling on the engine+cache_sim share of profiled self CPU time (see
 # POLAR_BENCH_MAX_HOT_SHARE in bench_sim_throughput.cc). The third-wave
@@ -216,6 +231,21 @@ if [[ "${1:-}" == "--fabric" ]]; then
     POLAR_FABRIC_EXPECT="$FABRIC_EXPECT_QUICK" \
     build/bench/bench_fabric_topology
   echo "==> OK (fabric mode)"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--scale" ]]; then
+  echo "==> scale: scheduler wheel-vs-heap equivalence suite"
+  build/tests/scheduler_test
+  echo "==> scale: 64-instance quick sweep (serial vs epoch pins + ops ceiling)"
+  # POLAR_SCALE_EXPECT pins the 64-instance lane_steps for both execution
+  # modes (exit 1 on drift); POLAR_MAX_SCHED_OPS_PER_STEP fails the gate
+  # if per-step scheduler work regresses toward O(log n).
+  POLAR_BENCH_SCALE=0.1 \
+    POLAR_SCALE_EXPECT="$SCALE_EXPECT_QUICK" \
+    POLAR_MAX_SCHED_OPS_PER_STEP="$SCALE_MAX_SCHED_OPS" \
+    build/bench/bench_sim_throughput
+  echo "==> OK (scale mode)"
   exit 0
 fi
 
